@@ -1,0 +1,74 @@
+//! Offline ingestion (Algorithm 1) scaling benchmarks.
+//!
+//! §5.1 claims ingestion costs
+//! `Θ(|R|) + Θ(|I|·lookup) + O(|V|+|E|) + O(|V|·avg contexts)`.
+//! The size sweep over generated terminologies checks that the measured
+//! growth is near-linear in |V|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use medkb_core::{ingest, FrequencyMode, Frequencies, MappingMethod, RelaxConfig};
+use medkb_corpus::{CorpusConfig, CorpusGenerator, MentionCounts};
+use medkb_snomed::{MedWorld, SnomedConfig, WorldConfig};
+
+fn world_of_size(concepts: usize) -> (MedWorld, MentionCounts) {
+    let config = WorldConfig {
+        snomed: SnomedConfig { concepts, seed: 42, ..SnomedConfig::default() },
+        seed: 43,
+        finding_instances: concepts / 5,
+        drug_instances: concepts / 20,
+        ..WorldConfig::default()
+    };
+    let world = MedWorld::generate(&config);
+    let corpus = CorpusGenerator::new(&world.terminology, &world.oracle).generate(&CorpusConfig {
+        seed: 44,
+        docs: 200,
+        ..CorpusConfig::default()
+    });
+    let counts = MentionCounts::count(&corpus, &world.terminology.ekg);
+    (world, counts)
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_algorithm1");
+    group.sample_size(10);
+    for &size in &[1_000usize, 3_000, 9_000] {
+        let (world, counts) = world_of_size(size);
+        let config = RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &config)
+                    .expect("ingest succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_frequency_rollup(c: &mut Criterion) {
+    let (world, counts) = world_of_size(3_000);
+    let ekg = &world.terminology.ekg;
+    let mut group = c.benchmark_group("frequency_rollup");
+    group.bench_function("paper_recursive", |b| {
+        b.iter(|| Frequencies::compute(ekg, &counts, FrequencyMode::PaperRecursive, true))
+    });
+    group.bench_function("descendant_set", |b| {
+        b.iter(|| Frequencies::compute(ekg, &counts, FrequencyMode::DescendantSet, true))
+    });
+    group.finish();
+}
+
+fn bench_mention_counting(c: &mut Criterion) {
+    let (world, _) = world_of_size(3_000);
+    let corpus = CorpusGenerator::new(&world.terminology, &world.oracle).generate(&CorpusConfig {
+        seed: 45,
+        docs: 300,
+        ..CorpusConfig::default()
+    });
+    c.bench_function("mention_counting_300_docs", |b| {
+        b.iter(|| MentionCounts::count(&corpus, &world.terminology.ekg))
+    });
+}
+
+criterion_group!(benches, bench_ingestion, bench_frequency_rollup, bench_mention_counting);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Mapping-method throughput (the Table 1 matchers as an online cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use medkb_core::{ConceptMapper, MappingMethod};
+use medkb_corpus::{CorpusConfig, CorpusGenerator};
+use medkb_embed::{SgnsConfig, SifModel, WordVectors};
+use medkb_snomed::{vocab, GeneratedTerminology, Oracle, SnomedConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn setup() -> (GeneratedTerminology, Arc<SifModel>, Vec<String>) {
+    let term = GeneratedTerminology::generate(&SnomedConfig {
+        concepts: 4_000,
+        seed: 62,
+        ..SnomedConfig::default()
+    });
+    let oracle = Oracle::derive(&term, 63);
+    let corpus = CorpusGenerator::new(&term, &oracle).generate(&CorpusConfig {
+        seed: 64,
+        docs: 250,
+        ..CorpusConfig::default()
+    });
+    let wv = WordVectors::train(&corpus, &SgnsConfig { epochs: 2, ..SgnsConfig::default() });
+    let sif = Arc::new(SifModel::fit(wv, &corpus, 1e-3));
+    // Query workload: typo'd versions of real concept names.
+    let mut rng = StdRng::seed_from_u64(65);
+    let queries: Vec<String> =
+        term.ekg.concepts().take(256).map(|c| vocab::typo(&mut rng, term.ekg.name(c))).collect();
+    (term, sif, queries)
+}
+
+fn bench_mappers(c: &mut Criterion) {
+    let (term, sif, queries) = setup();
+    let mut group = c.benchmark_group("mapping_lookup");
+    let cases: [(&str, MappingMethod); 3] = [
+        ("exact", MappingMethod::Exact),
+        ("edit_tau2", MappingMethod::edit_tau2()),
+        ("embedding", MappingMethod::embedding_default()),
+    ];
+    for (label, method) in cases {
+        let sif_arg = matches!(method, MappingMethod::Embedding { .. }).then(|| sif.clone());
+        let mapper = ConceptMapper::build(&term.ekg, method, sif_arg).expect("mapper builds");
+        group.bench_function(label, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                mapper.map(&term.ekg, q)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapper_build(c: &mut Criterion) {
+    let (term, sif, _) = setup();
+    let mut group = c.benchmark_group("mapper_build");
+    group.sample_size(10);
+    group.bench_function("edit_tau2", |b| {
+        b.iter(|| ConceptMapper::build(&term.ekg, MappingMethod::edit_tau2(), None).unwrap())
+    });
+    group.bench_function("embedding", |b| {
+        b.iter(|| {
+            ConceptMapper::build(&term.ekg, MappingMethod::embedding_default(), Some(sif.clone()))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mappers, bench_mapper_build);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Online query relaxation (Algorithm 2) latency benchmarks.
+//!
+//! §5.2 claims the online phase is `Θ(N log N)` in the number of flagged
+//! concepts reached; the radius sweep shows how candidate volume drives
+//! latency, and the shortcut on/off comparison quantifies the §5.1
+//! customization's effect on retrieval.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use medkb_core::{ingest, MappingMethod, QueryRelaxer, RelaxConfig};
+use medkb_corpus::{CorpusConfig, CorpusGenerator, MentionCounts};
+use medkb_snomed::{Hierarchy, MedWorld, SnomedConfig, WorldConfig};
+use medkb_types::ExtConceptId;
+
+fn setup(shortcuts: bool) -> (QueryRelaxer, Vec<ExtConceptId>) {
+    let config = WorldConfig {
+        snomed: SnomedConfig { concepts: 4_000, seed: 52, ..SnomedConfig::default() },
+        seed: 53,
+        finding_instances: 900,
+        drug_instances: 200,
+        ..WorldConfig::default()
+    };
+    let world = MedWorld::generate(&config);
+    let corpus = CorpusGenerator::new(&world.terminology, &world.oracle).generate(&CorpusConfig {
+        seed: 54,
+        docs: 250,
+        ..CorpusConfig::default()
+    });
+    let counts = MentionCounts::count(&corpus, &world.terminology.ekg);
+    let relax_config = RelaxConfig {
+        mapping: MappingMethod::Exact,
+        add_shortcuts: shortcuts,
+        ..RelaxConfig::default()
+    };
+    let out = ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &relax_config)
+        .expect("ingest");
+    let queries: Vec<ExtConceptId> = world
+        .terminology
+        .of_hierarchy_below(Hierarchy::ClinicalFinding, 3)
+        .into_iter()
+        .filter(|c| out.flagged.contains(c))
+        .take(32)
+        .collect();
+    (QueryRelaxer::new(out, relax_config), queries)
+}
+
+fn bench_radius_sweep(c: &mut Criterion) {
+    let (relaxer, queries) = setup(true);
+    let ctx = relaxer
+        .ingested()
+        .contexts
+        .iter()
+        .find(|s| s.label == "Indication-hasFinding-Finding")
+        .unwrap()
+        .id;
+    let mut group = c.benchmark_group("relax_radius");
+    for &radius in &[2u32, 4, 6] {
+        let mut cfg = relaxer.config().clone();
+        cfg.radius = radius;
+        cfg.dynamic_radius = false;
+        let fixed = QueryRelaxer::new(relaxer.ingested().clone(), cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(radius), &radius, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = queries[i % queries.len()];
+                i += 1;
+                fixed.relax_concept(q, Some(ctx), 10).expect("relax")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shortcut_effect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relax_shortcuts");
+    group.sample_size(20);
+    for (label, shortcuts) in [("with_shortcuts", true), ("without_shortcuts", false)] {
+        let (relaxer, queries) = setup(shortcuts);
+        let ctx = relaxer
+            .ingested()
+            .contexts
+            .iter()
+            .find(|s| s.label == "Indication-hasFinding-Finding")
+            .unwrap()
+            .id;
+        group.bench_function(label, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = queries[i % queries.len()];
+                i += 1;
+                relaxer.relax_concept(q, Some(ctx), 10).expect("relax")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scoring_only(c: &mut Criterion) {
+    let (relaxer, queries) = setup(true);
+    let q = queries[0];
+    let candidates: Vec<ExtConceptId> = relaxer
+        .ingested()
+        .ekg
+        .neighborhood(q, 6)
+        .into_iter()
+        .map(|(c, _)| c)
+        .filter(|c| relaxer.ingested().flagged.contains(c))
+        .collect();
+    let ctx = relaxer.ingested().contexts.first().unwrap().id;
+    c.bench_function("rank_candidates_eq5", |b| {
+        b.iter(|| relaxer.rank_candidates(q, &candidates, Some(ctx)))
+    });
+}
+
+criterion_group!(benches, bench_radius_sweep, bench_shortcut_effect, bench_scoring_only);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Micro-benchmarks of the substrate layers the relaxation method sits on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use medkb_ekg::lcs::lcs;
+use medkb_ekg::ReachabilityIndex;
+use medkb_snomed::{GeneratedTerminology, Hierarchy, SnomedConfig};
+use medkb_text::{levenshtein, levenshtein_within, tokenize, Gazetteer, NgramIndex};
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let a = "chronic progressive renal insufficiency";
+    let b = "chronic progresive renal insufficiancy";
+    let mut group = c.benchmark_group("edit_distance");
+    group.bench_function("full", |bch| bch.iter(|| levenshtein(a, b)));
+    group.bench_function("banded_tau2", |bch| bch.iter(|| levenshtein_within(a, b, 2)));
+    group.bench_function("banded_reject", |bch| {
+        bch.iter(|| levenshtein_within(a, "hypothermia of newborn", 2))
+    });
+    group.finish();
+}
+
+fn bench_ngram_index(c: &mut Criterion) {
+    let term = GeneratedTerminology::generate(&SnomedConfig {
+        concepts: 4_000,
+        seed: 71,
+        ..SnomedConfig::default()
+    });
+    let mut index = NgramIndex::new(3);
+    for concept in term.ekg.concepts() {
+        index.insert(term.ekg.name(concept));
+    }
+    c.bench_function("ngram_candidates_4k_names", |b| {
+        b.iter(|| index.candidates("chronic renal infection", 2))
+    });
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let term = GeneratedTerminology::generate(&SnomedConfig {
+        concepts: 4_000,
+        seed: 72,
+        ..SnomedConfig::default()
+    });
+    let findings = term.of_hierarchy_below(Hierarchy::ClinicalFinding, 3);
+    let (a, b) = (findings[0], findings[findings.len() / 2]);
+    let mut group = c.benchmark_group("graph_ops");
+    group.bench_function("lcs", |bch| bch.iter(|| lcs(&term.ekg, a, b)));
+    group.bench_function("neighborhood_r4", |bch| bch.iter(|| term.ekg.neighborhood(a, 4)));
+    group.bench_function("upward_distances", |bch| bch.iter(|| term.ekg.upward_distances(a)));
+    group.bench_function("descendants", |bch| {
+        let head = term.of_hierarchy(Hierarchy::ClinicalFinding)[0];
+        bch.iter(|| term.ekg.descendants(head))
+    });
+    group.finish();
+}
+
+fn bench_gazetteer(c: &mut Criterion) {
+    let term = GeneratedTerminology::generate(&SnomedConfig {
+        concepts: 2_000,
+        seed: 73,
+        ..SnomedConfig::default()
+    });
+    let mut g = Gazetteer::new();
+    for (i, concept) in term.ekg.concepts().enumerate() {
+        g.insert(term.ekg.name(concept), i as u32);
+    }
+    let utterance = "what drugs treat chronic renal inflammation and severe cardiac pain today";
+    let tokens = tokenize(utterance);
+    c.bench_function("gazetteer_scan", |b| b.iter(|| g.scan_tokens(&tokens)));
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let term = GeneratedTerminology::generate(&SnomedConfig {
+        concepts: 4_000,
+        seed: 74,
+        ..SnomedConfig::default()
+    });
+    let findings = term.of_hierarchy_below(Hierarchy::ClinicalFinding, 3);
+    let (a, b) = (findings[0], findings[findings.len() / 2]);
+    let anc = term.ekg.ancestors(b).into_iter().next().unwrap();
+    let mut group = c.benchmark_group("reachability");
+    group.sample_size(20);
+    group.bench_function("build_index_4k", |bch| bch.iter(|| ReachabilityIndex::build(&term.ekg)));
+    let idx = ReachabilityIndex::build(&term.ekg);
+    group.bench_function("probe_indexed", |bch| {
+        bch.iter(|| (idx.is_ancestor(anc, b), idx.is_ancestor(a, b)))
+    });
+    group.bench_function("probe_walking", |bch| {
+        bch.iter(|| (term.ekg.is_ancestor(anc, b), term.ekg.is_ancestor(a, b)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_edit_distance,
+    bench_ngram_index,
+    bench_graph_ops,
+    bench_gazetteer,
+    bench_reachability
+);
+criterion_main!(benches);

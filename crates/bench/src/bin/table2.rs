@@ -1,0 +1,39 @@
+//! Regenerate **Table 2**: overall effectiveness (P@10 / R@10 / F1) of
+//! QR, its ablations, the IC baseline, and the embedding baselines.
+//!
+//! ```text
+//! cargo run --release -p medkb-bench --bin table2 [--quick]
+//! ```
+
+use medkb_eval::relax_eval::{build_workload, evaluate_relaxation_on};
+use medkb_eval::{evaluate_relaxation, report::render_table2};
+use medkb_snomed::oracle::DEFAULT_RELEVANCE_THRESHOLD;
+use medkb_snomed::ContextTag;
+
+fn main() {
+    let stack = medkb_bench::stack_from_args();
+    let n = if std::env::args().any(|a| a == "--quick") { 30 } else { 100 };
+    let rows = evaluate_relaxation(&stack, n);
+    println!("# Table 2: Overall effectiveness ({n}-query workload)\n");
+    println!("{}", render_table2(&rows));
+    println!("95% bootstrap confidence intervals:");
+    for r in &rows {
+        println!(
+            "  {:<22} P@10 [{:.2}, {:.2}]  R@10 [{:.2}, {:.2}]",
+            r.method, r.p_ci.0, r.p_ci.1, r.r_ci.0, r.r_ci.1
+        );
+    }
+    println!(
+        "\n(paper reference F1: QR 86.40, QR-no-context 81.15, QR-no-corpus 74.39, \
+         IC 71.68, Embedding-pre-trained 62.99, Embedding-trained 75.40)"
+    );
+
+    // Per-context breakdown.
+    let workload = build_workload(&stack, n);
+    for tag in [ContextTag::Treatment, ContextTag::Risk] {
+        let sub = workload.only_tag(tag);
+        let rows = evaluate_relaxation_on(&stack, &sub, DEFAULT_RELEVANCE_THRESHOLD);
+        println!("\n## {tag:?}-context queries only ({})\n", sub.queries.len());
+        println!("{}", render_table2(&rows));
+    }
+}

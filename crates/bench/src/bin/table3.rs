@@ -1,0 +1,42 @@
+//! Regenerate **Table 3**: the user study of the conversational system
+//! with and without query relaxation (simulated SMEs; see
+//! `medkb-eval::study` for the simulation contract).
+//!
+//! ```text
+//! cargo run --release -p medkb-bench --bin table3 [--quick]
+//! ```
+
+use medkb_eval::{report::render_table3, run_user_study, StudyConfig};
+
+fn main() {
+    let stack = medkb_bench::stack_from_args();
+    let config = if std::env::args().any(|a| a == "--quick") {
+        StudyConfig::tiny(medkb_bench::EXPERIMENT_SEED)
+    } else {
+        StudyConfig { seed: medkb_bench::EXPERIMENT_SEED, ..StudyConfig::default() }
+    };
+    let report = run_user_study(&stack, &config);
+    println!(
+        "# Table 3: Watson-Assistant-style conversation with and without QR\n"
+    );
+    println!("{}", render_table3(&report));
+    for (label, task) in [
+        ("QR T1", &report.qr_t1),
+        ("QR T2", &report.qr_t2),
+        ("no-QR T1", &report.noqr_t1),
+        ("no-QR T2", &report.noqr_t2),
+    ] {
+        println!(
+            "{label}: {} graded questions, incidents: {} KB-gap, {} flow, {} unexplained, \
+             {} overload",
+            task.grades.len(),
+            task.incidents.kb_gap,
+            task.incidents.flow,
+            task.incidents.unexplained,
+            task.incidents.overload
+        );
+    }
+    println!(
+        "\n(paper reference averages: QR T1 3.73, QR T2 3.31, no-QR T1 3.06, no-QR T2 2.67)"
+    );
+}

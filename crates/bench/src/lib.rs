@@ -1,0 +1,44 @@
+//! Experiment regeneration and benchmarking support.
+//!
+//! Binaries (one per published table/figure — see DESIGN.md §4):
+//!
+//! * `table1` — mapping-method accuracy (paper Table 1),
+//! * `table2` — relaxation effectiveness (paper Table 2),
+//! * `table3` — simulated user study (paper Table 3),
+//! * `figures` — the worked numbers of Figures 4, 5 and 6,
+//! * `ablation` — the design-choice ablations of DESIGN.md §5.
+//!
+//! Criterion benches (`benches/`): ingestion scaling, online relaxation
+//! latency (the §5 complexity claims), mapping-method throughput, and
+//! substrate micro-benchmarks.
+
+#![warn(missing_docs)]
+
+use medkb_eval::pipeline::{EvalConfig, EvalStack};
+
+/// The seed all experiment binaries share (results are deterministic).
+pub const EXPERIMENT_SEED: u64 = 2020;
+
+/// Build the paper-scale stack used by the table binaries, caching the
+/// embedding models under `target/medkb-cache` so repeated table runs skip
+/// the training step.
+pub fn paper_stack() -> EvalStack {
+    let cache = std::path::Path::new("target/medkb-cache");
+    EvalStack::build_cached(EvalConfig::paper(EXPERIMENT_SEED), cache).expect("stack builds")
+}
+
+/// Build a reduced stack for quick runs (`--quick` flag of the binaries).
+pub fn quick_stack() -> EvalStack {
+    EvalStack::build(EvalConfig::tiny(EXPERIMENT_SEED)).expect("stack builds")
+}
+
+/// Parse the common `--quick` flag.
+pub fn stack_from_args() -> EvalStack {
+    if std::env::args().any(|a| a == "--quick") {
+        eprintln!("[medkb-bench] --quick: reduced world (shapes only)");
+        quick_stack()
+    } else {
+        eprintln!("[medkb-bench] building paper-scale stack (seed {EXPERIMENT_SEED})…");
+        paper_stack()
+    }
+}

@@ -1,0 +1,157 @@
+//! Configuration of the relaxation method and its ablations.
+
+/// How Eq. 2 frequencies are rolled up the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrequencyMode {
+    /// The paper-literal recursion `freq(A) = |A| + Σ freq(A_i)` over
+    /// direct children. On a multi-parent DAG a concept contributes to
+    /// *each* parent, over-counting shared subtrees — exactly what the
+    /// published equation does.
+    PaperRecursive,
+    /// Exact semantics: `freq(A) = Σ_{d ∈ {A} ∪ desc(A)} |d|`, each
+    /// descendant counted once. An ablation target (DESIGN.md §5).
+    DescendantSet,
+}
+
+/// Which matcher resolves names to external concepts (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MappingMethod {
+    /// Normalized string equality against names and synonyms.
+    Exact,
+    /// Bounded edit distance (the paper evaluates τ = 2).
+    Edit(u32),
+    /// SIF phrase-embedding nearest neighbour above a cosine threshold.
+    Embedding {
+        /// Minimum cosine similarity to accept a mapping.
+        threshold: f64,
+    },
+    /// Soundex phrase-key equality — catches phonetic misspellings edit
+    /// distance misses ("diarrea"). Keys shared by several concepts are
+    /// discarded at build time, keeping the matcher precision-first. An
+    /// extra method beyond the paper's three, ablated alongside them.
+    Phonetic,
+}
+
+impl MappingMethod {
+    /// The paper's EDIT configuration (τ = 2).
+    pub fn edit_tau2() -> Self {
+        MappingMethod::Edit(2)
+    }
+
+    /// The default embedding configuration.
+    pub fn embedding_default() -> Self {
+        MappingMethod::Embedding { threshold: 0.82 }
+    }
+}
+
+/// Full configuration of the relaxation method. The flags double as the
+/// Table 2 ablation switches.
+#[derive(Debug, Clone)]
+pub struct RelaxConfig {
+    /// Eq. 4 weight of a generalization step (paper: 0.9).
+    pub w_gen: f64,
+    /// Eq. 4 weight of a specialization step (paper: 1.0).
+    pub w_spec: f64,
+    /// Candidate search radius `r` over the customized graph.
+    pub radius: u32,
+    /// Grow the radius when fewer than `k` results are found (§5.2:
+    /// "dynamically decided if a fixed r cannot provide k results").
+    pub dynamic_radius: bool,
+    /// Upper bound for dynamic growth.
+    pub max_radius: u32,
+    /// Use the query context to select per-context frequencies
+    /// (off = QR-no-context: frequencies aggregate over all contexts).
+    pub use_context: bool,
+    /// Use corpus frequencies for IC (off = QR-no-corpus: intrinsic,
+    /// structure-only IC).
+    pub use_corpus: bool,
+    /// Apply the Eq. 4 direction-weighted path factor (off = plain IC).
+    pub use_path_weight: bool,
+    /// tf-idf-adjust raw mention counts (§5.1).
+    pub use_tfidf: bool,
+    /// Frequency rollup semantics.
+    pub frequency_mode: FrequencyMode,
+    /// Run the §5.1 sparsity customization (shortcut edges).
+    pub add_shortcuts: bool,
+    /// Matcher used for instances (offline) and query terms (online).
+    pub mapping: MappingMethod,
+    /// Online fallback: when a multi-word query term resolves to nothing,
+    /// progressively drop leading modifiers ("severe psychogenic fever" →
+    /// "psychogenic fever" → "fever") — the lightweight lookup-service
+    /// behaviour §3 alludes to. Off by default so Table 1's matcher
+    /// comparison stays pure.
+    pub strip_modifiers: bool,
+}
+
+impl Default for RelaxConfig {
+    fn default() -> Self {
+        Self {
+            w_gen: 0.9,
+            w_spec: 1.0,
+            radius: 4,
+            dynamic_radius: true,
+            max_radius: 10,
+            use_context: true,
+            use_corpus: true,
+            use_path_weight: true,
+            use_tfidf: true,
+            frequency_mode: FrequencyMode::PaperRecursive,
+            add_shortcuts: true,
+            mapping: MappingMethod::embedding_default(),
+            strip_modifiers: false,
+        }
+    }
+}
+
+impl RelaxConfig {
+    /// The QR-no-context ablation of Table 2.
+    pub fn no_context(mut self) -> Self {
+        self.use_context = false;
+        self
+    }
+
+    /// The QR-no-corpus ablation of Table 2.
+    pub fn no_corpus(mut self) -> Self {
+        self.use_corpus = false;
+        self
+    }
+
+    /// The plain IC baseline of Table 2: corpus IC, no context, no path
+    /// weighting.
+    pub fn ic_baseline(mut self) -> Self {
+        self.use_context = false;
+        self.use_path_weight = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = RelaxConfig::default();
+        assert_eq!(c.w_gen, 0.9);
+        assert_eq!(c.w_spec, 1.0);
+        assert!(c.use_context && c.use_corpus && c.use_path_weight);
+        assert_eq!(c.frequency_mode, FrequencyMode::PaperRecursive);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        assert!(!RelaxConfig::default().no_context().use_context);
+        assert!(!RelaxConfig::default().no_corpus().use_corpus);
+        let ic = RelaxConfig::default().ic_baseline();
+        assert!(!ic.use_context && !ic.use_path_weight && ic.use_corpus);
+    }
+
+    #[test]
+    fn mapping_presets() {
+        assert_eq!(MappingMethod::edit_tau2(), MappingMethod::Edit(2));
+        match MappingMethod::embedding_default() {
+            MappingMethod::Embedding { threshold } => assert!(threshold > 0.0),
+            other => panic!("{other:?}"),
+        }
+    }
+}

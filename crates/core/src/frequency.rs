@@ -1,0 +1,321 @@
+//! Concept frequencies and information content (Eq. 1–2, §5.1).
+//!
+//! `freq(A) = |A| + Σ_{A_i ⊑ A} freq(A_i)` is computed per context in one
+//! children-first topological pass (Algorithm 1 lines 12–18), normalized so
+//! the root has frequency 1, and turned into information content
+//! `IC(A) = −log freq(A)` (Eq. 1). Contexts map onto the corpus's context
+//! tags (sentence families); Example 3's aggregation — a context whose
+//! range concept has TBox descendants uses the total frequency over the
+//! descendants' contexts — falls out of that mapping, and an explicit
+//! aggregate (all tags) backs the no-context ablation.
+//!
+//! Zero-frequency concepts get half-count smoothing for IC: the corpus not
+//! mentioning a concept is evidence of extreme specificity, not of
+//! impossibility.
+
+use medkb_corpus::MentionCounts;
+use medkb_ekg::Ekg;
+use medkb_snomed::oracle::N_TAGS;
+use medkb_snomed::ContextTag;
+use medkb_types::{ExtConceptId, IdVec};
+
+use crate::config::FrequencyMode;
+
+/// Per-context (tag) normalized frequencies, corpus IC, and intrinsic IC.
+#[derive(Debug, Clone)]
+pub struct Frequencies {
+    /// Normalized rolled-up frequency per tag, `[0, 1]`.
+    per_tag: Vec<IdVec<ExtConceptId, f64>>,
+    /// Root (total) raw rolled-up weight per tag.
+    per_tag_total: [f64; N_TAGS],
+    /// Normalized frequency aggregated over all tags.
+    aggregate: IdVec<ExtConceptId, f64>,
+    /// Total raw weight of the aggregate.
+    aggregate_total: f64,
+    /// Intrinsic (structure-only) IC à la Seco et al.: `1 − ln(1+|desc|)/ln N`.
+    intrinsic: IdVec<ExtConceptId, f64>,
+}
+
+impl Frequencies {
+    /// Compute frequencies for `ekg` from corpus `counts`.
+    ///
+    /// `use_tfidf` selects tf-idf-adjusted weights over raw counts;
+    /// `mode` selects the Eq. 2 recursion semantics.
+    pub fn compute(
+        ekg: &Ekg,
+        counts: &MentionCounts,
+        mode: FrequencyMode,
+        use_tfidf: bool,
+    ) -> Self {
+        let n = ekg.len();
+        let direct = |c: ExtConceptId, tag: usize| -> f64 {
+            if use_tfidf {
+                counts.tfidf(c, tag)
+            } else {
+                counts.direct(c, tag) as f64
+            }
+        };
+
+        let mut per_tag: Vec<IdVec<ExtConceptId, f64>> = Vec::with_capacity(N_TAGS);
+        let mut per_tag_total = [0.0; N_TAGS];
+        let mut aggregate_raw: IdVec<ExtConceptId, f64> = IdVec::filled(0.0, n);
+        for tag in 0..N_TAGS {
+            let raw = match mode {
+                FrequencyMode::PaperRecursive => rollup_recursive(ekg, |c| direct(c, tag)),
+                FrequencyMode::DescendantSet => rollup_descendant_set(ekg, |c| direct(c, tag)),
+            };
+            let total = raw[ekg.root()];
+            per_tag_total[tag] = total;
+            for (c, &v) in raw.iter() {
+                aggregate_raw[c] += v;
+            }
+            let normalized: IdVec<ExtConceptId, f64> = raw
+                .iter()
+                .map(|(_, &v)| if total > 0.0 { v / total } else { 0.0 })
+                .collect();
+            per_tag.push(normalized);
+        }
+        let aggregate_total: f64 = per_tag_total.iter().sum();
+        let aggregate: IdVec<ExtConceptId, f64> = aggregate_raw
+            .iter()
+            .map(|(_, &v)| if aggregate_total > 0.0 { v / aggregate_total } else { 0.0 })
+            .collect();
+
+        // Intrinsic IC.
+        let ln_n = (n as f64).ln().max(f64::MIN_POSITIVE);
+        let intrinsic: IdVec<ExtConceptId, f64> = (0..n)
+            .map(|i| {
+                let c = medkb_types::Id::from_usize(i);
+                let desc = ekg.descendants(c).len() as f64;
+                (1.0 - (1.0 + desc).ln() / ln_n).max(0.0)
+            })
+            .collect();
+
+        Self { per_tag, per_tag_total, aggregate, aggregate_total, intrinsic }
+    }
+
+    /// Normalized frequency of `concept` in context `tag` (root = 1).
+    pub fn freq(&self, concept: ExtConceptId, tag: ContextTag) -> f64 {
+        self.per_tag[tag.index()][concept]
+    }
+
+    /// Normalized frequency aggregated over all contexts (the no-context
+    /// fallback of §5.2).
+    pub fn freq_aggregate(&self, concept: ExtConceptId) -> f64 {
+        self.aggregate[concept]
+    }
+
+    /// Corpus IC (Eq. 1) of `concept` in context `tag`; `tag = None`
+    /// aggregates over all contexts. Zero frequencies are smoothed to half
+    /// a count.
+    pub fn ic(&self, concept: ExtConceptId, tag: Option<ContextTag>) -> f64 {
+        let (f, total) = match tag {
+            Some(t) => (self.freq(concept, t), self.per_tag_total[t.index()]),
+            None => (self.freq_aggregate(concept), self.aggregate_total),
+        };
+        if total <= 0.0 {
+            // No corpus signal at all for this context: IC degenerates.
+            return 0.0;
+        }
+        if f > 0.0 {
+            -f.ln()
+        } else {
+            -(0.5 / total).ln()
+        }
+    }
+
+    /// Intrinsic (structure-only) IC of `concept`, in `[0, 1]`.
+    pub fn intrinsic_ic(&self, concept: ExtConceptId) -> f64 {
+        self.intrinsic[concept]
+    }
+
+    /// Root total raw weight per tag (diagnostics).
+    pub fn total(&self, tag: ContextTag) -> f64 {
+        self.per_tag_total[tag.index()]
+    }
+}
+
+/// Paper-literal Eq. 2 rollup: one children-first pass, each child's
+/// rolled-up frequency added to every native parent.
+fn rollup_recursive<F: Fn(ExtConceptId) -> f64>(ekg: &Ekg, direct: F) -> IdVec<ExtConceptId, f64> {
+    let mut freq: IdVec<ExtConceptId, f64> = IdVec::filled(0.0, ekg.len());
+    for &c in ekg.topo_children_first() {
+        let mut f = direct(c);
+        for child in ekg.native_children(c) {
+            f += freq[child];
+        }
+        freq[c] = f;
+    }
+    freq
+}
+
+/// Exact rollup: every concept's direct weight counted once per ancestor.
+fn rollup_descendant_set<F: Fn(ExtConceptId) -> f64>(
+    ekg: &Ekg,
+    direct: F,
+) -> IdVec<ExtConceptId, f64> {
+    let mut freq: IdVec<ExtConceptId, f64> = IdVec::filled(0.0, ekg.len());
+    for c in ekg.concepts() {
+        let d = direct(c);
+        freq[c] += d;
+        if d != 0.0 {
+            for anc in ekg.ancestors(c) {
+                freq[anc] += d;
+            }
+        }
+    }
+    freq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medkb_snomed::figures::paper_fragment;
+    use std::collections::HashMap;
+
+    /// Build MentionCounts from the Figure 4 fragment's pinned direct
+    /// counts (Treatment = Indication context, Risk = Risk context).
+    fn fig4_counts() -> (medkb_ekg::Ekg, MentionCounts) {
+        let f = paper_fragment();
+        let mut direct: HashMap<ExtConceptId, [u64; N_TAGS]> = HashMap::new();
+        let mut doc_freq: HashMap<ExtConceptId, u32> = HashMap::new();
+        for &(name, treat, risk) in &f.fig4_direct_counts {
+            let c = f.concept(name);
+            let mut row = [0u64; N_TAGS];
+            row[ContextTag::Treatment.index()] = treat;
+            row[ContextTag::Risk.index()] = risk;
+            direct.insert(c, row);
+            // Spread document frequencies so idf differs across concepts.
+            doc_freq.insert(c, 1 + (treat / 500) as u32);
+        }
+        (f.ekg.clone(), MentionCounts::from_direct(direct, doc_freq, 100))
+    }
+
+    #[test]
+    fn figure4_treatment_rollup_hits_published_totals() {
+        let (ekg, counts) = fig4_counts();
+        let freqs = Frequencies::compute(&ekg, &counts, FrequencyMode::PaperRecursive, false);
+        let total = freqs.total(ContextTag::Treatment);
+        let raw = |name: &str| freqs.freq(ekg.lookup_name(name)[0], ContextTag::Treatment) * total;
+        assert_eq!(raw("headache").round() as u64, 18_000);
+        assert_eq!(raw("craniofacial pain").round() as u64, 18_878);
+        assert_eq!(raw("pain of head and neck region").round() as u64, 19_164);
+    }
+
+    #[test]
+    fn figure4_risk_rollup_hits_published_totals() {
+        let (ekg, counts) = fig4_counts();
+        let freqs = Frequencies::compute(&ekg, &counts, FrequencyMode::PaperRecursive, false);
+        let total = freqs.total(ContextTag::Risk);
+        let raw = |name: &str| freqs.freq(ekg.lookup_name(name)[0], ContextTag::Risk) * total;
+        assert_eq!(raw("craniofacial pain").round() as u64, 1_400);
+        assert_eq!(raw("pain of head and neck region").round() as u64, 1_656);
+    }
+
+    #[test]
+    fn root_has_normalized_frequency_one() {
+        let (ekg, counts) = fig4_counts();
+        let freqs = Frequencies::compute(&ekg, &counts, FrequencyMode::PaperRecursive, false);
+        assert!((freqs.freq(ekg.root(), ContextTag::Treatment) - 1.0).abs() < 1e-12);
+        assert!((freqs.freq_aggregate(ekg.root()) - 1.0).abs() < 1e-12);
+        assert_eq!(freqs.ic(ekg.root(), Some(ContextTag::Treatment)), 0.0);
+    }
+
+    #[test]
+    fn ic_decreases_towards_the_root() {
+        let (ekg, counts) = fig4_counts();
+        let freqs = Frequencies::compute(&ekg, &counts, FrequencyMode::PaperRecursive, false);
+        let leaf = ekg.lookup_name("frequent headache")[0];
+        let mid = ekg.lookup_name("craniofacial pain")[0];
+        let top = ekg.lookup_name("pain")[0];
+        let t = Some(ContextTag::Treatment);
+        assert!(freqs.ic(leaf, t) > freqs.ic(mid, t));
+        assert!(freqs.ic(mid, t) > freqs.ic(top, t));
+    }
+
+    #[test]
+    fn zero_frequency_gets_smoothed_not_infinite() {
+        let (ekg, counts) = fig4_counts();
+        let freqs = Frequencies::compute(&ekg, &counts, FrequencyMode::PaperRecursive, false);
+        let unmentioned = ekg.lookup_name("hypothermia")[0];
+        let ic = freqs.ic(unmentioned, Some(ContextTag::Treatment));
+        assert!(ic.is_finite());
+        // Smoothed IC exceeds any mentioned concept's IC.
+        let leaf = ekg.lookup_name("pain in throat")[0];
+        assert!(ic > freqs.ic(leaf, Some(ContextTag::Treatment)));
+    }
+
+    #[test]
+    fn modes_agree_on_trees() {
+        // The fragment is a tree (no multi-parent), so both rollups match.
+        let (ekg, counts) = fig4_counts();
+        let a = Frequencies::compute(&ekg, &counts, FrequencyMode::PaperRecursive, false);
+        let b = Frequencies::compute(&ekg, &counts, FrequencyMode::DescendantSet, false);
+        for c in ekg.concepts() {
+            assert!(
+                (a.freq(c, ContextTag::Treatment) - b.freq(c, ContextTag::Treatment)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn modes_diverge_on_diamonds() {
+        // Diamond: child under two parents is double-counted by the
+        // paper-literal recursion at the grandparent.
+        let mut b = medkb_ekg::EkgBuilder::new();
+        let root = b.concept("root");
+        let p1 = b.concept("p1");
+        let p2 = b.concept("p2");
+        let child = b.concept("child");
+        b.is_a(p1, root);
+        b.is_a(p2, root);
+        b.is_a(child, p1);
+        b.is_a(child, p2);
+        let ekg = b.build().unwrap();
+        let mut direct = HashMap::new();
+        direct.insert(child, {
+            let mut row = [0u64; N_TAGS];
+            row[0] = 10;
+            row
+        });
+        let counts = MentionCounts::from_direct(direct, HashMap::new(), 10);
+        let rec = Frequencies::compute(&ekg, &counts, FrequencyMode::PaperRecursive, false);
+        let exact = Frequencies::compute(&ekg, &counts, FrequencyMode::DescendantSet, false);
+        let tag = ContextTag::Treatment;
+        // Recursive: root total = 20 (child counted via both parents);
+        // exact: root total = 10.
+        assert!((rec.total(tag) - 20.0).abs() < 1e-12);
+        assert!((exact.total(tag) - 10.0).abs() < 1e-12);
+        // Normalized child frequency is therefore 0.5 vs 1.0.
+        assert!((rec.freq(child, tag) - 0.5).abs() < 1e-12);
+        assert!((exact.freq(child, tag) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intrinsic_ic_monotone() {
+        let (ekg, counts) = fig4_counts();
+        let freqs = Frequencies::compute(&ekg, &counts, FrequencyMode::PaperRecursive, false);
+        let leaf = ekg.lookup_name("frequent headache")[0];
+        let mid = ekg.lookup_name("pain")[0];
+        assert!(freqs.intrinsic_ic(leaf) > freqs.intrinsic_ic(mid));
+        assert!(freqs.intrinsic_ic(ekg.root()) < 0.2);
+        assert!((freqs.intrinsic_ic(leaf) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tfidf_changes_weights_but_not_structure() {
+        let (ekg, counts) = fig4_counts();
+        let raw = Frequencies::compute(&ekg, &counts, FrequencyMode::PaperRecursive, false);
+        let tfidf = Frequencies::compute(&ekg, &counts, FrequencyMode::PaperRecursive, true);
+        let t = ContextTag::Treatment;
+        // Root normalized stays 1 either way.
+        assert!((tfidf.freq(ekg.root(), t) - 1.0).abs() < 1e-12);
+        // Monotonicity along the chain is preserved.
+        let leaf = ekg.lookup_name("headache")[0];
+        let mid = ekg.lookup_name("craniofacial pain")[0];
+        assert!(tfidf.freq(mid, t) >= tfidf.freq(leaf, t));
+        // But the actual values differ from the raw ones.
+        assert!((tfidf.freq(leaf, t) - raw.freq(leaf, t)).abs() > 1e-9);
+    }
+}

@@ -1,0 +1,266 @@
+//! Offline external knowledge source ingestion (Algorithm 1, §5.1).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use medkb_corpus::MentionCounts;
+use medkb_ekg::Ekg;
+use medkb_embed::SifModel;
+use medkb_kb::Kb;
+use medkb_ontology::context::generate_contexts;
+use medkb_ontology::ContextSpec;
+use medkb_snomed::ContextTag;
+use medkb_types::{ContextId, ExtConceptId, InstanceId, Result};
+
+use crate::config::RelaxConfig;
+use crate::frequency::Frequencies;
+use crate::mapping::ConceptMapper;
+
+/// The artifacts Algorithm 1 produces: contexts `C`, frequencies `F`,
+/// mappings `M`, flagged external concepts `FEC` — plus the customized
+/// graph and the indexes the online phase needs.
+#[derive(Debug, Clone)]
+pub struct IngestOutput {
+    /// The external knowledge source, with shortcut edges added.
+    pub ekg: Ekg,
+    /// The set of possible contexts `C` (Algorithm 1 lines 1–4).
+    pub contexts: Vec<ContextSpec>,
+    /// Context → semantic tag (which corpus sentence family measures it).
+    pub tag_of: HashMap<ContextId, ContextTag>,
+    /// Per-context concept frequencies and IC (`F`).
+    pub freqs: Frequencies,
+    /// Instance → external concept mappings (`M`).
+    pub mappings: HashMap<InstanceId, ExtConceptId>,
+    /// Reverse index: external concept → its mapped instances.
+    pub instances_of: HashMap<ExtConceptId, Vec<InstanceId>>,
+    /// Flagged external concepts (`FEC`): those with a KB instance.
+    pub flagged: HashSet<ExtConceptId>,
+    /// The mapper, reused online for query terms (Algorithm 2 line 1 uses
+    /// "the same mapping function as in Algorithm 1").
+    pub mapper: ConceptMapper,
+    /// Number of shortcut edges the customization added.
+    pub shortcuts_added: usize,
+}
+
+/// Minimum depth an ancestor must have to receive a shortcut edge.
+///
+/// Algorithm 1 read literally connects every flagged concept to *all* of
+/// its non-parent ancestors, including the root and the hierarchy heads —
+/// which would turn the top of the taxonomy into a hub that puts every
+/// flagged concept within 2 hops of every other and makes the radius
+/// meaningless. Real deployments prune those top levels; we skip ancestors
+/// above this depth (documented and ablated in DESIGN.md §5 — set the
+/// constant's effect aside by raising `radius`).
+pub const SHORTCUT_MIN_ANCESTOR_DEPTH: u32 = 2;
+
+/// Run Algorithm 1: ingest the external knowledge source `ekg` (consumed
+/// and customized) against the knowledge base `kb` with corpus statistics
+/// `counts`.
+///
+/// `sif` is required when `config.mapping` is the embedding flavour.
+pub fn ingest(
+    kb: &Kb,
+    mut ekg: Ekg,
+    counts: &MentionCounts,
+    sif: Option<Arc<SifModel>>,
+    config: &RelaxConfig,
+) -> Result<IngestOutput> {
+    // —— Context generation (lines 1–4) ——
+    let ontology = kb.ontology();
+    let contexts = generate_contexts(ontology);
+    let tag_of: HashMap<ContextId, ContextTag> = contexts
+        .iter()
+        .map(|c| {
+            let rel = ontology.relationship(c.relationship);
+            (c.id, ContextTag::from_relationship(ontology.concept_name(rel.domain), &rel.name))
+        })
+        .collect();
+
+    // —— Mappings (lines 5–11) ——
+    let mapper = ConceptMapper::build(&ekg, config.mapping, sif)?;
+    let mut mappings: HashMap<InstanceId, ExtConceptId> = HashMap::new();
+    let mut instances_of: HashMap<ExtConceptId, Vec<InstanceId>> = HashMap::new();
+    let mut flagged: HashSet<ExtConceptId> = HashSet::new();
+    for (id, instance) in kb.instances() {
+        if let Some(concept) = mapper.map(&ekg, &instance.name) {
+            mappings.insert(id, concept);
+            instances_of.entry(concept).or_default().push(id);
+            flagged.insert(concept);
+        }
+    }
+
+    // —— Concept frequencies (lines 12–18) ——
+    // Computed on the native graph; shortcut edges never contribute to the
+    // Eq. 2 rollup (they duplicate paths that are already counted).
+    let freqs = Frequencies::compute(&ekg, counts, config.frequency_mode, config.use_tfidf);
+
+    // —— Sparsity customization (lines 19–23, Figure 5) ——
+    let mut shortcuts_added = 0usize;
+    if config.add_shortcuts {
+        let order: Vec<ExtConceptId> = ekg.topo_children_first().to_vec();
+        for a in order {
+            let a_flagged = flagged.contains(&a);
+            let parents: HashSet<ExtConceptId> = ekg.parents(a).iter().map(|e| e.to).collect();
+            // Upward distances double as |shortestPath(A, B)|.
+            for (b, dist) in ekg.upward_distances(a) {
+                if parents.contains(&b)
+                    || dist < 2
+                    || ekg.depth(b) < SHORTCUT_MIN_ANCESTOR_DEPTH
+                    || !(a_flagged || flagged.contains(&b))
+                {
+                    continue;
+                }
+                ekg.add_shortcut(a, b, dist)?;
+                shortcuts_added += 1;
+            }
+        }
+    }
+
+    Ok(IngestOutput {
+        ekg,
+        contexts,
+        tag_of,
+        freqs,
+        mappings,
+        instances_of,
+        flagged,
+        mapper,
+        shortcuts_added,
+    })
+}
+
+impl IngestOutput {
+    /// The semantic tag of a context.
+    pub fn tag(&self, context: ContextId) -> ContextTag {
+        self.tag_of.get(&context).copied().unwrap_or(ContextTag::General)
+    }
+
+    /// Instances mapped to `concept` (empty for unflagged concepts).
+    pub fn instances(&self, concept: ExtConceptId) -> &[InstanceId] {
+        self.instances_of.get(&concept).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MappingMethod;
+    use medkb_corpus::{Corpus, CorpusConfig, CorpusGenerator};
+    use medkb_snomed::{MedWorld, WorldConfig};
+
+    fn setup() -> (MedWorld, Corpus, MentionCounts) {
+        let world = MedWorld::generate(&WorldConfig::tiny(71));
+        let corpus = CorpusGenerator::new(&world.terminology, &world.oracle)
+            .generate(&CorpusConfig::tiny(72));
+        let counts = MentionCounts::count(&corpus, &world.terminology.ekg);
+        (world, corpus, counts)
+    }
+
+    fn exact_config() -> RelaxConfig {
+        RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() }
+    }
+
+    #[test]
+    fn produces_contexts_for_every_relationship() {
+        let (world, _, counts) = setup();
+        let out =
+            ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &exact_config())
+                .unwrap();
+        assert_eq!(out.contexts.len(), world.kb.ontology().relationship_count());
+        assert_eq!(out.tag(world.treatment_context()), ContextTag::Treatment);
+    }
+
+    #[test]
+    fn exact_mappings_are_all_correct() {
+        let (world, _, counts) = setup();
+        let out =
+            ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &exact_config())
+                .unwrap();
+        assert!(!out.mappings.is_empty());
+        for (&inst, &concept) in &out.mappings {
+            assert_eq!(
+                world.origins[inst].concept,
+                Some(concept),
+                "exact mapping must match gold for {:?}",
+                world.kb.name(inst)
+            );
+        }
+    }
+
+    #[test]
+    fn flagged_equals_mapped_concepts() {
+        let (world, _, counts) = setup();
+        let out =
+            ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &exact_config())
+                .unwrap();
+        let from_mappings: HashSet<ExtConceptId> = out.mappings.values().copied().collect();
+        assert_eq!(out.flagged, from_mappings);
+        for &c in &out.flagged {
+            assert!(!out.instances(c).is_empty());
+        }
+    }
+
+    #[test]
+    fn shortcuts_added_and_counted() {
+        let (world, _, counts) = setup();
+        let out =
+            ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &exact_config())
+                .unwrap();
+        assert!(out.shortcuts_added > 0);
+        assert_eq!(out.ekg.shortcut_count(), out.shortcuts_added);
+        // Original graph untouched in the world copy.
+        assert_eq!(world.terminology.ekg.shortcut_count(), 0);
+    }
+
+    #[test]
+    fn shortcuts_can_be_disabled() {
+        let (world, _, counts) = setup();
+        let config = RelaxConfig { add_shortcuts: false, ..exact_config() };
+        let out =
+            ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &config).unwrap();
+        assert_eq!(out.shortcuts_added, 0);
+        assert_eq!(out.ekg.shortcut_count(), 0);
+    }
+
+    #[test]
+    fn figure5_shortcut_created() {
+        // In the paper fragment, flag "kidney disease" via a KB whose only
+        // instance is kidney disease; the 3-hop descendant must get a
+        // shortcut of original distance 3.
+        let f = medkb_snomed::figures::paper_fragment();
+        let mut ob = medkb_ontology::OntologyBuilder::new();
+        let finding = ob.concept("Finding");
+        let drug = ob.concept("Drug");
+        ob.relationship("treats", drug, finding);
+        let onto = ob.build().unwrap();
+        let mut kb = medkb_kb::KbBuilder::new(onto);
+        let fc = kb.ontology().lookup_concept("Finding").unwrap();
+        kb.instance("kidney disease", fc);
+        let kb = kb.build().unwrap();
+        let counts = MentionCounts::from_direct(HashMap::new(), HashMap::new(), 1);
+        let out = ingest(&kb, f.ekg.clone(), &counts, None, &exact_config()).unwrap();
+        let deep = out.ekg.lookup_name("chronic kidney disease stage 1 due to hypertension")[0];
+        let kd = out.ekg.lookup_name("kidney disease")[0];
+        let edge = out
+            .ekg
+            .parents(deep)
+            .iter()
+            .find(|e| e.to == kd)
+            .expect("figure 5 shortcut must exist");
+        assert!(edge.shortcut);
+        assert_eq!(edge.weight, 3, "original distance preserved on the edge");
+        // One-hop now.
+        assert!(out.ekg.neighborhood(deep, 1).iter().any(|&(c, _)| c == kd));
+    }
+
+    #[test]
+    fn unmappable_instances_stay_unmapped_under_exact() {
+        let (world, _, counts) = setup();
+        let out =
+            ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &exact_config())
+                .unwrap();
+        for inst in world.instances_with_shape(medkb_snomed::NameShape::Unmappable) {
+            assert!(!out.mappings.contains_key(&inst));
+        }
+    }
+}

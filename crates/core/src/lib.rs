@@ -1,0 +1,44 @@
+//! The paper's contribution: two-phase, context-aware query relaxation
+//! over a medical knowledge base backed by an external knowledge source.
+//!
+//! * **Offline** — [`ingest`] implements Algorithm 1: context generation
+//!   from the domain ontology, instance → external-concept mapping with a
+//!   pluggable matcher ([`mapping`]), per-context concept frequencies over
+//!   the curation corpus ([`frequency`], Eq. 1–2, tf-idf adjusted), and the
+//!   sparsity customization that adds shortcut edges between flagged
+//!   concepts and their ancestors (Figure 5).
+//! * **Online** — [`relax`] implements Algorithm 2: resolve the query term
+//!   to an external concept, gather flagged concepts within radius `r`
+//!   (optionally growing the radius until `k` results exist), rank by the
+//!   novel similarity metric ([`similarity`], Eq. 5 = direction-weighted
+//!   path factor × context-aware IC similarity), and return KB instances.
+//! * **Baselines and ablations** — [`baselines`] provides the Table 2
+//!   competitors (plain IC, embedding rankers, Wu-Palmer) and the
+//!   configuration flags in [`config`] switch off individual signals
+//!   (QR-no-context, QR-no-corpus).
+//! * **Weight learning** — [`weights`] fits the generalization /
+//!   specialization edge weights by logistic regression, the procedure
+//!   §5.2 sketches (the paper's empirical values 0.9 / 1.0 are the
+//!   defaults).
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod feedback;
+pub mod config;
+pub mod frequency;
+pub mod ingest;
+pub mod mapping;
+pub mod pipeline;
+pub mod relax;
+pub mod similarity;
+pub mod weights;
+
+pub use config::{FrequencyMode, MappingMethod, RelaxConfig};
+pub use feedback::{Feedback, FeedbackStore};
+pub use frequency::Frequencies;
+pub use ingest::{ingest, IngestOutput};
+pub use mapping::ConceptMapper;
+pub use pipeline::RelaxationPipeline;
+pub use relax::{QueryRelaxer, RelaxedAnswer, RelaxationResult};
+pub use similarity::QrScorer;

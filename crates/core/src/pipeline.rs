@@ -1,0 +1,172 @@
+//! A fluent builder over the two-phase pipeline.
+//!
+//! [`crate::ingest`] takes five positional arguments; downstream users
+//! assembling a system from their own KB / terminology / corpus get a
+//! builder that names them and produces the ready [`QueryRelaxer`]:
+//!
+//! ```
+//! # use medkb_core::pipeline::RelaxationPipeline;
+//! # use medkb_core::{MappingMethod, RelaxConfig};
+//! # use medkb_corpus::MentionCounts;
+//! # use std::collections::HashMap;
+//! # let fragment = medkb_snomed::figures::paper_fragment();
+//! # let mut ob = medkb_ontology::OntologyBuilder::new();
+//! # let drug = ob.concept("Drug");
+//! # let finding = ob.concept("Finding");
+//! # ob.relationship("treats", drug, finding);
+//! # let mut kbb = medkb_kb::KbBuilder::new(ob.build()?);
+//! # let fc = kbb.ontology().lookup_concept("Finding").unwrap();
+//! # kbb.instance("kidney disease", fc);
+//! # let kb = kbb.build()?;
+//! let relaxer = RelaxationPipeline::builder()
+//!     .kb(kb)
+//!     .terminology(fragment.ekg.clone())
+//!     .counts(MentionCounts::from_direct(HashMap::new(), HashMap::new(), 1))
+//!     .config(RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() })
+//!     .build()?;
+//! assert!(relaxer.relax("pyelectasia", None, 3).is_ok());
+//! # Ok::<(), medkb_types::MedKbError>(())
+//! ```
+
+use std::sync::Arc;
+
+use medkb_corpus::MentionCounts;
+use medkb_ekg::Ekg;
+use medkb_embed::SifModel;
+use medkb_kb::Kb;
+use medkb_types::{MedKbError, Result};
+
+use crate::config::RelaxConfig;
+use crate::ingest::ingest;
+use crate::relax::QueryRelaxer;
+
+/// Namespace for the builder (the pipeline *is* the [`QueryRelaxer`]).
+pub struct RelaxationPipeline;
+
+impl RelaxationPipeline {
+    /// Start assembling a pipeline.
+    pub fn builder() -> RelaxationPipelineBuilder {
+        RelaxationPipelineBuilder::default()
+    }
+}
+
+/// Collects the pipeline inputs; see [`RelaxationPipeline::builder`].
+#[derive(Default)]
+pub struct RelaxationPipelineBuilder {
+    kb: Option<Kb>,
+    terminology: Option<Ekg>,
+    counts: Option<MentionCounts>,
+    sif: Option<Arc<SifModel>>,
+    config: Option<RelaxConfig>,
+}
+
+impl RelaxationPipelineBuilder {
+    /// The knowledge base (required).
+    pub fn kb(mut self, kb: Kb) -> Self {
+        self.kb = Some(kb);
+        self
+    }
+
+    /// The external knowledge source (required; consumed and customized).
+    pub fn terminology(mut self, ekg: Ekg) -> Self {
+        self.terminology = Some(ekg);
+        self
+    }
+
+    /// Corpus mention statistics (required; pass an empty
+    /// [`MentionCounts`] to run purely structural).
+    pub fn counts(mut self, counts: MentionCounts) -> Self {
+        self.counts = Some(counts);
+        self
+    }
+
+    /// A fitted SIF model (required only for embedding mapping).
+    pub fn sif(mut self, sif: Arc<SifModel>) -> Self {
+        self.sif = Some(sif);
+        self
+    }
+
+    /// The relaxation configuration (defaults to [`RelaxConfig::default`]).
+    pub fn config(mut self, config: RelaxConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Run Algorithm 1 and return the online engine.
+    ///
+    /// # Errors
+    /// [`MedKbError::InvalidArgument`] for missing required inputs, plus
+    /// everything [`ingest`] can report.
+    pub fn build(self) -> Result<QueryRelaxer> {
+        let kb = self.kb.ok_or_else(|| MedKbError::invalid("pipeline requires a kb"))?;
+        let terminology = self
+            .terminology
+            .ok_or_else(|| MedKbError::invalid("pipeline requires a terminology"))?;
+        let counts =
+            self.counts.ok_or_else(|| MedKbError::invalid("pipeline requires counts"))?;
+        let config = self.config.unwrap_or_default();
+        let ingested = ingest(&kb, terminology, &counts, self.sif, &config)?;
+        Ok(QueryRelaxer::new(ingested, config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MappingMethod;
+    use std::collections::HashMap;
+
+    fn inputs() -> (Kb, Ekg, MentionCounts) {
+        let fragment = medkb_snomed::figures::paper_fragment();
+        let mut ob = medkb_ontology::OntologyBuilder::new();
+        let drug = ob.concept("Drug");
+        let finding = ob.concept("Finding");
+        ob.relationship("treats", drug, finding);
+        let mut kbb = medkb_kb::KbBuilder::new(ob.build().unwrap());
+        let fc = kbb.ontology().lookup_concept("Finding").unwrap();
+        kbb.instance("kidney disease", fc);
+        kbb.instance("fever", fc);
+        (
+            kbb.build().unwrap(),
+            fragment.ekg,
+            MentionCounts::from_direct(HashMap::new(), HashMap::new(), 1),
+        )
+    }
+
+    #[test]
+    fn builds_a_working_relaxer() {
+        let (kb, ekg, counts) = inputs();
+        let relaxer = RelaxationPipeline::builder()
+            .kb(kb)
+            .terminology(ekg)
+            .counts(counts)
+            .config(RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() })
+            .build()
+            .unwrap();
+        let res = relaxer.relax("pyelectasia", None, 3).unwrap();
+        assert!(!res.answers.is_empty());
+    }
+
+    #[test]
+    fn missing_inputs_are_reported_by_name() {
+        let (kb, ekg, counts) = inputs();
+        let err = RelaxationPipeline::builder().terminology(ekg).counts(counts).build();
+        assert!(matches!(err, Err(MedKbError::InvalidArgument { ref detail }) if detail.contains("kb")));
+        let err = RelaxationPipeline::builder().kb(kb).build();
+        assert!(
+            matches!(err, Err(MedKbError::InvalidArgument { ref detail }) if detail.contains("terminology"))
+        );
+    }
+
+    #[test]
+    fn embedding_without_model_fails_at_build() {
+        let (kb, ekg, counts) = inputs();
+        let err = RelaxationPipeline::builder()
+            .kb(kb)
+            .terminology(ekg)
+            .counts(counts)
+            .config(RelaxConfig::default()) // embedding mapping, no SIF
+            .build();
+        assert!(err.is_err());
+    }
+}

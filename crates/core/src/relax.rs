@@ -1,0 +1,451 @@
+//! Online query relaxation (Algorithm 2, §5.2).
+
+use medkb_snomed::ContextTag;
+use medkb_types::{ContextId, ExtConceptId, InstanceId, MedKbError, Result};
+
+use crate::config::RelaxConfig;
+use crate::ingest::IngestOutput;
+use crate::similarity::QrScorer;
+
+/// One relaxed answer: a flagged external concept with its score and the
+/// KB instances it maps to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelaxedAnswer {
+    /// The semantically related external concept.
+    pub concept: ExtConceptId,
+    /// Eq. 5 similarity to the query concept.
+    pub score: f64,
+    /// Hop distance in the customized graph at which it was found.
+    pub hops: u32,
+    /// The KB instances mapped to the concept.
+    pub instances: Vec<InstanceId>,
+}
+
+/// The outcome of one relaxation call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelaxationResult {
+    /// The external concept the query term resolved to.
+    pub query_concept: ExtConceptId,
+    /// The radius actually used (≥ the configured radius when dynamic
+    /// growth kicked in).
+    pub radius_used: u32,
+    /// Ranked answers, best first, truncated at `k` *instances*.
+    pub answers: Vec<RelaxedAnswer>,
+}
+
+impl RelaxationResult {
+    /// The returned instances, flattened in rank order.
+    pub fn instances(&self) -> Vec<InstanceId> {
+        self.answers.iter().flat_map(|a| a.instances.iter().copied()).collect()
+    }
+
+    /// The ranked concepts.
+    pub fn concepts(&self) -> Vec<ExtConceptId> {
+        self.answers.iter().map(|a| a.concept).collect()
+    }
+}
+
+/// The online relaxation engine: owns the ingestion output and answers
+/// `[query term, context]` inputs with top-k semantically related KB
+/// instances.
+#[derive(Debug, Clone)]
+pub struct QueryRelaxer {
+    ingested: IngestOutput,
+    config: RelaxConfig,
+}
+
+impl QueryRelaxer {
+    /// Wrap an ingestion output with the runtime configuration.
+    pub fn new(ingested: IngestOutput, config: RelaxConfig) -> Self {
+        Self { ingested, config }
+    }
+
+    /// The ingestion artifacts (read access for integrations).
+    pub fn ingested(&self) -> &IngestOutput {
+        &self.ingested
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RelaxConfig {
+        &self.config
+    }
+
+    /// Resolve a query term to its external concept (Algorithm 2 line 1).
+    ///
+    /// With [`RelaxConfig::strip_modifiers`] enabled, a failed lookup
+    /// retries with leading words dropped one at a time (down to the last
+    /// two words) — users often prepend severity words the terminology
+    /// does not carry.
+    pub fn resolve_term(&self, term: &str) -> Result<ExtConceptId> {
+        if let Some(c) = self.ingested.mapper.map(&self.ingested.ekg, term) {
+            return Ok(c);
+        }
+        if self.config.strip_modifiers {
+            let words = medkb_text::tokenize(term);
+            for start in 1..words.len().saturating_sub(1) {
+                let stripped = words[start..].join(" ");
+                if let Some(c) = self.ingested.mapper.map(&self.ingested.ekg, &stripped) {
+                    return Ok(c);
+                }
+            }
+        }
+        Err(MedKbError::not_found("external concept", term))
+    }
+
+    /// Run Algorithm 2 for `[term, context]`, returning up to `k`
+    /// instances' worth of ranked answers.
+    ///
+    /// # Errors
+    /// [`MedKbError::NotFound`] if the term resolves to no external concept
+    /// even under the configured approximate matcher, or
+    /// [`MedKbError::InvalidArgument`] for `k = 0`.
+    pub fn relax(&self, term: &str, context: Option<ContextId>, k: usize) -> Result<RelaxationResult> {
+        let query = self.resolve_term(term)?;
+        self.relax_concept(query, context, k)
+    }
+
+    /// Algorithm 2 starting from an already-resolved query concept.
+    pub fn relax_concept(
+        &self,
+        query: ExtConceptId,
+        context: Option<ContextId>,
+        k: usize,
+    ) -> Result<RelaxationResult> {
+        self.relax_concept_with_feedback(query, context, k, None)
+    }
+
+    /// Algorithm 2 with relevance-feedback rescoring (§7.2's proposed
+    /// extension; see [`crate::feedback`]). Pass `None` for plain Eq. 5.
+    pub fn relax_concept_with_feedback(
+        &self,
+        query: ExtConceptId,
+        context: Option<ContextId>,
+        k: usize,
+        feedback: Option<&crate::feedback::FeedbackStore>,
+    ) -> Result<RelaxationResult> {
+        if k == 0 {
+            return Err(MedKbError::invalid("k must be positive"));
+        }
+        let tag: Option<ContextTag> = context.map(|c| self.ingested.tag(c));
+
+        // Candidate gathering (line 2), with dynamic radius growth.
+        let mut radius = self.config.radius.max(1);
+        let mut candidates: Vec<(ExtConceptId, u32)>;
+        loop {
+            candidates = self
+                .ingested
+                .ekg
+                .neighborhood(query, radius)
+                .into_iter()
+                .filter(|(c, _)| self.ingested.flagged.contains(c))
+                .collect();
+            let reachable_instances: usize =
+                candidates.iter().map(|(c, _)| self.ingested.instances(*c).len()).sum();
+            if !self.config.dynamic_radius
+                || reachable_instances >= k
+                || radius >= self.config.max_radius
+            {
+                break;
+            }
+            radius += 1;
+        }
+
+        // Scoring and ranking (line 3).
+        let scorer = QrScorer::new(&self.ingested.ekg, &self.ingested.freqs, &self.config);
+        let mut scored: Vec<RelaxedAnswer> = candidates
+            .into_iter()
+            .map(|(concept, hops)| {
+                let mut score = scorer.score(query, concept, tag);
+                if let (Some(store), Some(t)) = (feedback, tag) {
+                    score *= store.adjustment(query, concept, t);
+                }
+                RelaxedAnswer {
+                    concept,
+                    score,
+                    hops,
+                    instances: self.ingested.instances(concept).to_vec(),
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then(a.hops.cmp(&b.hops))
+                .then(a.concept.cmp(&b.concept))
+        });
+
+        // Result accumulation until k instances (lines 4–8).
+        let mut answers = Vec::new();
+        let mut returned = 0usize;
+        for ans in scored {
+            if returned >= k {
+                break;
+            }
+            returned += ans.instances.len();
+            answers.push(ans);
+        }
+
+        Ok(RelaxationResult { query_concept: query, radius_used: radius, answers })
+    }
+
+    /// Render a human-readable explanation of why `candidate` scores as it
+    /// does for `query` — the LCS, the context-sensitive information
+    /// contents, and the Eq. 4 path factor. Integration surfaces (the CLI,
+    /// the conversational engine's debugging view) show this to users.
+    pub fn explain(
+        &self,
+        query: ExtConceptId,
+        candidate: ExtConceptId,
+        context: Option<ContextId>,
+    ) -> String {
+        let tag = context.map(|c| self.ingested.tag(c));
+        let scorer = QrScorer::new(&self.ingested.ekg, &self.ingested.freqs, &self.config);
+        let b = scorer.breakdown(query, candidate, tag);
+        let ekg = &self.ingested.ekg;
+        let lcs_names: Vec<&str> = b.lcs.concepts.iter().map(|&c| ekg.name(c)).collect();
+        let chain: Vec<&str> = medkb_ekg::path::concrete_path(ekg, query, candidate)
+            .into_iter()
+            .map(|c| ekg.name(c))
+            .collect();
+        format!(
+            "sim({q}, {c}) = {score:.4}\n  path: {ups} generalization(s) + {downs} \
+             specialization(s) via {{{lcs}}} → p = {p:.4} (w_gen = {wg}, w_spec = {ws})\n  \
+             IC({q}) = {icq:.3}, IC({c}) = {icc:.3}{ctx} → sim_IC = {simic:.4}",
+            q = ekg.name(query),
+            c = ekg.name(candidate),
+            score = b.score,
+            ups = b.lcs.dist_a,
+            downs = b.lcs.dist_b,
+            lcs = lcs_names.join(", "),
+            p = b.path_weight,
+            wg = self.config.w_gen,
+            ws = self.config.w_spec,
+            icq = scorer.ic(query, tag),
+            icc = scorer.ic(candidate, tag),
+            ctx = match tag {
+                Some(t) if self.config.use_context => format!(" in context {t:?}"),
+                _ => " (aggregate over contexts)".to_string(),
+            },
+            simic = b.sim_ic,
+        ) + &format!("\n  chain: {}", chain.join(" → "))
+    }
+
+    /// Rank an explicit candidate set against a query concept — used by the
+    /// evaluation harness so every Table 2 method ranks the same pool.
+    pub fn rank_candidates(
+        &self,
+        query: ExtConceptId,
+        candidates: &[ExtConceptId],
+        context: Option<ContextId>,
+    ) -> Vec<(ExtConceptId, f64)> {
+        let tag = context.map(|c| self.ingested.tag(c));
+        let scorer = QrScorer::new(&self.ingested.ekg, &self.ingested.freqs, &self.config);
+        let mut scored: Vec<(ExtConceptId, f64)> =
+            candidates.iter().map(|&c| (c, scorer.score(query, c, tag))).collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MappingMethod;
+    use crate::ingest::ingest;
+    use medkb_corpus::MentionCounts;
+    use medkb_snomed::figures::paper_fragment;
+    use medkb_snomed::oracle::N_TAGS;
+    use std::collections::HashMap;
+
+    /// Fragment world: KB instances for the flagged fragment concepts, and
+    /// fig-4-style counts extended over the respiratory subtree.
+    fn relaxer() -> QueryRelaxer {
+        let f = paper_fragment();
+        let mut ob = medkb_ontology::OntologyBuilder::new();
+        let finding = ob.concept("Finding");
+        let indication = ob.concept("Indication");
+        let risk = ob.concept("Risk");
+        let drug = ob.concept("Drug");
+        ob.relationship("treat", drug, indication);
+        ob.relationship("cause", drug, risk);
+        ob.relationship("hasFinding", indication, finding);
+        ob.relationship("hasFinding", risk, finding);
+        let onto = ob.build().unwrap();
+        let mut kb = medkb_kb::KbBuilder::new(onto);
+        let fc = kb.ontology().lookup_concept("Finding").unwrap();
+        for name in &f.flagged {
+            kb.instance(name, fc);
+        }
+        let kb = kb.build().unwrap();
+
+        let mut direct: HashMap<medkb_types::ExtConceptId, [u64; N_TAGS]> = HashMap::new();
+        for &(name, treat, risk) in &f.fig4_direct_counts {
+            let mut row = [0u64; N_TAGS];
+            row[ContextTag::Treatment.index()] = treat;
+            row[ContextTag::Risk.index()] = risk;
+            direct.insert(f.concept(name), row);
+        }
+        for (name, t) in [
+            ("pneumonia", 500u64),
+            ("lower respiratory tract infection", 300),
+            ("bronchitis", 700),
+            ("kidney disease", 900),
+            ("nephropathy", 400),
+            ("renal impairment", 350),
+            ("fever", 2000),
+            ("hyperpyrexia", 150),
+        ] {
+            let mut row = [0u64; N_TAGS];
+            row[ContextTag::Treatment.index()] = t;
+            row[ContextTag::Risk.index()] = t / 3;
+            direct.insert(f.concept(name), row);
+        }
+        // Hypothermia: mentioned, but (almost) never in treatment context
+        // alongside fever drugs — risk-context mentions only.
+        let mut row = [0u64; N_TAGS];
+        row[ContextTag::Risk.index()] = 500;
+        row[ContextTag::Treatment.index()] = 1;
+        direct.insert(f.concept("hypothermia"), row);
+
+        let counts = MentionCounts::from_direct(direct, HashMap::new(), 200);
+        let config = RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() };
+        let out = ingest(&kb, f.ekg.clone(), &counts, None, &config).unwrap();
+        QueryRelaxer::new(out, config)
+    }
+
+    fn treatment_ctx(r: &QueryRelaxer) -> ContextId {
+        r.ingested()
+            .contexts
+            .iter()
+            .find(|c| c.label == "Indication-hasFinding-Finding")
+            .unwrap()
+            .id
+    }
+
+    #[test]
+    fn scenario1_pyelectasia_relaxes_to_kidney_disease() {
+        let r = relaxer();
+        let ctx = treatment_ctx(&r);
+        let res = r.relax("pyelectasia", Some(ctx), 5).unwrap();
+        let names: Vec<&str> =
+            res.answers.iter().map(|a| r.ingested().ekg.name(a.concept)).collect();
+        assert!(
+            names.contains(&"kidney disease") || names.contains(&"nephropathy"),
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_term_errors_under_exact_mapping() {
+        let r = relaxer();
+        assert!(matches!(
+            r.relax("nonexistent condition", None, 3),
+            Err(MedKbError::NotFound { .. })
+        ));
+        assert!(matches!(r.relax("fever", None, 0), Err(MedKbError::InvalidArgument { .. })));
+    }
+
+    #[test]
+    fn results_sorted_by_score() {
+        let r = relaxer();
+        let ctx = treatment_ctx(&r);
+        let res = r.relax("headache", Some(ctx), 10).unwrap();
+        for w in res.answers.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        assert!(!res.answers.is_empty());
+    }
+
+    #[test]
+    fn k_bounds_returned_instances() {
+        let r = relaxer();
+        let ctx = treatment_ctx(&r);
+        let res = r.relax("fever", Some(ctx), 2).unwrap();
+        // Each flagged fragment concept has exactly one instance, so at
+        // most 2 answers are returned.
+        assert!(res.instances().len() <= 2 + 1, "{:?}", res.instances());
+        let res10 = r.relax("fever", Some(ctx), 10).unwrap();
+        assert!(res10.instances().len() > res.instances().len());
+    }
+
+    #[test]
+    fn dynamic_radius_grows_until_k() {
+        let r = relaxer();
+        // pertussis is far from every flagged concept: fixed radius 4 finds
+        // few, dynamic growth must extend.
+        let res = r.relax("pertussis", None, 5).unwrap();
+        assert!(res.radius_used > r.config().radius, "used {}", res.radius_used);
+        assert!(!res.answers.is_empty());
+    }
+
+    #[test]
+    fn fixed_radius_does_not_grow() {
+        let mut r = relaxer();
+        r.config.dynamic_radius = false;
+        let res = r.relax("pertussis", None, 5).unwrap();
+        assert_eq!(res.radius_used, r.config().radius);
+    }
+
+    #[test]
+    fn context_trap_hypothermia_demoted_in_treatment_context() {
+        let r = relaxer();
+        let treat = treatment_ctx(&r);
+        let res = r.relax("psychogenic fever", Some(treat), 10).unwrap();
+        let ekg = &r.ingested().ekg;
+        let names: Vec<&str> = res.answers.iter().map(|a| ekg.name(a.concept)).collect();
+        let pos_hyper = names.iter().position(|&n| n == "hyperpyrexia");
+        let pos_hypo = names.iter().position(|&n| n == "hypothermia");
+        assert!(pos_hyper.is_some(), "{names:?}");
+        if let (Some(hyper), Some(hypo)) = (pos_hyper, pos_hypo) {
+            assert!(
+                hyper < hypo,
+                "in the treatment context hyperpyrexia must outrank hypothermia: {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_concept_itself_not_in_answers() {
+        let r = relaxer();
+        let res = r.relax("fever", None, 10).unwrap();
+        assert!(res.answers.iter().all(|a| a.concept != res.query_concept));
+    }
+
+    #[test]
+    fn strip_modifiers_recovers_decorated_terms() {
+        let mut r = relaxer();
+        assert!(r.resolve_term("very intense psychogenic fever").is_err());
+        r.config.strip_modifiers = true;
+        let c = r.resolve_term("very intense psychogenic fever").unwrap();
+        assert_eq!(r.ingested().ekg.name(c), "psychogenic fever");
+        // Still refuses when nothing suffixes to a known term.
+        assert!(r.resolve_term("totally unknown thing").is_err());
+    }
+
+    #[test]
+    fn explain_renders_the_breakdown() {
+        let r = relaxer();
+        let ctx = treatment_ctx(&r);
+        let q = r.resolve_term("pneumonia").unwrap();
+        let c = r.resolve_term("lower respiratory tract infection").unwrap();
+        let text = r.explain(q, c, Some(ctx));
+        assert!(text.contains("pneumonia"), "{text}");
+        assert!(text.contains("generalization"), "{text}");
+        assert!(text.contains("sim_IC"), "{text}");
+        assert!(text.contains("Treatment"), "{text}");
+        // The reverse direction explains a different path shape.
+        let rev = r.explain(c, q, Some(ctx));
+        assert_ne!(text, rev);
+    }
+
+    #[test]
+    fn rank_candidates_matches_relax_order() {
+        let r = relaxer();
+        let ctx = treatment_ctx(&r);
+        let res = r.relax("headache", Some(ctx), 50).unwrap();
+        let pool: Vec<_> = res.answers.iter().map(|a| a.concept).collect();
+        let ranked = r.rank_candidates(res.query_concept, &pool, Some(ctx));
+        let reordered: Vec<_> = ranked.iter().map(|&(c, _)| c).collect();
+        assert_eq!(pool, reordered);
+    }
+}

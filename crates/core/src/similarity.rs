@@ -1,0 +1,244 @@
+//! The novel similarity metric (Eq. 3–5, §5.2).
+//!
+//! `sim(A, B) = p_{A,B} × sim_IC(A, B)` where
+//!
+//! * `sim_IC(A,B) = 2·IC(lcs(A,B)) / (IC(A) + IC(B))` (Eq. 3), with the IC
+//!   chosen by the query context (per-context corpus frequencies), the
+//!   aggregate over contexts when no context is available, or the
+//!   intrinsic structural IC when the corpus signal is disabled
+//!   (QR-no-corpus); multiple equidistant LCSs contribute their *average*
+//!   IC (footnote 1), and
+//! * `p_{A,B}` is the Eq. 4 direction-weighted path factor computed from
+//!   the LCS-routed path: `dist_a` generalizations from the query concept
+//!   up, then `dist_b` specializations down.
+
+use medkb_ekg::lcs::{lcs, LcsOutcome};
+use medkb_ekg::{Ekg, PathSummary};
+use medkb_snomed::ContextTag;
+use medkb_types::ExtConceptId;
+
+use crate::config::RelaxConfig;
+use crate::frequency::Frequencies;
+
+/// Scores candidate concepts against a query concept per Eq. 5.
+#[derive(Debug, Clone, Copy)]
+pub struct QrScorer<'a> {
+    ekg: &'a Ekg,
+    freqs: &'a Frequencies,
+    config: &'a RelaxConfig,
+}
+
+/// A scored breakdown, useful for explanation surfaces and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreBreakdown {
+    /// Eq. 3 value.
+    pub sim_ic: f64,
+    /// Eq. 4 value.
+    pub path_weight: f64,
+    /// Eq. 5 value (`sim_ic × path_weight`).
+    pub score: f64,
+    /// The LCS outcome the score was derived from.
+    pub lcs: LcsOutcome,
+}
+
+impl<'a> QrScorer<'a> {
+    /// A scorer over the given graph, frequencies, and configuration.
+    pub fn new(ekg: &'a Ekg, freqs: &'a Frequencies, config: &'a RelaxConfig) -> Self {
+        Self { ekg, freqs, config }
+    }
+
+    /// The IC of a concept under the active configuration and context.
+    pub fn ic(&self, c: ExtConceptId, tag: Option<ContextTag>) -> f64 {
+        if self.config.use_corpus {
+            let effective = if self.config.use_context { tag } else { None };
+            self.freqs.ic(c, effective)
+        } else {
+            self.freqs.intrinsic_ic(c)
+        }
+    }
+
+    /// Eq. 5 for `(query, candidate)` in the given context.
+    pub fn score(&self, query: ExtConceptId, candidate: ExtConceptId, tag: Option<ContextTag>) -> f64 {
+        self.breakdown(query, candidate, tag).score
+    }
+
+    /// Eq. 5 with its constituents exposed.
+    pub fn breakdown(
+        &self,
+        query: ExtConceptId,
+        candidate: ExtConceptId,
+        tag: Option<ContextTag>,
+    ) -> ScoreBreakdown {
+        let out = lcs(self.ekg, query, candidate);
+        let sim_ic = self.sim_ic_from(&out, query, candidate, tag);
+        let path_weight = if self.config.use_path_weight {
+            PathSummary { ups: out.dist_a, downs: out.dist_b }
+                .weight(self.config.w_gen, self.config.w_spec)
+        } else {
+            1.0
+        };
+        ScoreBreakdown { sim_ic, path_weight, score: sim_ic * path_weight, lcs: out }
+    }
+
+    /// Eq. 3 from a precomputed LCS outcome.
+    pub fn sim_ic_from(
+        &self,
+        out: &LcsOutcome,
+        query: ExtConceptId,
+        candidate: ExtConceptId,
+        tag: Option<ContextTag>,
+    ) -> f64 {
+        let lcs_ic: f64 = out.concepts.iter().map(|&c| self.ic(c, tag)).sum::<f64>()
+            / out.concepts.len() as f64;
+        let denom = self.ic(query, tag) + self.ic(candidate, tag);
+        if denom <= 0.0 {
+            // Both concepts carry no information (e.g. both are the root):
+            // they are indistinguishable, hence maximally similar.
+            return 1.0;
+        }
+        (2.0 * lcs_ic / denom).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FrequencyMode;
+    use medkb_corpus::MentionCounts;
+    use medkb_snomed::figures::paper_fragment;
+    use medkb_snomed::oracle::N_TAGS;
+    use std::collections::HashMap;
+
+    fn setup() -> (Ekg, Frequencies) {
+        let f = paper_fragment();
+        let mut direct: HashMap<ExtConceptId, [u64; N_TAGS]> = HashMap::new();
+        for &(name, treat, risk) in &f.fig4_direct_counts {
+            let mut row = [0u64; N_TAGS];
+            row[ContextTag::Treatment.index()] = treat;
+            row[ContextTag::Risk.index()] = risk;
+            direct.insert(f.concept(name), row);
+        }
+        // Give the respiratory subtree some treatment-context mentions so
+        // its ICs are meaningful.
+        for (name, count) in [
+            ("pneumonia", 500u64),
+            ("pneumonitis", 80),
+            ("lung disease", 40),
+            ("lower respiratory tract infection", 300),
+            ("bronchitis", 700),
+            ("respiratory disorder", 10),
+        ] {
+            let mut row = [0u64; N_TAGS];
+            row[ContextTag::Treatment.index()] = count;
+            direct.insert(f.concept(name), row);
+        }
+        let counts = MentionCounts::from_direct(direct, HashMap::new(), 100);
+        let freqs =
+            Frequencies::compute(&f.ekg, &counts, FrequencyMode::PaperRecursive, false);
+        (f.ekg, freqs)
+    }
+
+    #[test]
+    fn identical_concepts_score_one() {
+        let (ekg, freqs) = setup();
+        let config = RelaxConfig::default();
+        let s = QrScorer::new(&ekg, &freqs, &config);
+        let c = ekg.lookup_name("headache")[0];
+        let b = s.breakdown(c, c, Some(ContextTag::Treatment));
+        assert!((b.score - 1.0).abs() < 1e-12, "{b:?}");
+    }
+
+    #[test]
+    fn figure6_asymmetry_query_side_generalization_penalized() {
+        let (ekg, freqs) = setup();
+        let config = RelaxConfig::default();
+        let s = QrScorer::new(&ekg, &freqs, &config);
+        let pneumonia = ekg.lookup_name("pneumonia")[0];
+        let lrti = ekg.lookup_name("lower respiratory tract infection")[0];
+        let fwd = s.breakdown(pneumonia, lrti, Some(ContextTag::Treatment));
+        let rev = s.breakdown(lrti, pneumonia, Some(ContextTag::Treatment));
+        // Same sim_IC (Eq. 3 is symmetric)…
+        assert!((fwd.sim_ic - rev.sim_ic).abs() < 1e-12);
+        // …but the forward path (3 ups) is penalized more (0.9^6 vs 0.9^3).
+        assert!((fwd.path_weight - 0.9f64.powi(6)).abs() < 1e-12);
+        assert!((rev.path_weight - 0.9f64.powi(3)).abs() < 1e-12);
+        assert!(fwd.score < rev.score);
+    }
+
+    #[test]
+    fn sibling_with_more_specific_lcs_scores_higher() {
+        let (ekg, freqs) = setup();
+        let config = RelaxConfig::default();
+        let s = QrScorer::new(&ekg, &freqs, &config);
+        let headache = ekg.lookup_name("headache")[0];
+        let throat = ekg.lookup_name("pain in throat")[0];
+        let bronchitis = ekg.lookup_name("bronchitis")[0];
+        let t = Some(ContextTag::Treatment);
+        // headache and pain-in-throat share "pain of head and neck region";
+        // headache and bronchitis only share the hierarchy head.
+        assert!(s.score(headache, throat, t) > s.score(headache, bronchitis, t));
+    }
+
+    #[test]
+    fn context_changes_scores() {
+        let (ekg, freqs) = setup();
+        let config = RelaxConfig::default();
+        let s = QrScorer::new(&ekg, &freqs, &config);
+        let headache = ekg.lookup_name("headache")[0];
+        let throat = ekg.lookup_name("pain in throat")[0];
+        let treat = s.score(headache, throat, Some(ContextTag::Treatment));
+        let risk = s.score(headache, throat, Some(ContextTag::Risk));
+        assert!((treat - risk).abs() > 1e-9, "contexts should differentiate: {treat} vs {risk}");
+    }
+
+    #[test]
+    fn no_context_config_ignores_tag() {
+        let (ekg, freqs) = setup();
+        let config = RelaxConfig::default().no_context();
+        let s = QrScorer::new(&ekg, &freqs, &config);
+        let headache = ekg.lookup_name("headache")[0];
+        let throat = ekg.lookup_name("pain in throat")[0];
+        let a = s.score(headache, throat, Some(ContextTag::Treatment));
+        let b = s.score(headache, throat, Some(ContextTag::Risk));
+        let c = s.score(headache, throat, None);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn no_corpus_config_uses_intrinsic_ic() {
+        let (ekg, freqs) = setup();
+        let config = RelaxConfig::default().no_corpus();
+        let s = QrScorer::new(&ekg, &freqs, &config);
+        let headache = ekg.lookup_name("headache")[0];
+        assert_eq!(s.ic(headache, Some(ContextTag::Treatment)), freqs.intrinsic_ic(headache));
+    }
+
+    #[test]
+    fn plain_ic_baseline_has_unit_path_weight() {
+        let (ekg, freqs) = setup();
+        let config = RelaxConfig::default().ic_baseline();
+        let s = QrScorer::new(&ekg, &freqs, &config);
+        let pneumonia = ekg.lookup_name("pneumonia")[0];
+        let lrti = ekg.lookup_name("lower respiratory tract infection")[0];
+        let b = s.breakdown(pneumonia, lrti, None);
+        assert_eq!(b.path_weight, 1.0);
+        assert_eq!(b.score, b.sim_ic);
+    }
+
+    #[test]
+    fn scores_bounded_in_unit_interval() {
+        let (ekg, freqs) = setup();
+        let config = RelaxConfig::default();
+        let s = QrScorer::new(&ekg, &freqs, &config);
+        let names =
+            ["headache", "pain in throat", "bronchitis", "pneumonia", "fever", "kidney disease"];
+        for a in names {
+            for b in names {
+                let (ca, cb) = (ekg.lookup_name(a)[0], ekg.lookup_name(b)[0]);
+                let v = s.score(ca, cb, Some(ContextTag::Treatment));
+                assert!((0.0..=1.0).contains(&v), "{a}/{b}: {v}");
+            }
+        }
+    }
+}

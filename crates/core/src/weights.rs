@@ -1,0 +1,144 @@
+//! Learning the direction weights of Eq. 4.
+//!
+//! §5.2: "To learn the weights of both generalization and specialization,
+//! simple statistical regression analysis such as logistic regression can
+//! be used. In our empirical study, the weights … are set to 0.9 and 1."
+//!
+//! This module implements that procedure: fit
+//! `P(relevant | path) = σ(β₀ + β_g·ups + β_s·downs)` by gradient descent
+//! on labeled `(ups, downs, relevant)` examples, then convert the
+//! per-step log-odds coefficients into Eq. 4 multiplicative weights,
+//! normalized so the less harmful direction has weight 1 (matching the
+//! paper's `w_spec = 1`).
+
+/// One labeled path example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathExample {
+    /// Generalization steps from the query side.
+    pub ups: u32,
+    /// Specialization steps to the candidate.
+    pub downs: u32,
+    /// Whether the pair was judged relevant.
+    pub relevant: bool,
+}
+
+/// A fitted direction-weight model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectionWeights {
+    /// Eq. 4 weight of one generalization step.
+    pub w_gen: f64,
+    /// Eq. 4 weight of one specialization step.
+    pub w_spec: f64,
+    /// Raw logistic coefficients `(β₀, β_g, β_s)` for diagnostics.
+    pub coefficients: (f64, f64, f64),
+}
+
+/// Fit direction weights from labeled examples by logistic regression.
+///
+/// Returns the paper defaults `(0.9, 1.0)` when the examples carry no
+/// signal (fewer than 2 examples or only one label).
+pub fn fit_direction_weights(examples: &[PathExample]) -> DirectionWeights {
+    let defaults = DirectionWeights { w_gen: 0.9, w_spec: 1.0, coefficients: (0.0, 0.0, 0.0) };
+    if examples.len() < 2
+        || examples.iter().all(|e| e.relevant)
+        || examples.iter().all(|e| !e.relevant)
+    {
+        return defaults;
+    }
+
+    // Batch gradient descent on the negative log-likelihood with a small
+    // L2 penalty for stability.
+    let (mut b0, mut bg, mut bs) = (0.0f64, 0.0f64, 0.0f64);
+    let lr = 0.1;
+    let l2 = 1e-4;
+    let n = examples.len() as f64;
+    for _ in 0..2000 {
+        let (mut g0, mut gg, mut gs) = (0.0f64, 0.0f64, 0.0f64);
+        for e in examples {
+            let (u, d) = (f64::from(e.ups), f64::from(e.downs));
+            let z = b0 + bg * u + bs * d;
+            let p = 1.0 / (1.0 + (-z).exp());
+            let err = p - if e.relevant { 1.0 } else { 0.0 };
+            g0 += err;
+            gg += err * u;
+            gs += err * d;
+        }
+        b0 -= lr * (g0 / n);
+        bg -= lr * (gg / n + l2 * bg);
+        bs -= lr * (gs / n + l2 * bs);
+    }
+
+    // Per-step multiplicative weights: exp(β) clamped to (0, 1] and
+    // normalized so the milder direction gets 1 (the paper's convention).
+    let top = bg.max(bs);
+    let w_gen = (bg - top).exp().clamp(0.05, 1.0);
+    let w_spec = (bs - top).exp().clamp(0.05, 1.0);
+    DirectionWeights { w_gen, w_spec, coefficients: (b0, bg, bs) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic world where relevance decays faster with generalization:
+    /// relevant iff `2·ups + downs <= 4`.
+    fn gen_heavy_examples() -> Vec<PathExample> {
+        let mut out = Vec::new();
+        for ups in 0..5u32 {
+            for downs in 0..5u32 {
+                out.push(PathExample { ups, downs, relevant: 2 * ups + downs <= 4 });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn learns_generalization_penalty() {
+        let w = fit_direction_weights(&gen_heavy_examples());
+        assert!(
+            w.w_gen < w.w_spec,
+            "generalization should be penalized: {w:?}"
+        );
+        assert!((w.w_spec - 1.0).abs() < 1e-9 || w.w_spec > w.w_gen);
+        assert!(w.w_gen > 0.0);
+    }
+
+    #[test]
+    fn symmetric_world_learns_equal_weights() {
+        let mut examples = Vec::new();
+        for ups in 0..5u32 {
+            for downs in 0..5u32 {
+                examples.push(PathExample { ups, downs, relevant: ups + downs <= 3 });
+            }
+        }
+        let w = fit_direction_weights(&examples);
+        assert!((w.w_gen - w.w_spec).abs() < 0.05, "{w:?}");
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_paper_defaults() {
+        assert_eq!(fit_direction_weights(&[]).w_gen, 0.9);
+        let all_pos = vec![PathExample { ups: 1, downs: 1, relevant: true }; 5];
+        let w = fit_direction_weights(&all_pos);
+        assert_eq!((w.w_gen, w.w_spec), (0.9, 1.0));
+    }
+
+    #[test]
+    fn spec_heavy_world_penalizes_specialization() {
+        let mut examples = Vec::new();
+        for ups in 0..5u32 {
+            for downs in 0..5u32 {
+                examples.push(PathExample { ups, downs, relevant: ups + 2 * downs <= 4 });
+            }
+        }
+        let w = fit_direction_weights(&examples);
+        assert!(w.w_spec < w.w_gen, "{w:?}");
+    }
+
+    #[test]
+    fn weights_bounded() {
+        let w = fit_direction_weights(&gen_heavy_examples());
+        assert!(w.w_gen <= 1.0 && w.w_spec <= 1.0);
+        assert!(w.w_gen >= 0.05 && w.w_spec >= 0.05);
+    }
+}

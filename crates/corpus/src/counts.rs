@@ -1,0 +1,303 @@
+//! Concept mention counting per context, and the tf-idf adjustment.
+//!
+//! §5.1 "Concept frequency": count how often each external concept name is
+//! mentioned in the corpus, *per context*, then adjust for document
+//! sparsity with tf-idf ("asthma is mentioned in 54 drug descriptions …
+//! whereas lung cancer has only a handful"). Mentions are found with a
+//! longest-match token trie over every registered name and synonym of every
+//! concept.
+
+use std::collections::HashMap;
+
+use medkb_ekg::Ekg;
+use medkb_snomed::oracle::N_TAGS;
+use medkb_text::tokenize;
+use medkb_types::{ExtConceptId, StringInterner, TokenId};
+
+use crate::model::Corpus;
+
+/// Direct (non-recursive) mention statistics of a corpus against a
+/// terminology.
+#[derive(Debug, Clone)]
+pub struct MentionCounts {
+    /// Direct mention count per concept per context tag.
+    direct: HashMap<ExtConceptId, [u64; N_TAGS]>,
+    /// Number of distinct documents mentioning each concept.
+    doc_freq: HashMap<ExtConceptId, u32>,
+    /// Total number of documents counted.
+    n_docs: usize,
+}
+
+impl MentionCounts {
+    /// Scan `corpus` for mentions of `ekg` concept names and synonyms.
+    ///
+    /// A mention is a longest token-trie match; overlapping shorter names
+    /// do not double-count ("chronic kidney disease" counts once, not also
+    /// as "kidney disease").
+    pub fn count(corpus: &Corpus, ekg: &Ekg) -> Self {
+        let trie = TokenTrie::build(ekg, &corpus.vocab);
+        let mut direct: HashMap<ExtConceptId, [u64; N_TAGS]> = HashMap::new();
+        let mut doc_freq: HashMap<ExtConceptId, u32> = HashMap::new();
+        for doc in &corpus.docs {
+            let mut seen_in_doc: std::collections::HashSet<ExtConceptId> =
+                std::collections::HashSet::new();
+            for sentence in &doc.sentences {
+                for concept in trie.scan(&sentence.tokens) {
+                    direct.entry(concept).or_insert([0; N_TAGS])[sentence.tag.index()] += 1;
+                    seen_in_doc.insert(concept);
+                }
+            }
+            for c in seen_in_doc {
+                *doc_freq.entry(c).or_insert(0) += 1;
+            }
+        }
+        Self { direct, doc_freq, n_docs: corpus.len() }
+    }
+
+    /// Direct mention count of `concept` for a tag index.
+    pub fn direct(&self, concept: ExtConceptId, tag_index: usize) -> u64 {
+        self.direct.get(&concept).map_or(0, |a| a[tag_index])
+    }
+
+    /// Direct mention count summed over all tags.
+    pub fn direct_total(&self, concept: ExtConceptId) -> u64 {
+        self.direct.get(&concept).map_or(0, |a| a.iter().sum())
+    }
+
+    /// Document frequency of `concept`.
+    pub fn doc_freq(&self, concept: ExtConceptId) -> u32 {
+        self.doc_freq.get(&concept).copied().unwrap_or(0)
+    }
+
+    /// Number of documents counted.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Concepts with at least one mention.
+    pub fn mentioned_concepts(&self) -> impl Iterator<Item = ExtConceptId> + '_ {
+        self.direct.keys().copied()
+    }
+
+    /// The tf-idf-adjusted direct weight of `concept` for a tag: raw count
+    /// scaled by `idf = ln(1 + N / (1 + df))`. Concepts concentrated in few
+    /// documents are damped relative to broadly-mentioned ones, countering
+    /// the specialty-drug bias the paper describes.
+    pub fn tfidf(&self, concept: ExtConceptId, tag_index: usize) -> f64 {
+        let tf = self.direct(concept, tag_index) as f64;
+        if tf == 0.0 {
+            return 0.0;
+        }
+        tf * self.idf(concept)
+    }
+
+    /// The idf factor of `concept`.
+    pub fn idf(&self, concept: ExtConceptId) -> f64 {
+        let df = f64::from(self.doc_freq(concept));
+        (1.0 + self.n_docs as f64 / (1.0 + df)).ln()
+    }
+
+    /// Inject direct counts explicitly (used by the Figure 4 worked-example
+    /// reproduction, where the paper fixes the counts).
+    pub fn from_direct(
+        direct: HashMap<ExtConceptId, [u64; N_TAGS]>,
+        doc_freq: HashMap<ExtConceptId, u32>,
+        n_docs: usize,
+    ) -> Self {
+        Self { direct, doc_freq, n_docs }
+    }
+}
+
+/// Longest-match trie over token-id sequences.
+struct TokenTrie {
+    nodes: Vec<TrieNode>,
+}
+
+#[derive(Default)]
+struct TrieNode {
+    children: HashMap<TokenId, usize>,
+    terminal: Option<ExtConceptId>,
+}
+
+impl TokenTrie {
+    fn build(ekg: &Ekg, vocab: &StringInterner<TokenId>) -> Self {
+        let mut trie = Self { nodes: vec![TrieNode::default()] };
+        for c in ekg.concepts() {
+            trie.insert(vocab, ekg.name(c), c);
+            for syn in ekg.synonyms(c) {
+                trie.insert(vocab, syn, c);
+            }
+        }
+        trie
+    }
+
+    fn insert(&mut self, vocab: &StringInterner<TokenId>, phrase: &str, concept: ExtConceptId) {
+        let mut node = 0usize;
+        for word in tokenize(phrase) {
+            // A phrase containing a token absent from the corpus vocabulary
+            // can never match; skip it entirely.
+            let Some(tok) = vocab.get(&word) else { return };
+            let next = match self.nodes[node].children.get(&tok) {
+                Some(&n) => n,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[node].children.insert(tok, n);
+                    n
+                }
+            };
+            node = next;
+        }
+        if node != 0 {
+            // First writer wins: primary names are inserted before synonyms,
+            // and ambiguous synonyms should not steal mentions.
+            self.nodes[node].terminal.get_or_insert(concept);
+        }
+    }
+
+    fn scan(&self, tokens: &[TokenId]) -> Vec<ExtConceptId> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let mut node = 0usize;
+            let mut best: Option<(usize, ExtConceptId)> = None;
+            for (offset, tok) in tokens[i..].iter().enumerate() {
+                match self.nodes[node].children.get(tok) {
+                    Some(&n) => {
+                        node = n;
+                        if let Some(c) = self.nodes[node].terminal {
+                            best = Some((offset + 1, c));
+                        }
+                    }
+                    None => break,
+                }
+            }
+            match best {
+                Some((len, c)) => {
+                    out.push(c);
+                    i += len;
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Document, Sentence};
+    use medkb_ekg::EkgBuilder;
+    use medkb_snomed::ContextTag;
+
+    fn fixture() -> (Corpus, Ekg, ExtConceptId, ExtConceptId) {
+        let mut b = EkgBuilder::new();
+        let root = b.concept("root");
+        let kd = b.concept("kidney disease");
+        let ckd = b.concept("chronic kidney disease");
+        b.synonym(kd, "nephropathy");
+        b.is_a(kd, root);
+        b.is_a(ckd, kd);
+        let ekg = b.build().unwrap();
+
+        let mut corpus = Corpus::new();
+        let mut sent = |text: &str, tag: ContextTag, corpus: &mut Corpus| Sentence {
+            tag,
+            tokens: tokenize(text).into_iter().map(|t| corpus.vocab.intern(&t)).collect(),
+        };
+        let s1 = sent("drug x treats kidney disease fast", ContextTag::Treatment, &mut corpus);
+        let s2 = sent(
+            "drug x may cause chronic kidney disease",
+            ContextTag::Risk,
+            &mut corpus,
+        );
+        let s3 = sent("nephropathy improved with drug x", ContextTag::Treatment, &mut corpus);
+        corpus.docs.push(Document { sentences: vec![s1, s2] });
+        corpus.docs.push(Document { sentences: vec![s3] });
+        (corpus, ekg, kd, ckd)
+    }
+
+    #[test]
+    fn counts_mentions_per_tag() {
+        let (corpus, ekg, kd, ckd) = fixture();
+        let counts = MentionCounts::count(&corpus, &ekg);
+        assert_eq!(counts.direct(kd, ContextTag::Treatment.index()), 2); // name + synonym
+        assert_eq!(counts.direct(kd, ContextTag::Risk.index()), 0);
+        assert_eq!(counts.direct(ckd, ContextTag::Risk.index()), 1);
+        assert_eq!(counts.direct_total(kd), 2);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let (corpus, ekg, kd, ckd) = fixture();
+        let counts = MentionCounts::count(&corpus, &ekg);
+        // "chronic kidney disease" must not also count as "kidney disease".
+        assert_eq!(counts.direct_total(ckd), 1);
+        assert_eq!(counts.direct_total(kd), 2);
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_mentions() {
+        let (corpus, ekg, kd, _) = fixture();
+        let counts = MentionCounts::count(&corpus, &ekg);
+        assert_eq!(counts.doc_freq(kd), 2);
+        assert_eq!(counts.n_docs(), 2);
+    }
+
+    #[test]
+    fn tfidf_zero_for_unmentioned() {
+        let (corpus, ekg, _, _) = fixture();
+        let counts = MentionCounts::count(&corpus, &ekg);
+        let root = ekg.root();
+        assert_eq!(counts.tfidf(root, 0), 0.0);
+    }
+
+    #[test]
+    fn tfidf_damps_concentrated_mentions() {
+        // Concept A: 4 mentions in 1 doc; concept B: 4 mentions in 4 docs.
+        let mut b = EkgBuilder::new();
+        let root = b.concept("root");
+        let a = b.concept("alpha finding");
+        let bb = b.concept("beta finding");
+        b.is_a(a, root);
+        b.is_a(bb, root);
+        let ekg = b.build().unwrap();
+        let mut corpus = Corpus::new();
+        let mk = |text: &str, corpus: &mut Corpus| Sentence {
+            tag: ContextTag::Treatment,
+            tokens: tokenize(text).into_iter().map(|t| corpus.vocab.intern(&t)).collect(),
+        };
+        let four_alpha: Vec<Sentence> =
+            (0..4).map(|_| mk("alpha finding seen", &mut corpus)).collect();
+        corpus.docs.push(Document { sentences: four_alpha });
+        for _ in 0..4 {
+            let s = mk("beta finding seen", &mut corpus);
+            corpus.docs.push(Document { sentences: vec![s] });
+        }
+        let counts = MentionCounts::count(&corpus, &ekg);
+        assert_eq!(counts.direct_total(a), 4);
+        assert_eq!(counts.direct_total(bb), 4);
+        assert!(
+            counts.tfidf(a, 0) > counts.tfidf(bb, 0),
+            "rarely-documented concept should carry higher idf weight"
+        );
+    }
+
+    #[test]
+    fn phrase_with_oov_token_never_matches() {
+        let mut b = EkgBuilder::new();
+        let root = b.concept("root");
+        let x = b.concept("zygomatic arch pain");
+        b.is_a(x, root);
+        let ekg = b.build().unwrap();
+        let mut corpus = Corpus::new();
+        let s = Sentence {
+            tag: ContextTag::General,
+            tokens: tokenize("nothing here").into_iter().map(|t| corpus.vocab.intern(&t)).collect(),
+        };
+        corpus.docs.push(Document { sentences: vec![s] });
+        let counts = MentionCounts::count(&corpus, &ekg);
+        assert_eq!(counts.direct_total(x), 0);
+    }
+}

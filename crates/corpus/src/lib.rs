@@ -1,0 +1,27 @@
+//! The document corpus substrate.
+//!
+//! §5.1: "we assume that the KB is curated based on a document corpus, and
+//! we count the number of times that each external concept name is
+//! mentioned within this corpus", differentiated by context and adjusted
+//! with tf-idf. The paper's corpus is proprietary; this crate generates a
+//! synthetic drug-monograph corpus whose statistics are driven by the
+//! ground-truth oracle (popularity × context affinity), so that corpus-based
+//! signals genuinely carry the information the methods try to recover.
+//!
+//! * [`model`] — interned documents of context-tagged sentences.
+//! * [`gen`] — the monograph generator (in-domain) and an out-of-domain
+//!   corpus for the *Embedding-pre-trained* baseline.
+//! * [`counts`] — concept mention counting per context tag (token-trie
+//!   phrase scan) and the tf-idf adjustment.
+
+#![warn(missing_docs)]
+
+pub mod counts;
+pub mod gen;
+pub mod model;
+pub mod stats;
+
+pub use counts::MentionCounts;
+pub use gen::{CorpusConfig, CorpusGenerator};
+pub use model::{Corpus, Document, Sentence};
+pub use stats::CorpusStats;

@@ -1,0 +1,103 @@
+//! Corpus data model: interned, context-tagged sentences.
+
+use medkb_snomed::ContextTag;
+use medkb_types::{StringInterner, TokenId};
+
+/// One sentence: a context tag (which family of statement template produced
+/// it) plus its interned tokens.
+#[derive(Debug, Clone)]
+pub struct Sentence {
+    /// The semantic family of the sentence ("X treats Y" vs "X causes Y").
+    pub tag: ContextTag,
+    /// Interned tokens in order.
+    pub tokens: Vec<TokenId>,
+}
+
+/// One document (a drug monograph in the in-domain corpus).
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    /// Sentences in order.
+    pub sentences: Vec<Sentence>,
+}
+
+/// A corpus: documents plus the shared token vocabulary.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The documents.
+    pub docs: Vec<Document>,
+    /// Shared token vocabulary.
+    pub vocab: StringInterner<TokenId>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self { docs: Vec::new(), vocab: StringInterner::new() }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the corpus has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Total sentence count.
+    pub fn sentence_count(&self) -> usize {
+        self.docs.iter().map(|d| d.sentences.len()).sum()
+    }
+
+    /// Total token count.
+    pub fn token_count(&self) -> usize {
+        self.docs.iter().flat_map(|d| &d.sentences).map(|s| s.tokens.len()).sum()
+    }
+
+    /// Iterate over every sentence.
+    pub fn sentences(&self) -> impl Iterator<Item = &Sentence> {
+        self.docs.iter().flat_map(|d| d.sentences.iter())
+    }
+
+    /// Render a sentence back to text (for debugging and examples).
+    pub fn render(&self, sentence: &Sentence) -> String {
+        sentence
+            .tokens
+            .iter()
+            .map(|&t| self.vocab.resolve(t))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl Default for Corpus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_corpus() {
+        let c = Corpus::new();
+        assert!(c.is_empty());
+        assert_eq!(c.sentence_count(), 0);
+        assert_eq!(c.token_count(), 0);
+    }
+
+    #[test]
+    fn render_roundtrips_tokens() {
+        let mut c = Corpus::new();
+        let tokens = vec![c.vocab.intern("aspirin"), c.vocab.intern("treats"), c.vocab.intern("fever")];
+        let s = Sentence { tag: ContextTag::Treatment, tokens };
+        c.docs.push(Document { sentences: vec![s] });
+        let rendered = c.render(&c.docs[0].sentences[0]);
+        assert_eq!(rendered, "aspirin treats fever");
+        assert_eq!(c.sentence_count(), 1);
+        assert_eq!(c.token_count(), 3);
+    }
+}

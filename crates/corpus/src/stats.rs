@@ -1,0 +1,128 @@
+//! Corpus statistics: sanity metrics for the generated monographs.
+//!
+//! DESIGN.md argues the synthetic corpus carries realistic skew; this
+//! module measures it. The Zipf exponent of the token frequency
+//! distribution and the type/token curve are the standard checks that a
+//! text collection "looks like language".
+
+use medkb_types::{IdVec, TokenId};
+
+use crate::model::Corpus;
+
+/// Summary statistics of a corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    /// Documents.
+    pub documents: usize,
+    /// Sentences.
+    pub sentences: usize,
+    /// Token occurrences.
+    pub tokens: usize,
+    /// Distinct token types.
+    pub types: usize,
+    /// Mean sentence length in tokens.
+    pub mean_sentence_len: f64,
+    /// Least-squares Zipf exponent `s` fitted on `log freq = c − s·log
+    /// rank` over the top ranks (natural language sits near 1).
+    pub zipf_exponent: f64,
+}
+
+impl CorpusStats {
+    /// Compute the statistics of `corpus`.
+    pub fn compute(corpus: &Corpus) -> Self {
+        let mut counts: IdVec<TokenId, u64> = IdVec::filled(0, corpus.vocab.len());
+        let mut tokens = 0usize;
+        let mut sentences = 0usize;
+        for s in corpus.sentences() {
+            sentences += 1;
+            for &t in &s.tokens {
+                counts[t] += 1;
+                tokens += 1;
+            }
+        }
+        let types = counts.iter().filter(|(_, &c)| c > 0).count();
+        let mut freqs: Vec<u64> =
+            counts.iter().map(|(_, &c)| c).filter(|&c| c > 0).collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let zipf_exponent = fit_zipf(&freqs);
+        Self {
+            documents: corpus.len(),
+            sentences,
+            tokens,
+            types,
+            mean_sentence_len: if sentences == 0 {
+                0.0
+            } else {
+                tokens as f64 / sentences as f64
+            },
+            zipf_exponent,
+        }
+    }
+}
+
+/// Least-squares slope of `log f` against `−log rank` over the top 200
+/// ranks (0 for degenerate inputs).
+fn fit_zipf(sorted_freqs: &[u64]) -> f64 {
+    let top: Vec<(f64, f64)> = sorted_freqs
+        .iter()
+        .take(200)
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(i, &f)| (((i + 1) as f64).ln(), (f as f64).ln()))
+        .collect();
+    if top.len() < 3 {
+        return 0.0;
+    }
+    let n = top.len() as f64;
+    let (sx, sy): (f64, f64) = top.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+    let (mx, my) = (sx / n, sy / n);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(x, y) in &top {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        -(num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{CorpusConfig, CorpusGenerator};
+    use medkb_snomed::{GeneratedTerminology, Oracle, SnomedConfig};
+
+    #[test]
+    fn generated_corpus_is_zipfian() {
+        let t = GeneratedTerminology::generate(&SnomedConfig::tiny(5));
+        let o = Oracle::derive(&t, 6);
+        let c = CorpusGenerator::new(&t, &o).generate(&CorpusConfig::tiny(7));
+        let stats = CorpusStats::compute(&c);
+        assert_eq!(stats.documents, 120);
+        assert!(stats.types > 100);
+        assert!(stats.mean_sentence_len > 4.0, "{stats:?}");
+        assert!(
+            (0.4..2.2).contains(&stats.zipf_exponent),
+            "zipf exponent out of the language-like band: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn empty_corpus_degenerates_cleanly() {
+        let stats = CorpusStats::compute(&Corpus::new());
+        assert_eq!(stats.tokens, 0);
+        assert_eq!(stats.zipf_exponent, 0.0);
+        assert_eq!(stats.mean_sentence_len, 0.0);
+    }
+
+    #[test]
+    fn zipf_fit_on_synthetic_power_law() {
+        // freq(rank) = 1000 / rank → exponent 1 exactly.
+        let freqs: Vec<u64> = (1..=100u64).map(|r| 1000 / r).collect();
+        let s = fit_zipf(&freqs);
+        assert!((s - 1.0).abs() < 0.1, "{s}");
+    }
+}

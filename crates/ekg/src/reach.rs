@@ -1,0 +1,170 @@
+//! Bitset transitive-closure index for subsumption reachability.
+//!
+//! `Ekg::is_ancestor` walks the graph per query; ingestion and LCS
+//! minimality pruning issue many such queries against a fixed graph. This
+//! index materializes each concept's ancestor set as a bitset in one
+//! children-first pass — `O(|V|²/64 + |E|·|V|/64)` time, `|V|²/8` bytes —
+//! turning every subsequent query into a single bit probe. At SNOMED-like
+//! scales (hundreds of thousands of concepts) a full closure stops being
+//! attractive; the index is therefore an opt-in accelerator for the
+//! generated-world scales this repository runs at.
+
+use medkb_types::{ExtConceptId, Id};
+
+use crate::graph::Ekg;
+
+/// Materialized ancestor bitsets.
+#[derive(Debug, Clone)]
+pub struct ReachabilityIndex {
+    /// `words_per_row` u64 words per concept; bit `d` of row `a` set iff
+    /// `a` is a strict ancestor of... see [`ReachabilityIndex::is_ancestor`]
+    /// (rows store each concept's *ancestors*).
+    bits: Vec<u64>,
+    words_per_row: usize,
+    n: usize,
+}
+
+impl ReachabilityIndex {
+    /// Build the closure for `ekg` (native and shortcut edges — shortcuts
+    /// never add reachability, so the result equals the native closure).
+    pub fn build(ekg: &Ekg) -> Self {
+        let n = ekg.len();
+        let words_per_row = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words_per_row];
+        // Ancestors flow downward, so iterate parents-first (reverse of
+        // the children-first topo order): ancestors(c) = ⋃_p ({p} ∪
+        // ancestors(p)).
+        let mut acc = vec![0u64; words_per_row];
+        for &c in ekg.topo_children_first().iter().rev() {
+            acc.fill(0);
+            for parent in ekg.native_parents(c) {
+                let p = parent.as_usize();
+                let src = &bits[p * words_per_row..(p + 1) * words_per_row];
+                for (a, &s) in acc.iter_mut().zip(src) {
+                    *a |= s;
+                }
+                acc[p / 64] |= 1 << (p % 64);
+            }
+            let row = c.as_usize();
+            bits[row * words_per_row..(row + 1) * words_per_row].copy_from_slice(&acc);
+        }
+        Self { bits, words_per_row, n }
+    }
+
+    /// Whether `anc` is a strict ancestor of `desc`.
+    pub fn is_ancestor(&self, anc: ExtConceptId, desc: ExtConceptId) -> bool {
+        if anc == desc {
+            return false;
+        }
+        let row = desc.as_usize();
+        let a = anc.as_usize();
+        debug_assert!(row < self.n && a < self.n);
+        self.bits[row * self.words_per_row + a / 64] & (1 << (a % 64)) != 0
+    }
+
+    /// Number of strict ancestors of `desc`.
+    pub fn ancestor_count(&self, desc: ExtConceptId) -> usize {
+        let row = desc.as_usize();
+        self.bits[row * self.words_per_row..(row + 1) * self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EkgBuilder;
+
+    fn diamond() -> Ekg {
+        let mut b = EkgBuilder::new();
+        let root = b.concept("root");
+        let a = b.concept("a");
+        let bb = b.concept("b");
+        let c = b.concept("c");
+        let d = b.concept("d");
+        b.is_a(a, root);
+        b.is_a(bb, root);
+        b.is_a(c, a);
+        b.is_a(c, bb);
+        b.is_a(d, c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_walking_implementation() {
+        let g = diamond();
+        let idx = ReachabilityIndex::build(&g);
+        for anc in g.concepts() {
+            for desc in g.concepts() {
+                assert_eq!(
+                    idx.is_ancestor(anc, desc),
+                    g.is_ancestor(anc, desc),
+                    "{:?} vs {:?}",
+                    g.name(anc),
+                    g.name(desc)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_counts() {
+        let g = diamond();
+        let idx = ReachabilityIndex::build(&g);
+        let d = g.lookup_name("d")[0];
+        assert_eq!(idx.ancestor_count(d), 4); // c, a, b, root
+        assert_eq!(idx.ancestor_count(g.root()), 0);
+    }
+
+    #[test]
+    fn self_is_not_ancestor() {
+        let g = diamond();
+        let idx = ReachabilityIndex::build(&g);
+        for c in g.concepts() {
+            assert!(!idx.is_ancestor(c, c));
+        }
+    }
+
+    #[test]
+    fn shortcuts_do_not_change_the_closure() {
+        let mut g = diamond();
+        let before = ReachabilityIndex::build(&g);
+        let d = g.lookup_name("d")[0];
+        g.add_shortcut(d, g.root(), 3).unwrap();
+        let after = ReachabilityIndex::build(&g);
+        for anc in g.concepts() {
+            for desc in g.concepts() {
+                assert_eq!(before.is_ancestor(anc, desc), after.is_ancestor(anc, desc));
+            }
+        }
+    }
+
+    #[test]
+    fn scales_past_one_bitset_word() {
+        // 100 concepts in a chain crosses the 64-bit word boundary.
+        let mut b = EkgBuilder::new();
+        let mut prev = b.concept("n0");
+        for i in 1..100 {
+            let c = b.concept(&format!("n{i}"));
+            b.is_a(c, prev);
+            prev = c;
+        }
+        let g = b.build().unwrap();
+        let idx = ReachabilityIndex::build(&g);
+        let first = g.lookup_name("n0")[0];
+        let last = g.lookup_name("n99")[0];
+        let mid = g.lookup_name("n70")[0];
+        assert!(idx.is_ancestor(first, last));
+        assert!(idx.is_ancestor(mid, last));
+        assert!(!idx.is_ancestor(last, first));
+        assert_eq!(idx.ancestor_count(last), 99);
+        assert!(idx.memory_bytes() >= 100 * 2 * 8);
+    }
+}

@@ -1,0 +1,456 @@
+//! Skip-gram with negative sampling (word2vec-style), from scratch.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use medkb_corpus::Corpus;
+use medkb_types::{Id, IdVec, StringInterner, TokenId};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SgnsConfig {
+    /// RNG seed (initialization, window sampling, negatives).
+    pub seed: u64,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Symmetric context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed to 10%).
+    pub lr: f32,
+    /// Frequent-word subsampling threshold (word2vec's `t`); 0 disables.
+    pub subsample: f64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5EED_0004,
+            dim: 48,
+            window: 4,
+            negatives: 5,
+            epochs: 3,
+            lr: 0.05,
+            subsample: 1e-3,
+        }
+    }
+}
+
+impl SgnsConfig {
+    /// A fast configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self { seed, dim: 24, epochs: 2, ..Self::default() }
+    }
+}
+
+/// Trained word vectors plus the corpus unigram statistics they came with.
+#[derive(Debug, Clone)]
+pub struct WordVectors {
+    vocab: StringInterner<TokenId>,
+    vecs: IdVec<TokenId, Vec<f32>>,
+    counts: IdVec<TokenId, u64>,
+    total_tokens: u64,
+    dim: usize,
+}
+
+impl WordVectors {
+    /// Train on `corpus`.
+    pub fn train(corpus: &Corpus, config: &SgnsConfig) -> Self {
+        let vocab = corpus.vocab.clone();
+        let n = vocab.len();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Unigram counts.
+        let mut counts: IdVec<TokenId, u64> = IdVec::filled(0, n);
+        let mut total: u64 = 0;
+        for s in corpus.sentences() {
+            for &t in &s.tokens {
+                counts[t] += 1;
+                total += 1;
+            }
+        }
+
+        // Negative sampling table: unigram^0.75.
+        let table = NegativeTable::build(&counts);
+
+        // Input and output matrices. Output starts at zero per word2vec.
+        let mut w_in: Vec<f32> = (0..n * config.dim)
+            .map(|_| (rng.gen::<f32>() - 0.5) / config.dim as f32)
+            .collect();
+        let mut w_out: Vec<f32> = vec![0.0; n * config.dim];
+
+        let total_steps = (config.epochs * corpus.token_count()).max(1);
+        let mut step = 0usize;
+        let dim = config.dim;
+        for _epoch in 0..config.epochs {
+            for sentence in corpus.sentences() {
+                // Frequent-word subsampling.
+                let kept: Vec<TokenId> = sentence
+                    .tokens
+                    .iter()
+                    .copied()
+                    .filter(|&t| {
+                        if config.subsample <= 0.0 {
+                            return true;
+                        }
+                        let f = counts[t] as f64 / total.max(1) as f64;
+                        let keep = ((config.subsample / f).sqrt() + config.subsample / f).min(1.0);
+                        rng.gen::<f64>() < keep
+                    })
+                    .collect();
+                for (i, &center) in kept.iter().enumerate() {
+                    step += 1;
+                    let progress = step as f32 / total_steps as f32;
+                    let lr = config.lr * (1.0 - 0.9 * progress.min(1.0));
+                    let radius = rng.gen_range(1..=config.window);
+                    let lo = i.saturating_sub(radius);
+                    let hi = (i + radius).min(kept.len() - 1);
+                    for (j, &context) in kept[lo..=hi].iter().enumerate() {
+                        if lo + j == i {
+                            continue;
+                        }
+                        sgd_pair(
+                            &mut w_in,
+                            &mut w_out,
+                            dim,
+                            center.as_usize(),
+                            context.as_usize(),
+                            true,
+                            lr,
+                        );
+                        for _ in 0..config.negatives {
+                            let neg = table.sample(&mut rng);
+                            if neg == context.as_usize() {
+                                continue;
+                            }
+                            sgd_pair(&mut w_in, &mut w_out, dim, center.as_usize(), neg, false, lr);
+                        }
+                    }
+                }
+            }
+        }
+
+        let vecs: IdVec<TokenId, Vec<f32>> =
+            (0..n).map(|i| w_in[i * dim..(i + 1) * dim].to_vec()).collect();
+        Self { vocab, vecs, counts, total_tokens: total, dim }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The vector of `word`, if in vocabulary.
+    pub fn get(&self, word: &str) -> Option<&[f32]> {
+        self.vocab.get(word).map(|t| self.vecs[t].as_slice())
+    }
+
+    /// Iterate over the vocabulary words.
+    pub fn words(&self) -> impl Iterator<Item = &str> {
+        self.vocab.iter().map(|(_, w)| w)
+    }
+
+    /// Unigram probability of `word` (0 for OOV).
+    pub fn probability(&self, word: &str) -> f64 {
+        match self.vocab.get(word) {
+            Some(t) => self.counts[t] as f64 / self.total_tokens.max(1) as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Cosine similarity of two in-vocabulary words, `None` if either is
+    /// OOV.
+    pub fn cosine(&self, a: &str, b: &str) -> Option<f64> {
+        let (va, vb) = (self.get(a)?, self.get(b)?);
+        Some(cosine(va, vb))
+    }
+
+    /// Serialize to a TSV document: a `dim <TAB> total` header, then one
+    /// `word <TAB> count <TAB> v1 v2 …` line per vocabulary entry. The
+    /// trained model for a paper-scale corpus is a few megabytes — cheap to
+    /// cache next to the generated world.
+    pub fn write_tsv(&self) -> String {
+        let mut out = format!("{}\t{}\n", self.dim, self.total_tokens);
+        for (t, w) in self.vocab.iter() {
+            let vec_str: Vec<String> =
+                self.vecs[t].iter().map(|x| format!("{x:.6e}")).collect();
+            out.push_str(&format!("{w}\t{}\t{}\n", self.counts[t], vec_str.join(" ")));
+        }
+        out
+    }
+
+    /// Parse a document produced by [`WordVectors::write_tsv`].
+    ///
+    /// # Errors
+    /// [`medkb_types::MedKbError::Corrupt`] on malformed input.
+    pub fn read_tsv(doc: &str) -> medkb_types::Result<Self> {
+        use medkb_types::MedKbError;
+        let corrupt = |line: usize, what: &str| MedKbError::Corrupt {
+            detail: format!("word vectors line {line}: {what}"),
+        };
+        let mut lines = doc.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| corrupt(1, "missing header"))?;
+        let mut hp = header.split('\t');
+        let dim: usize = hp
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| corrupt(1, "bad dim"))?;
+        let total: u64 = hp
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| corrupt(1, "bad total"))?;
+        let mut vocab: StringInterner<TokenId> = StringInterner::new();
+        let mut vecs: IdVec<TokenId, Vec<f32>> = IdVec::new();
+        let mut counts: IdVec<TokenId, u64> = IdVec::new();
+        for (i, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let (word, count, values) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(w), Some(c), Some(v)) if !w.is_empty() => (w, c, v),
+                _ => return Err(corrupt(i + 1, "expected 3 tab fields")),
+            };
+            let count: u64 = count.parse().map_err(|_| corrupt(i + 1, "bad count"))?;
+            let vec: Vec<f32> = values
+                .split(' ')
+                .map(|x| x.parse::<f32>())
+                .collect::<std::result::Result<_, _>>()
+                .map_err(|_| corrupt(i + 1, "bad vector component"))?;
+            if vec.len() != dim {
+                return Err(corrupt(i + 1, "vector dimensionality mismatch"));
+            }
+            if vocab.get(word).is_some() {
+                return Err(corrupt(i + 1, "duplicate word"));
+            }
+            vocab.intern(word);
+            vecs.push(vec);
+            counts.push(count);
+        }
+        Ok(Self { vocab, vecs, counts, total_tokens: total, dim })
+    }
+
+    /// The `k` vocabulary words most cosine-similar to `word` (excluding
+    /// the word itself); empty for OOV input.
+    pub fn most_similar(&self, word: &str, k: usize) -> Vec<(&str, f64)> {
+        let Some(v) = self.get(word) else { return Vec::new() };
+        let mut scored: Vec<(&str, f64)> = self
+            .vocab
+            .iter()
+            .filter(|(_, w)| *w != word)
+            .map(|(t, w)| (w, cosine(v, &self.vecs[t])))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// Cosine similarity of two equal-length vectors (0 if either is zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += f64::from(x) * f64::from(y);
+        na += f64::from(x) * f64::from(x);
+        nb += f64::from(y) * f64::from(y);
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// One SGD update on a (center, context) pair with the given label.
+fn sgd_pair(
+    w_in: &mut [f32],
+    w_out: &mut [f32],
+    dim: usize,
+    center: usize,
+    other: usize,
+    positive: bool,
+    lr: f32,
+) {
+    let (ci, oi) = (center * dim, other * dim);
+    let mut dot = 0.0f32;
+    for d in 0..dim {
+        dot += w_in[ci + d] * w_out[oi + d];
+    }
+    let label = if positive { 1.0 } else { 0.0 };
+    let g = lr * (label - sigmoid(dot));
+    for d in 0..dim {
+        let inp = w_in[ci + d];
+        let out = w_out[oi + d];
+        w_in[ci + d] += g * out;
+        w_out[oi + d] += g * inp;
+    }
+}
+
+/// Unigram^0.75 negative sampling table.
+struct NegativeTable {
+    cum: Vec<f64>,
+}
+
+impl NegativeTable {
+    fn build(counts: &IdVec<TokenId, u64>) -> Self {
+        let mut cum = Vec::with_capacity(counts.len());
+        let mut total = 0.0;
+        for (_, &c) in counts.iter() {
+            total += (c as f64).powf(0.75);
+            cum.push(total);
+        }
+        Self { cum }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cum.last().unwrap_or(&0.0);
+        if total <= 0.0 {
+            return 0;
+        }
+        let target = rng.gen::<f64>() * total;
+        self.cum.partition_point(|&x| x < target).min(self.cum.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medkb_corpus::{Corpus, Document, Sentence};
+    use medkb_snomed::ContextTag;
+    use medkb_text::tokenize;
+
+    /// A tiny corpus with two clearly separated topics: (apple, banana,
+    /// fruit) vs (bolt, wrench, tool). SGNS should place same-topic words
+    /// closer.
+    fn topic_corpus() -> Corpus {
+        let mut c = Corpus::new();
+        let mut sent = |text: &str, c: &mut Corpus| Sentence {
+            tag: ContextTag::General,
+            tokens: tokenize(text).into_iter().map(|t| c.vocab.intern(&t)).collect(),
+        };
+        let fruit = [
+            "the apple is a sweet fruit",
+            "a banana is a yellow fruit",
+            "fresh fruit like apple and banana tastes sweet",
+            "the sweet banana and the apple are fruit",
+        ];
+        let tools = [
+            "the bolt is turned with a wrench",
+            "a wrench is a metal tool",
+            "every tool like bolt and wrench is metal",
+            "the metal wrench and the bolt are tool",
+        ];
+        for _ in 0..30 {
+            for t in fruit.iter().chain(tools.iter()) {
+                let s = sent(t, &mut c);
+                c.docs.push(Document { sentences: vec![s] });
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn learns_topic_separation() {
+        let corpus = topic_corpus();
+        let wv = WordVectors::train(&corpus, &SgnsConfig { subsample: 0.0, ..SgnsConfig::tiny(3) });
+        let same = wv.cosine("apple", "banana").unwrap();
+        let cross = wv.cosine("apple", "wrench").unwrap();
+        assert!(
+            same > cross,
+            "same-topic {same:.3} should exceed cross-topic {cross:.3}"
+        );
+    }
+
+    #[test]
+    fn oov_is_none() {
+        let corpus = topic_corpus();
+        let wv = WordVectors::train(&corpus, &SgnsConfig::tiny(4));
+        assert!(wv.get("zeppelin").is_none());
+        assert_eq!(wv.probability("zeppelin"), 0.0);
+        assert!(wv.cosine("apple", "zeppelin").is_none());
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let corpus = topic_corpus();
+        let a = WordVectors::train(&corpus, &SgnsConfig::tiny(5));
+        let b = WordVectors::train(&corpus, &SgnsConfig::tiny(5));
+        assert_eq!(a.get("apple").unwrap(), b.get("apple").unwrap());
+    }
+
+    #[test]
+    fn probability_sums_to_one() {
+        let corpus = topic_corpus();
+        let wv = WordVectors::train(&corpus, &SgnsConfig::tiny(6));
+        let sum: f64 = corpus.vocab.iter().map(|(_, w)| wv.probability(w)).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert!((cosine(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_similar_surfaces_topic_mates() {
+        let corpus = topic_corpus();
+        let wv = WordVectors::train(&corpus, &SgnsConfig { subsample: 0.0, ..SgnsConfig::tiny(9) });
+        let top: Vec<&str> = wv.most_similar("apple", 5).into_iter().map(|(w, _)| w).collect();
+        assert!(top.contains(&"banana") || top.contains(&"fruit"), "{top:?}");
+        assert!(!top.contains(&"apple"));
+        assert!(wv.most_similar("zeppelin", 3).is_empty());
+        assert_eq!(wv.most_similar("apple", 2).len(), 2);
+    }
+
+    #[test]
+    fn tsv_roundtrip_preserves_everything() {
+        let corpus = topic_corpus();
+        let wv = WordVectors::train(&corpus, &SgnsConfig::tiny(12));
+        let doc = wv.write_tsv();
+        let back = WordVectors::read_tsv(&doc).unwrap();
+        assert_eq!(back.dim(), wv.dim());
+        assert_eq!(back.vocab_size(), wv.vocab_size());
+        for w in wv.words() {
+            assert_eq!(back.probability(w), wv.probability(w), "{w}");
+            let (a, b) = (wv.get(w).unwrap(), back.get(w).unwrap());
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn tsv_rejects_malformed_input() {
+        assert!(WordVectors::read_tsv("").is_err());
+        assert!(WordVectors::read_tsv("x\t10\n").is_err());
+        assert!(WordVectors::read_tsv("2\t10\nword\t1\t0.5\n").is_err()); // dim mismatch
+        assert!(WordVectors::read_tsv("1\t10\nword\tx\t0.5\n").is_err());
+        assert!(WordVectors::read_tsv("1\t10\nw\t1\t0.5\nw\t1\t0.5\n").is_err());
+    }
+
+    #[test]
+    fn dim_and_vocab_accessors() {
+        let corpus = topic_corpus();
+        let wv = WordVectors::train(&corpus, &SgnsConfig::tiny(7));
+        assert_eq!(wv.dim(), 24);
+        assert_eq!(wv.vocab_size(), corpus.vocab.len());
+        assert_eq!(wv.get("apple").unwrap().len(), 24);
+    }
+}

@@ -1,0 +1,34 @@
+//! Evaluation harness: gold standards, metrics, and the three experiments
+//! of §7.
+//!
+//! * [`metrics`] — precision / recall / F1 and their @k variants.
+//! * [`pipeline`] — builds the full experimental stack once (world,
+//!   corpora, counts, embeddings, ingestion) and shares it across
+//!   experiments.
+//! * [`mapping_eval`] — **Table 1**: accuracy of the EXACT / EDIT(τ=2) /
+//!   EMBEDDING mapping methods against the world's gold instance→concept
+//!   mapping.
+//! * [`relax_eval`] — **Table 2**: P@10 / R@10 / F1 of QR, QR-no-context,
+//!   QR-no-corpus, IC, Embedding-pre-trained, and Embedding-trained on a
+//!   workload of condition query terms, judged by the oracle that stands
+//!   in for the paper's 20 SMEs.
+//! * [`study`] — **Table 3**: the simulated user study of the
+//!   conversational system with and without query relaxation (tasks T1 and
+//!   T2, the 5-point retry grading protocol, and the paper's orthogonal
+//!   incident categories).
+//! * [`report`] — Markdown rendering of the result tables.
+
+#![warn(missing_docs)]
+
+pub mod mapping_eval;
+pub mod metrics;
+pub mod pipeline;
+pub mod relax_eval;
+pub mod report;
+pub mod study;
+
+pub use mapping_eval::{evaluate_mappings, MappingRow};
+pub use metrics::{f1, precision_recall_at_k, Prf};
+pub use pipeline::{EvalConfig, EvalStack};
+pub use relax_eval::{evaluate_relaxation, RelaxRow};
+pub use study::{run_user_study, StudyConfig, StudyReport};

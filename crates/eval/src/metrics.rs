@@ -1,0 +1,222 @@
+//! Set-based retrieval metrics.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A precision / recall / F1 triple (percentages, as the paper reports).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Prf {
+    /// Precision, 0–100.
+    pub precision: f64,
+    /// Recall, 0–100.
+    pub recall: f64,
+    /// F1 (harmonic mean), 0–100.
+    pub f1: f64,
+}
+
+impl Prf {
+    /// Build from precision and recall (0–100 scales).
+    pub fn new(precision: f64, recall: f64) -> Self {
+        Self { precision, recall, f1: f1(precision, recall) }
+    }
+}
+
+/// Harmonic mean of precision and recall (any consistent scale).
+pub fn f1(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Precision@k and Recall@k of a ranked list against a gold set
+/// (fractions in `[0, 1]`).
+///
+/// * `P@k` = relevant among the top *min(k, returned)* / that many
+///   returned (an empty return yields 0).
+/// * `R@k` = relevant among the top k / |gold| (an empty gold set yields
+///   1 if nothing was expected — by convention 0 here, callers filter
+///   gold-empty queries).
+pub fn precision_recall_at_k<T: Eq + Hash + Copy>(
+    ranked: &[T],
+    gold: &HashSet<T>,
+    k: usize,
+) -> (f64, f64) {
+    let top: Vec<T> = ranked.iter().take(k).copied().collect();
+    if top.is_empty() || gold.is_empty() {
+        return (0.0, 0.0);
+    }
+    let hits = top.iter().filter(|t| gold.contains(t)).count();
+    (hits as f64 / top.len() as f64, hits as f64 / gold.len() as f64)
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Deterministic percentile-bootstrap 95% confidence interval of the mean.
+///
+/// Returns `(lo, hi)`; degenerates to `(mean, mean)` for fewer than two
+/// observations.
+pub fn bootstrap_ci(values: &[f64], iterations: usize, seed: u64) -> (f64, f64) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    if values.len() < 2 {
+        let m = mean(values);
+        return (m, m);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut means: Vec<f64> = (0..iterations.max(10))
+        .map(|_| {
+            let total: f64 =
+                (0..values.len()).map(|_| values[rng.gen_range(0..values.len())]).sum();
+            total / values.len() as f64
+        })
+        .collect();
+    means.sort_by(f64::total_cmp);
+    let lo = means[(means.len() as f64 * 0.025) as usize];
+    let hi = means[((means.len() as f64 * 0.975) as usize).min(means.len() - 1)];
+    (lo, hi)
+}
+
+/// Normalized discounted cumulative gain at `k` over graded relevance.
+///
+/// `gains` maps items to graded relevance (missing = 0). The ideal ranking
+/// is the gains sorted descending; an empty or all-zero gain set yields 0.
+pub fn ndcg_at_k<T: Eq + std::hash::Hash + Copy>(
+    ranked: &[T],
+    gains: &std::collections::HashMap<T, f64>,
+    k: usize,
+) -> f64 {
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, t)| gains.get(t).copied().unwrap_or(0.0) / ((i + 2) as f64).log2())
+        .sum();
+    let mut ideal: Vec<f64> = gains.values().copied().filter(|&g| g > 0.0).collect();
+    ideal.sort_by(|a, b| b.total_cmp(a));
+    let idcg: f64 =
+        ideal.iter().take(k).enumerate().map(|(i, g)| g / ((i + 2) as f64).log2()).sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_basics() {
+        assert_eq!(f1(0.0, 0.0), 0.0);
+        assert!((f1(100.0, 100.0) - 100.0).abs() < 1e-12);
+        assert!((f1(100.0, 50.0) - 66.6666).abs() < 1e-2);
+    }
+
+    #[test]
+    fn prf_builder() {
+        let p = Prf::new(90.0, 80.0);
+        assert!((p.f1 - f1(90.0, 80.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_at_k_counts_top_k_only() {
+        let gold: HashSet<u32> = [1, 2, 3].into_iter().collect();
+        let ranked = vec![1u32, 9, 2, 8, 3];
+        let (p, r) = precision_recall_at_k(&ranked, &gold, 3);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shorter_return_than_k() {
+        let gold: HashSet<u32> = [1].into_iter().collect();
+        let ranked = vec![1u32];
+        let (p, r) = precision_recall_at_k(&ranked, &gold, 10);
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+
+    #[test]
+    fn empty_cases() {
+        let gold: HashSet<u32> = [1].into_iter().collect();
+        assert_eq!(precision_recall_at_k::<u32>(&[], &gold, 5), (0.0, 0.0));
+        let empty: HashSet<u32> = HashSet::new();
+        assert_eq!(precision_recall_at_k(&[1u32], &empty, 5), (0.0, 0.0));
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let gains: std::collections::HashMap<u32, f64> =
+            [(1, 3.0), (2, 2.0), (3, 1.0)].into_iter().collect();
+        assert!((ndcg_at_k(&[1u32, 2, 3], &gains, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_penalizes_inversions() {
+        let gains: std::collections::HashMap<u32, f64> =
+            [(1, 3.0), (2, 2.0), (3, 1.0)].into_iter().collect();
+        let perfect = ndcg_at_k(&[1u32, 2, 3], &gains, 10);
+        let inverted = ndcg_at_k(&[3u32, 2, 1], &gains, 10);
+        assert!(inverted < perfect);
+        assert!(inverted > 0.0);
+    }
+
+    #[test]
+    fn ndcg_degenerate_cases() {
+        let empty: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        assert_eq!(ndcg_at_k(&[1u32, 2], &empty, 5), 0.0);
+        let gains: std::collections::HashMap<u32, f64> = [(9, 1.0)].into_iter().collect();
+        assert_eq!(ndcg_at_k::<u32>(&[], &gains, 5), 0.0);
+    }
+
+    #[test]
+    fn ndcg_respects_k() {
+        let gains: std::collections::HashMap<u32, f64> = [(1, 1.0)].into_iter().collect();
+        // Relevant item at rank 3 with k = 2 contributes nothing.
+        assert_eq!(ndcg_at_k(&[7u32, 8, 1], &gains, 2), 0.0);
+        assert!(ndcg_at_k(&[7u32, 8, 1], &gains, 3) > 0.0);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean() {
+        let values: Vec<f64> = (0..50).map(|i| (i % 10) as f64).collect();
+        let (lo, hi) = bootstrap_ci(&values, 500, 7);
+        let m = mean(&values);
+        assert!(lo <= m && m <= hi, "{lo} <= {m} <= {hi}");
+        assert!(hi - lo < 3.0, "CI too wide: {lo}..{hi}");
+    }
+
+    #[test]
+    fn bootstrap_ci_is_deterministic() {
+        let values = vec![0.2, 0.4, 0.9, 0.1, 0.5, 0.6];
+        assert_eq!(bootstrap_ci(&values, 200, 3), bootstrap_ci(&values, 200, 3));
+    }
+
+    #[test]
+    fn bootstrap_ci_degenerate_inputs() {
+        assert_eq!(bootstrap_ci(&[], 100, 1), (0.0, 0.0));
+        assert_eq!(bootstrap_ci(&[0.7], 100, 1), (0.7, 0.7));
+    }
+
+    #[test]
+    fn bootstrap_ci_narrows_with_constant_data() {
+        let values = vec![0.5; 40];
+        let (lo, hi) = bootstrap_ci(&values, 200, 5);
+        assert_eq!((lo, hi), (0.5, 0.5));
+    }
+}

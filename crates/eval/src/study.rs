@@ -1,0 +1,459 @@
+//! Table 3: the simulated user study (§7.2, "User study").
+//!
+//! 20 human SMEs are people-gated, so simulated participants reproduce the
+//! study's *mechanics*:
+//!
+//! * **T1** — each participant asks 20 questions around given condition
+//!   names; **T2** — 10 free questions, a small fraction of which have no
+//!   answer in the KB (the paper observed 9 of 200).
+//! * Participants phrase conditions imperfectly (typos, colloquial and
+//!   reordered forms) and converge towards the precise name over retries —
+//!   this is the querying-vocabulary mismatch the whole paper is about.
+//! * Grading follows the retry protocol: 5 points, minus one per failed
+//!   attempt, at most 4 rephrasings, floor 1.
+//! * The paper's orthogonal incident categories (answers missing from the
+//!   KB, conversational-flow complaints, unexplained low grades,
+//!   overwhelming-information complaints) are injected at the reported
+//!   rates and counted.
+//!
+//! Correctness is judged by the oracle: an answer is correct when it is
+//! about the asked concept (directly, or — for repair suggestions — a
+//! concept the oracle deems relevant in the question's context).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use medkb_core::QueryRelaxer;
+use medkb_nli::trainset::generate_training_queries;
+use medkb_nli::{ConversationEngine, EntityExtractor, IntentClassifier, Response};
+use medkb_snomed::oracle::DEFAULT_RELEVANCE_THRESHOLD;
+use medkb_snomed::{vocab, ContextTag, Oracle};
+use medkb_types::{ExtConceptId, InstanceId};
+
+use crate::pipeline::EvalStack;
+
+/// Study parameters (defaults reproduce the paper's setup).
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of simulated participants (paper: 20).
+    pub participants: usize,
+    /// Questions per participant in T1 (paper: 20).
+    pub t1_questions: usize,
+    /// Questions per participant in T2 (paper: 10).
+    pub t2_questions: usize,
+    /// Fraction of T2 questions with no KB answer (paper: 9/200).
+    pub t2_unanswerable_rate: f64,
+    /// Maximum attempts per question (paper: 1 + 4 rephrasings).
+    pub max_attempts: usize,
+    /// Probability a first phrasing is imprecise.
+    pub imprecise_phrasing_rate: f64,
+    /// Per-question incident probabilities `(kb gap, flow complaint,
+    /// unexplained low grade, information overload)` — paper: 7, 11, 10
+    /// and 6 incidents over 2 × 600 graded questions.
+    pub incident_rates: (f64, f64, f64, f64),
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5EED_0007,
+            participants: 20,
+            t1_questions: 20,
+            t2_questions: 10,
+            t2_unanswerable_rate: 9.0 / 200.0,
+            max_attempts: 5,
+            imprecise_phrasing_rate: 0.85,
+            incident_rates: (7.0 / 1200.0, 11.0 / 1200.0, 10.0 / 1200.0, 6.0 / 1200.0),
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A fast configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self { seed, participants: 4, t1_questions: 6, t2_questions: 4, ..Self::default() }
+    }
+}
+
+/// Incident counters (the paper's feedback analysis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncidentCounts {
+    /// Expected answer not contained in the KB.
+    pub kb_gap: usize,
+    /// Complaints about the conversational flow.
+    pub flow: usize,
+    /// Low grade without negative feedback.
+    pub unexplained: usize,
+    /// Overwhelming amount of (correct) information.
+    pub overload: usize,
+}
+
+/// Grade distribution and average of one (system, task) cell.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// Percentage of grades 1..=5.
+    pub distribution: [f64; 5],
+    /// Average grade.
+    pub average: f64,
+    /// Raw grades.
+    pub grades: Vec<u8>,
+    /// Injected incidents.
+    pub incidents: IncidentCounts,
+}
+
+impl TaskResult {
+    fn from_grades(grades: Vec<u8>, incidents: IncidentCounts) -> Self {
+        let mut counts = [0usize; 5];
+        for &g in &grades {
+            counts[(g as usize).clamp(1, 5) - 1] += 1;
+        }
+        let n = grades.len().max(1) as f64;
+        let distribution = counts.map(|c| 100.0 * c as f64 / n);
+        let average = grades.iter().map(|&g| f64::from(g)).sum::<f64>() / n;
+        Self { distribution, average, grades, incidents }
+    }
+}
+
+/// The full Table 3 report.
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    /// With relaxation, task 1.
+    pub qr_t1: TaskResult,
+    /// With relaxation, task 2.
+    pub qr_t2: TaskResult,
+    /// Without relaxation, task 1.
+    pub noqr_t1: TaskResult,
+    /// Without relaxation, task 2.
+    pub noqr_t2: TaskResult,
+}
+
+/// One study question.
+struct Question {
+    /// The target concept in the terminology (None for unanswerable).
+    concept: Option<ExtConceptId>,
+    /// The target KB instance, when one exists.
+    instance: Option<InstanceId>,
+    /// The name the participant has in mind.
+    name: String,
+    /// The semantic context of the question.
+    tag: ContextTag,
+}
+
+/// Run the study on both systems (with and without QR).
+pub fn run_user_study(stack: &EvalStack, config: &StudyConfig) -> StudyReport {
+    let queries = generate_training_queries(
+        &stack.world.kb,
+        &stack.world.contexts,
+        |c| stack.world.tag_of(c),
+        6,
+        config.seed ^ 0x1111,
+    );
+    let classifier = IntentClassifier::train(&queries);
+    let extractor = EntityExtractor::build(&stack.world.kb);
+
+    let build_engine = |use_qr: bool| {
+        let relaxer: QueryRelaxer = stack.relaxer(stack.config.relax.clone());
+        let mut e = ConversationEngine::new(
+            stack.world.kb.clone(),
+            relaxer,
+            classifier.clone(),
+            extractor.clone(),
+        );
+        e.use_relaxation = use_qr;
+        e
+    };
+    let mut qr_engine = build_engine(true);
+    let mut noqr_engine = build_engine(false);
+
+    let report = |use_qr: bool, task1: bool, engine: &mut ConversationEngine| {
+        let mut rng = StdRng::seed_from_u64(
+            config.seed ^ if use_qr { 0xAA } else { 0xBB } ^ if task1 { 0x1 } else { 0x2 },
+        );
+        run_task(stack, config, engine, &mut rng, task1)
+    };
+    let qr_t1 = report(true, true, &mut qr_engine);
+    let qr_t2 = report(true, false, &mut qr_engine);
+    let noqr_t1 = report(false, true, &mut noqr_engine);
+    let noqr_t2 = report(false, false, &mut noqr_engine);
+    StudyReport { qr_t1, qr_t2, noqr_t1, noqr_t2 }
+}
+
+fn run_task(
+    stack: &EvalStack,
+    config: &StudyConfig,
+    engine: &mut ConversationEngine,
+    rng: &mut StdRng,
+    task1: bool,
+) -> TaskResult {
+    let mut grades = Vec::new();
+    let mut incidents = IncidentCounts::default();
+    let per_participant = if task1 { config.t1_questions } else { config.t2_questions };
+    for _ in 0..config.participants {
+        for _ in 0..per_participant {
+            let question = draw_question(stack, config, rng, task1);
+            let mut grade = ask_until_correct(stack, config, engine, rng, &question);
+            // Orthogonal incidents (paper's feedback analysis).
+            let (p_gap, p_flow, p_unexplained, p_overload) = config.incident_rates;
+            if rng.gen_bool(p_gap) {
+                incidents.kb_gap += 1;
+                grade = grade.min(2);
+            }
+            if rng.gen_bool(p_flow) {
+                incidents.flow += 1;
+                grade = grade.saturating_sub(1 + u8::from(rng.gen_bool(0.5))).max(1);
+            }
+            if rng.gen_bool(p_unexplained) {
+                incidents.unexplained += 1;
+                grade = if rng.gen_bool(0.5) { 1 } else { 3 };
+            }
+            if rng.gen_bool(p_overload) {
+                incidents.overload += 1;
+                grade = grade.min(3);
+            }
+            grades.push(grade.clamp(1, 5));
+        }
+    }
+    TaskResult::from_grades(grades, incidents)
+}
+
+/// Draw a question: T1 targets given (mapped, answerable) conditions; T2 is
+/// a free mix including terminology-only and unanswerable terms.
+fn draw_question(
+    stack: &EvalStack,
+    config: &StudyConfig,
+    rng: &mut StdRng,
+    task1: bool,
+) -> Question {
+    let world = &stack.world;
+    let tag = if rng.gen_bool(0.6) { ContextTag::Treatment } else { ContextTag::Risk };
+
+    let mapped: Vec<(InstanceId, ExtConceptId)> = stack
+        .ingested
+        .mappings
+        .iter()
+        .map(|(&i, &c)| (i, c))
+        .filter(|&(i, _)| {
+            // T1's "given concepts" are answerable: a triple exists.
+            !task1 || !world.kb.incoming(i).is_empty()
+        })
+        .collect();
+
+    if !task1 && rng.gen_bool(config.t2_unanswerable_rate) {
+        // A condition that exists in neither the KB nor the terminology.
+        return Question {
+            concept: None,
+            instance: None,
+            name: format!(
+                "{}{} disorder",
+                vocab::GENUS_STARTS[rng.gen_range(0..vocab::GENUS_STARTS.len())],
+                vocab::SPECIES[rng.gen_range(0..vocab::SPECIES.len())]
+            ),
+            tag,
+        };
+    }
+    if !task1 && rng.gen_bool(0.3) {
+        // Terminology-only condition (the "pyelectasia" case).
+        let pool = world.unrepresented_findings();
+        if !pool.is_empty() {
+            let c = pool[rng.gen_range(0..pool.len())];
+            return Question {
+                concept: Some(c),
+                instance: None,
+                name: world.terminology.ekg.name(c).to_string(),
+                tag,
+            };
+        }
+    }
+    let mut sorted = mapped;
+    sorted.sort_unstable();
+    let (inst, concept) = sorted[rng.gen_range(0..sorted.len())];
+    Question {
+        concept: Some(concept),
+        instance: Some(inst),
+        name: world.kb.name(inst).to_string(),
+        tag,
+    }
+}
+
+/// Run the retry loop, returning the grade (5 minus failed attempts).
+fn ask_until_correct(
+    stack: &EvalStack,
+    config: &StudyConfig,
+    engine: &mut ConversationEngine,
+    rng: &mut StdRng,
+    question: &Question,
+) -> u8 {
+    engine.reset();
+    let templates: &[&str] = match question.tag {
+        ContextTag::Treatment => &[
+            "what drugs treat {e}",
+            "which medication is used for {e}",
+            "what is the treatment for {e}",
+            "which drugs are indicated for {e}",
+            "how do you treat {e}",
+        ],
+        _ => &[
+            "what drugs cause {e}",
+            "which medication has the risk of causing {e}",
+            "what are the drugs with {e} as a side effect",
+            "can any drug lead to {e}",
+            "which drugs should be avoided with {e}",
+        ],
+    };
+    let mut imprecision = config.imprecise_phrasing_rate;
+    for attempt in 0..config.max_attempts {
+        let name = phrase(rng, &question.name, imprecision);
+        imprecision *= 0.85; // the participant converges to the exact name
+        let utterance = templates[attempt % templates.len()].replace("{e}", &name);
+        let response = engine.handle(&utterance);
+        match judge(stack, question, &response) {
+            Outcome::Full => return (5 - attempt as u8).max(1),
+            // A correct repair still costs the user a confirmation turn:
+            // participants graded such exchanges one point lower.
+            Outcome::Partial => return (4 - attempt as u8).max(1),
+            Outcome::Wrong => {}
+        }
+    }
+    1
+}
+
+/// How a response fares against the question.
+enum Outcome {
+    /// Direct correct answer.
+    Full,
+    /// Correct but indirect (a repair suggestion the user must confirm).
+    Partial,
+    /// Incorrect.
+    Wrong,
+}
+
+/// Produce the participant's phrasing of a name.
+fn phrase(rng: &mut StdRng, name: &str, imprecision: f64) -> String {
+    if !rng.gen_bool(imprecision.clamp(0.0, 1.0)) {
+        return name.to_string();
+    }
+    match rng.gen_range(0..3) {
+        0 => vocab::typo(rng, name),
+        1 => vocab::reword(rng, name),
+        _ => {
+            // Drop a leading modifier ("chronic renal pain" → "renal pain").
+            let words: Vec<&str> = name.split_whitespace().collect();
+            if words.len() >= 3 {
+                words[1..].join(" ")
+            } else {
+                vocab::typo(rng, name)
+            }
+        }
+    }
+}
+
+/// Oracle judgment of one response.
+fn judge(stack: &EvalStack, question: &Question, response: &Response) -> Outcome {
+    let world = &stack.world;
+    match response {
+        Response::Answer { entity, results, .. } => {
+            let on_topic = question.instance == Some(*entity)
+                || relevant_concept(stack, question, world.origins[*entity].concept);
+            if on_topic && !results.is_empty() {
+                Outcome::Full
+            } else {
+                Outcome::Wrong
+            }
+        }
+        Response::Repair { suggestions, .. } => {
+            let hit = suggestions.iter().take(3).any(|&(inst, _)| {
+                question.instance == Some(inst)
+                    || relevant_concept(stack, question, world.origins[inst].concept)
+            });
+            if hit {
+                Outcome::Partial
+            } else {
+                Outcome::Wrong
+            }
+        }
+        Response::Verification { object, holds, .. } => {
+            // The study templates never ask polar questions, but be
+            // robust: a true verification about the asked entity counts.
+            if *holds && question.instance == Some(*object) {
+                Outcome::Full
+            } else {
+                Outcome::Wrong
+            }
+        }
+        Response::DontUnderstand { .. } => Outcome::Wrong,
+    }
+}
+
+fn relevant_concept(
+    stack: &EvalStack,
+    question: &Question,
+    candidate: Option<ExtConceptId>,
+) -> bool {
+    let (Some(target), Some(cand)) = (question.concept, candidate) else {
+        return false;
+    };
+    if target == cand {
+        return true;
+    }
+    let term = &stack.world.terminology;
+    let ext_q = Oracle::extension(&term.ekg, target);
+    stack.world.oracle.relevance(term, &ext_q, target, cand, question.tag)
+        >= DEFAULT_RELEVANCE_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::EvalConfig;
+
+    fn report() -> StudyReport {
+        let stack = EvalStack::build(EvalConfig::tiny(131)).unwrap();
+        run_user_study(&stack, &StudyConfig::tiny(132))
+    }
+
+    #[test]
+    fn distributions_sum_to_100() {
+        let r = report();
+        for task in [&r.qr_t1, &r.qr_t2, &r.noqr_t1, &r.noqr_t2] {
+            let sum: f64 = task.distribution.iter().sum();
+            assert!((sum - 100.0).abs() < 1e-6, "{sum}");
+            assert!(!task.grades.is_empty());
+        }
+    }
+
+    #[test]
+    fn averages_within_grade_range() {
+        let r = report();
+        for task in [&r.qr_t1, &r.qr_t2, &r.noqr_t1, &r.noqr_t2] {
+            assert!((1.0..=5.0).contains(&task.average), "{}", task.average);
+        }
+    }
+
+    #[test]
+    fn qr_outperforms_no_qr() {
+        let r = report();
+        assert!(
+            r.qr_t1.average > r.noqr_t1.average,
+            "T1: QR {} vs no-QR {}",
+            r.qr_t1.average,
+            r.noqr_t1.average
+        );
+        assert!(
+            r.qr_t2.average > r.noqr_t2.average,
+            "T2: QR {} vs no-QR {}",
+            r.qr_t2.average,
+            r.noqr_t2.average
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let stack = EvalStack::build(EvalConfig::tiny(133)).unwrap();
+        let a = run_user_study(&stack, &StudyConfig::tiny(134));
+        let b = run_user_study(&stack, &StudyConfig::tiny(134));
+        assert_eq!(a.qr_t1.grades, b.qr_t1.grades);
+        assert_eq!(a.noqr_t2.grades, b.noqr_t2.grades);
+    }
+}

@@ -1,0 +1,174 @@
+//! TSV persistence for knowledge bases.
+//!
+//! Two documents alongside the ontology's own serialization
+//! (`medkb-ontology::io`):
+//!
+//! * **instances**: `id <TAB> name <TAB> conceptId`
+//! * **triples**: `subjectId <TAB> relationshipId <TAB> objectId`
+//!
+//! Relationship ids refer to the ontology's dense relationship order, which
+//! both serializers preserve.
+
+use std::collections::HashMap;
+
+use medkb_ontology::Ontology;
+use medkb_types::{Id, InstanceId, MedKbError, OntoConceptId, RelationshipId, Result};
+
+use crate::store::{Kb, KbBuilder};
+
+/// Serialize the ABox of `kb` into `(instances, triples)` TSV documents.
+pub fn to_tsv(kb: &Kb) -> (String, String) {
+    let mut instances = String::new();
+    for (id, inst) in kb.instances() {
+        instances.push_str(&format!(
+            "{}\t{}\t{}\n",
+            id.as_u32(),
+            inst.name,
+            inst.concept.as_u32()
+        ));
+    }
+    let mut triples = String::new();
+    for (id, _) in kb.instances() {
+        for &(rel, object) in kb.outgoing(id) {
+            triples.push_str(&format!(
+                "{}\t{}\t{}\n",
+                id.as_u32(),
+                rel.as_u32(),
+                object.as_u32()
+            ));
+        }
+    }
+    (instances, triples)
+}
+
+/// Parse a KB over `ontology` from the documents of [`to_tsv`].
+///
+/// # Errors
+/// [`MedKbError::Corrupt`] on malformed lines or dangling ids, plus the
+/// domain/range violations [`KbBuilder::build`] detects.
+pub fn from_tsv(ontology: Ontology, instances_tsv: &str, triples_tsv: &str) -> Result<Kb> {
+    let n_rels = ontology.relationship_count();
+    let n_concepts = ontology.concept_count();
+    let mut builder = KbBuilder::new(ontology);
+    let mut id_map: HashMap<u32, InstanceId> = HashMap::new();
+    for (lineno, line) in instances_tsv.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (raw, name, concept) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(r), Some(n), Some(c)) if !n.is_empty() => (r, n, c),
+            _ => {
+                return Err(MedKbError::Corrupt {
+                    detail: format!("instances line {}: bad record", lineno + 1),
+                })
+            }
+        };
+        let raw: u32 = raw.parse().map_err(|_| MedKbError::Corrupt {
+            detail: format!("instances line {}: bad id {raw:?}", lineno + 1),
+        })?;
+        let concept: u32 = concept.parse().map_err(|_| MedKbError::Corrupt {
+            detail: format!("instances line {}: bad concept id {concept:?}", lineno + 1),
+        })?;
+        if concept as usize >= n_concepts {
+            return Err(MedKbError::Corrupt {
+                detail: format!("instances line {}: unknown concept {concept}", lineno + 1),
+            });
+        }
+        let id = builder.instance(name, OntoConceptId::new(concept));
+        if id_map.insert(raw, id).is_some() {
+            return Err(MedKbError::Corrupt {
+                detail: format!("instances line {}: duplicate id {raw}", lineno + 1),
+            });
+        }
+    }
+    for (lineno, line) in triples_tsv.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (s, r, o) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(s), Some(r), Some(o)) => (s, r, o),
+            _ => {
+                return Err(MedKbError::Corrupt {
+                    detail: format!("triples line {}: bad record", lineno + 1),
+                })
+            }
+        };
+        let resolve_inst = |raw: &str| -> Result<InstanceId> {
+            let n: u32 = raw.parse().map_err(|_| MedKbError::Corrupt {
+                detail: format!("triples line {}: bad id {raw:?}", lineno + 1),
+            })?;
+            id_map.get(&n).copied().ok_or_else(|| MedKbError::Corrupt {
+                detail: format!("triples line {}: unknown instance {n}", lineno + 1),
+            })
+        };
+        let rel: u32 = r.parse().map_err(|_| MedKbError::Corrupt {
+            detail: format!("triples line {}: bad relationship id {r:?}", lineno + 1),
+        })?;
+        if rel as usize >= n_rels {
+            return Err(MedKbError::Corrupt {
+                detail: format!("triples line {}: unknown relationship {rel}", lineno + 1),
+            });
+        }
+        let (s, o) = (resolve_inst(s)?, resolve_inst(o)?);
+        builder.triple(s, RelationshipId::new(rel), o);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medkb_ontology::OntologyBuilder;
+
+    fn sample() -> Kb {
+        let mut b = OntologyBuilder::new();
+        let drug = b.concept("Drug");
+        let finding = b.concept("Finding");
+        b.relationship("treats", drug, finding);
+        let o = b.build().unwrap();
+        let rel = o.lookup_relationship("Drug-treats-Finding").unwrap();
+        let mut kb = KbBuilder::new(o);
+        let onto = kb.ontology();
+        let (dc, fc) =
+            (onto.lookup_concept("Drug").unwrap(), onto.lookup_concept("Finding").unwrap());
+        let aspirin = kb.instance("aspirin", dc);
+        let fever = kb.instance("fever", fc);
+        kb.triple(aspirin, rel, fever);
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn kb_roundtrips() {
+        let kb = sample();
+        let (inst, trip) = to_tsv(&kb);
+        let back = from_tsv(kb.ontology().clone(), &inst, &trip).unwrap();
+        assert_eq!(back.instance_count(), kb.instance_count());
+        assert_eq!(back.triple_count(), kb.triple_count());
+        let fever = back.lookup_name("fever")[0];
+        let rel = back.ontology().lookup_relationship("Drug-treats-Finding").unwrap();
+        assert_eq!(back.subjects(fever, rel).len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_records() {
+        let kb = sample();
+        let o = kb.ontology().clone();
+        assert!(from_tsv(o.clone(), "x\taspirin\t0\n", "").is_err());
+        assert!(from_tsv(o.clone(), "0\taspirin\t99\n", "").is_err());
+        assert!(from_tsv(o.clone(), "0\taspirin\t0\n", "0\t99\t0\n").is_err());
+        assert!(from_tsv(o.clone(), "0\taspirin\t0\n", "0\t0\t5\n").is_err());
+        assert!(from_tsv(o, "0\taspirin\t0\n0\tfever\t1\n", "").is_err()); // dup id
+    }
+
+    #[test]
+    fn domain_violation_still_caught_after_load() {
+        let kb = sample();
+        let o = kb.ontology().clone();
+        // fever (Finding) used as a treats-subject violates the domain.
+        let inst = "0\taspirin\t0\n1\tfever\t1\n";
+        let trip = "1\t0\t0\n";
+        assert!(from_tsv(o, inst, trip).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! The knowledge base instance store (ABox).
+//!
+//! §2.1: "The instances (data) of the given KB are stored separately for
+//! query answering" — the paper keeps them in IBM Db2; this crate is the
+//! equivalent embedded store. It holds:
+//!
+//! * typed instances (`"fever"` is an instance of the ontology concept
+//!   `Finding`),
+//! * relation triples between instances (`aspirin --treat--> ind_42`,
+//!   `ind_42 --hasFinding--> fever`), each typed by an ontology
+//!   relationship, and
+//! * the indexes the online phase needs: name lookup, per-concept instance
+//!   lists, and subject/object adjacency for path queries.
+//!
+//! The [`query`] module walks relationship paths in either direction, which
+//! is how the conversational system answers "what drugs treat fever"
+//! (follow `Drug-treat-Indication` then `Indication-hasFinding-Finding`
+//! backwards from the `fever` instance).
+
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod query;
+pub mod store;
+
+pub use query::PathQuery;
+pub use store::{Instance, Kb, KbBuilder};

@@ -1,0 +1,208 @@
+//! Relationship-path queries over the instance store.
+//!
+//! The natural-language interfaces ultimately answer questions by walking a
+//! short relationship path anchored at an instance. "Which drugs treat
+//! fever" anchors at the `fever` instance and walks
+//! `Indication-hasFinding-Finding` backwards, then `Drug-treat-Indication`
+//! backwards. [`PathQuery`] expresses such walks declaratively.
+
+use std::collections::HashSet;
+
+use medkb_types::{InstanceId, RelationshipId};
+
+use crate::store::Kb;
+
+/// One step of a path query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Follow triples `current --rel--> next`.
+    Forward(RelationshipId),
+    /// Follow triples `next --rel--> current`.
+    Backward(RelationshipId),
+}
+
+/// A declarative relationship-path query anchored at a set of instances.
+///
+/// ```
+/// # use medkb_ontology::OntologyBuilder;
+/// # use medkb_kb::{KbBuilder, PathQuery};
+/// # let mut b = OntologyBuilder::new();
+/// # let drug = b.concept("Drug");
+/// # let finding = b.concept("Finding");
+/// # b.relationship("treats", drug, finding);
+/// # let o = b.build().unwrap();
+/// # let rel = o.lookup_relationship("Drug-treats-Finding").unwrap();
+/// # let mut kb = KbBuilder::new(o);
+/// # let onto = kb.ontology();
+/// # let (dc, fc) = (onto.lookup_concept("Drug").unwrap(), onto.lookup_concept("Finding").unwrap());
+/// # let aspirin = kb.instance("aspirin", dc);
+/// # let fever = kb.instance("fever", fc);
+/// # kb.triple(aspirin, rel, fever);
+/// # let kb = kb.build().unwrap();
+/// let drugs = PathQuery::from(fever).backward(rel).run(&kb);
+/// assert_eq!(drugs, vec![aspirin]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathQuery {
+    anchors: Vec<InstanceId>,
+    steps: Vec<Step>,
+}
+
+impl PathQuery {
+    /// Anchor the query at a single instance.
+    pub fn from(anchor: InstanceId) -> Self {
+        Self { anchors: vec![anchor], steps: Vec::new() }
+    }
+
+    /// Anchor the query at several instances (their result sets union).
+    pub fn from_all(anchors: impl IntoIterator<Item = InstanceId>) -> Self {
+        Self { anchors: anchors.into_iter().collect(), steps: Vec::new() }
+    }
+
+    /// Append a forward step.
+    pub fn forward(mut self, rel: RelationshipId) -> Self {
+        self.steps.push(Step::Forward(rel));
+        self
+    }
+
+    /// Append a backward step.
+    pub fn backward(mut self, rel: RelationshipId) -> Self {
+        self.steps.push(Step::Backward(rel));
+        self
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the query has no steps (it then returns its anchors).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Execute against `kb`, returning the deduplicated frontier after the
+    /// final step, in first-reached order.
+    pub fn run(&self, kb: &Kb) -> Vec<InstanceId> {
+        let mut frontier: Vec<InstanceId> = Vec::new();
+        let mut seen: HashSet<InstanceId> = HashSet::new();
+        for &a in &self.anchors {
+            if seen.insert(a) {
+                frontier.push(a);
+            }
+        }
+        for step in &self.steps {
+            let mut next = Vec::new();
+            let mut next_seen = HashSet::new();
+            for &cur in &frontier {
+                let hops = match *step {
+                    Step::Forward(rel) => kb.objects(cur, rel),
+                    Step::Backward(rel) => kb.subjects(cur, rel),
+                };
+                for h in hops {
+                    if next_seen.insert(h) {
+                        next.push(h);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        frontier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medkb_kb_test_fixtures::two_hop_kb;
+
+    /// Local fixture module (not a separate crate): a Drug→Indication→
+    /// Finding KB with two drugs sharing an indication.
+    mod medkb_kb_test_fixtures {
+        use crate::store::{Kb, KbBuilder};
+        use medkb_ontology::OntologyBuilder;
+
+        pub fn two_hop_kb() -> Kb {
+            let mut b = OntologyBuilder::new();
+            let drug = b.concept("Drug");
+            let indication = b.concept("Indication");
+            let finding = b.concept("Finding");
+            b.relationship("treat", drug, indication);
+            b.relationship("hasFinding", indication, finding);
+            let o = b.build().unwrap();
+            let mut kb = KbBuilder::new(o);
+            let onto = kb.ontology();
+            let (dc, ic, fc) = (
+                onto.lookup_concept("Drug").unwrap(),
+                onto.lookup_concept("Indication").unwrap(),
+                onto.lookup_concept("Finding").unwrap(),
+            );
+            let treat = kb.ontology().lookup_relationship("Drug-treat-Indication").unwrap();
+            let has =
+                kb.ontology().lookup_relationship("Indication-hasFinding-Finding").unwrap();
+            let aspirin = kb.instance("aspirin", dc);
+            let ibuprofen = kb.instance("ibuprofen", dc);
+            let amoxicillin = kb.instance("amoxicillin", dc);
+            let pain_relief = kb.instance("pain relief", ic);
+            let infection = kb.instance("bacterial infection", ic);
+            let fever = kb.instance("fever", fc);
+            let earache = kb.instance("earache", fc);
+            kb.triple(aspirin, treat, pain_relief);
+            kb.triple(ibuprofen, treat, pain_relief);
+            kb.triple(amoxicillin, treat, infection);
+            kb.triple(pain_relief, has, fever);
+            kb.triple(infection, has, fever);
+            kb.triple(infection, has, earache);
+            kb.build().unwrap()
+        }
+    }
+
+    #[test]
+    fn two_hop_backward_walk() {
+        let kb = two_hop_kb();
+        let treat = kb.ontology().lookup_relationship("Drug-treat-Indication").unwrap();
+        let has = kb.ontology().lookup_relationship("Indication-hasFinding-Finding").unwrap();
+        let fever = kb.lookup_name("fever")[0];
+        let drugs = PathQuery::from(fever).backward(has).backward(treat).run(&kb);
+        let names: HashSet<&str> = drugs.iter().map(|&d| kb.name(d)).collect();
+        assert_eq!(names, HashSet::from(["aspirin", "ibuprofen", "amoxicillin"]));
+    }
+
+    #[test]
+    fn forward_walk() {
+        let kb = two_hop_kb();
+        let treat = kb.ontology().lookup_relationship("Drug-treat-Indication").unwrap();
+        let has = kb.ontology().lookup_relationship("Indication-hasFinding-Finding").unwrap();
+        let amoxicillin = kb.lookup_name("amoxicillin")[0];
+        let findings = PathQuery::from(amoxicillin).forward(treat).forward(has).run(&kb);
+        let names: HashSet<&str> = findings.iter().map(|&f| kb.name(f)).collect();
+        assert_eq!(names, HashSet::from(["fever", "earache"]));
+    }
+
+    #[test]
+    fn empty_query_returns_anchors() {
+        let kb = two_hop_kb();
+        let fever = kb.lookup_name("fever")[0];
+        assert_eq!(PathQuery::from(fever).run(&kb), vec![fever]);
+    }
+
+    #[test]
+    fn multiple_anchors_union_and_dedup() {
+        let kb = two_hop_kb();
+        let has = kb.ontology().lookup_relationship("Indication-hasFinding-Finding").unwrap();
+        let fever = kb.lookup_name("fever")[0];
+        let earache = kb.lookup_name("earache")[0];
+        // Both findings reach "bacterial infection": it must appear once.
+        let inds = PathQuery::from_all([fever, earache]).backward(has).run(&kb);
+        assert_eq!(inds.len(), 2); // pain relief + bacterial infection
+    }
+
+    #[test]
+    fn dead_end_yields_empty() {
+        let kb = two_hop_kb();
+        let treat = kb.ontology().lookup_relationship("Drug-treat-Indication").unwrap();
+        let fever = kb.lookup_name("fever")[0];
+        // fever is not the object of any `treat` triple.
+        assert!(PathQuery::from(fever).backward(treat).run(&kb).is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! Instance storage and indexes.
+
+use std::collections::HashMap;
+
+use medkb_ontology::Ontology;
+use medkb_text::normalize;
+use medkb_types::{
+    Id, IdVec, InstanceId, MedKbError, OntoConceptId, RelationshipId, Result,
+};
+
+/// A typed instance of the knowledge base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Display name as stored in the KB, e.g. `"renal impairment"`.
+    pub name: Box<str>,
+    /// The ontology concept this instance belongs to.
+    pub concept: OntoConceptId,
+}
+
+/// Builder for [`Kb`].
+#[derive(Debug)]
+pub struct KbBuilder {
+    ontology: Ontology,
+    instances: Vec<Instance>,
+    triples: Vec<(InstanceId, RelationshipId, InstanceId)>,
+}
+
+impl KbBuilder {
+    /// Start building a KB over `ontology`.
+    pub fn new(ontology: Ontology) -> Self {
+        Self { ontology, instances: Vec::new(), triples: Vec::new() }
+    }
+
+    /// The ontology being built against.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// Add an instance of `concept`, returning its id. Duplicate names are
+    /// allowed (medical KBs have homonyms across concepts).
+    pub fn instance(&mut self, name: &str, concept: OntoConceptId) -> InstanceId {
+        let id = InstanceId::from_usize(self.instances.len());
+        self.instances.push(Instance { name: name.into(), concept });
+        id
+    }
+
+    /// Record the triple `subject --relationship--> object`.
+    pub fn triple(
+        &mut self,
+        subject: InstanceId,
+        relationship: RelationshipId,
+        object: InstanceId,
+    ) {
+        self.triples.push((subject, relationship, object));
+    }
+
+    /// Number of instances so far.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Validate triples against domain/range constraints and freeze.
+    ///
+    /// # Errors
+    /// [`MedKbError::InvalidArgument`] if a triple's subject/object concept
+    /// does not satisfy the relationship's domain/range constraint
+    /// (sub-concepts of the constraint are accepted).
+    pub fn build(self) -> Result<Kb> {
+        let n = self.instances.len();
+        let satisfies = |actual: OntoConceptId, declared: OntoConceptId| {
+            actual == declared || self.ontology.concept_subsumes(declared, actual)
+        };
+        for &(s, r, o) in &self.triples {
+            let rel = self.ontology.relationship(r);
+            let sc = self.instances[s.as_usize()].concept;
+            let oc = self.instances[o.as_usize()].concept;
+            if !satisfies(sc, rel.domain) {
+                return Err(MedKbError::invalid(format!(
+                    "triple subject {:?} has concept {} but {} requires domain {}",
+                    self.instances[s.as_usize()].name,
+                    self.ontology.concept_name(sc),
+                    rel.name,
+                    self.ontology.concept_name(rel.domain),
+                )));
+            }
+            if !satisfies(oc, rel.range) {
+                return Err(MedKbError::invalid(format!(
+                    "triple object {:?} has concept {} but {} requires range {}",
+                    self.instances[o.as_usize()].name,
+                    self.ontology.concept_name(oc),
+                    rel.name,
+                    self.ontology.concept_name(rel.range),
+                )));
+            }
+        }
+
+        let mut by_name: HashMap<Box<str>, Vec<InstanceId>> = HashMap::new();
+        let mut by_concept: IdVec<OntoConceptId, Vec<InstanceId>> =
+            IdVec::filled(Vec::new(), self.ontology.concept_count());
+        for (i, inst) in self.instances.iter().enumerate() {
+            let id = InstanceId::from_usize(i);
+            by_name.entry(normalize(&inst.name).into()).or_default().push(id);
+            by_concept[inst.concept].push(id);
+        }
+
+        let mut outgoing: IdVec<InstanceId, Vec<(RelationshipId, InstanceId)>> =
+            IdVec::filled(Vec::new(), n);
+        let mut incoming: IdVec<InstanceId, Vec<(RelationshipId, InstanceId)>> =
+            IdVec::filled(Vec::new(), n);
+        for &(s, r, o) in &self.triples {
+            outgoing[s].push((r, o));
+            incoming[o].push((r, s));
+        }
+
+        Ok(Kb {
+            ontology: self.ontology,
+            instances: self.instances.into_iter().collect(),
+            by_name,
+            by_concept,
+            outgoing,
+            incoming,
+            triple_count: self.triples.len(),
+        })
+    }
+}
+
+/// The frozen knowledge base: ontology + instances + triples + indexes.
+#[derive(Debug, Clone)]
+pub struct Kb {
+    ontology: Ontology,
+    instances: IdVec<InstanceId, Instance>,
+    by_name: HashMap<Box<str>, Vec<InstanceId>>,
+    by_concept: IdVec<OntoConceptId, Vec<InstanceId>>,
+    outgoing: IdVec<InstanceId, Vec<(RelationshipId, InstanceId)>>,
+    incoming: IdVec<InstanceId, Vec<(RelationshipId, InstanceId)>>,
+    triple_count: usize,
+}
+
+impl Kb {
+    /// The domain ontology of this KB.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// Number of instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of stored triples.
+    pub fn triple_count(&self) -> usize {
+        self.triple_count
+    }
+
+    /// The instance behind `id`.
+    pub fn instance(&self, id: InstanceId) -> &Instance {
+        &self.instances[id]
+    }
+
+    /// Display name of `id`.
+    pub fn name(&self, id: InstanceId) -> &str {
+        &self.instances[id].name
+    }
+
+    /// Ontology concept of `id`.
+    pub fn concept_of(&self, id: InstanceId) -> OntoConceptId {
+        self.instances[id].concept
+    }
+
+    /// All instances, in id order.
+    pub fn instances(&self) -> impl Iterator<Item = (InstanceId, &Instance)> {
+        self.instances.iter()
+    }
+
+    /// Instances whose normalized name equals `name` (normalized).
+    pub fn lookup_name(&self, name: &str) -> &[InstanceId] {
+        self.by_name.get(normalize(name).as_str()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Instances of `concept` (exact concept, not descendants).
+    pub fn instances_of(&self, concept: OntoConceptId) -> &[InstanceId] {
+        &self.by_concept[concept]
+    }
+
+    /// Instances of `concept` or any of its TBox descendants.
+    pub fn instances_of_subtree(&self, concept: OntoConceptId) -> Vec<InstanceId> {
+        let mut out = self.by_concept[concept].to_vec();
+        for d in self.ontology.concept_descendants(concept) {
+            out.extend_from_slice(&self.by_concept[d]);
+        }
+        out
+    }
+
+    /// Objects `o` such that `subject --relationship--> o`.
+    pub fn objects(&self, subject: InstanceId, relationship: RelationshipId) -> Vec<InstanceId> {
+        self.outgoing[subject]
+            .iter()
+            .filter(|&&(r, _)| r == relationship)
+            .map(|&(_, o)| o)
+            .collect()
+    }
+
+    /// Subjects `s` such that `s --relationship--> object`.
+    pub fn subjects(&self, object: InstanceId, relationship: RelationshipId) -> Vec<InstanceId> {
+        self.incoming[object]
+            .iter()
+            .filter(|&&(r, _)| r == relationship)
+            .map(|&(_, s)| s)
+            .collect()
+    }
+
+    /// All outgoing `(relationship, object)` pairs of `subject`.
+    pub fn outgoing(&self, subject: InstanceId) -> &[(RelationshipId, InstanceId)] {
+        &self.outgoing[subject]
+    }
+
+    /// All incoming `(relationship, subject)` pairs of `object`.
+    pub fn incoming(&self, object: InstanceId) -> &[(RelationshipId, InstanceId)] {
+        &self.incoming[object]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medkb_ontology::OntologyBuilder;
+
+    fn tiny() -> Kb {
+        let mut b = OntologyBuilder::new();
+        let drug = b.concept("Drug");
+        let indication = b.concept("Indication");
+        let finding = b.concept("Finding");
+        let symptom = b.concept("Symptom");
+        b.sub_concept(symptom, finding);
+        b.relationship("treat", drug, indication);
+        b.relationship("hasFinding", indication, finding);
+        let o = b.build().unwrap();
+
+        let mut kb = KbBuilder::new(o);
+        let onto = kb.ontology();
+        let (drug, indication, finding, symptom) = (
+            onto.lookup_concept("Drug").unwrap(),
+            onto.lookup_concept("Indication").unwrap(),
+            onto.lookup_concept("Finding").unwrap(),
+            onto.lookup_concept("Symptom").unwrap(),
+        );
+        let treat = kb.ontology().lookup_relationship("Drug-treat-Indication").unwrap();
+        let has = kb.ontology().lookup_relationship("Indication-hasFinding-Finding").unwrap();
+        let aspirin = kb.instance("aspirin", drug);
+        let ind = kb.instance("fever management", indication);
+        let fever = kb.instance("fever", finding);
+        let chills = kb.instance("chills", symptom); // Symptom ⊑ Finding
+        kb.triple(aspirin, treat, ind);
+        kb.triple(ind, has, fever);
+        kb.triple(ind, has, chills);
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn name_lookup_is_normalized() {
+        let kb = tiny();
+        assert_eq!(kb.lookup_name("FEVER").len(), 1);
+        assert_eq!(kb.lookup_name("  fever ").len(), 1);
+        assert!(kb.lookup_name("absent").is_empty());
+    }
+
+    #[test]
+    fn concept_index_and_subtree() {
+        let kb = tiny();
+        let onto = kb.ontology();
+        let finding = onto.lookup_concept("Finding").unwrap();
+        assert_eq!(kb.instances_of(finding).len(), 1); // fever only
+        assert_eq!(kb.instances_of_subtree(finding).len(), 2); // + chills
+    }
+
+    #[test]
+    fn forward_and_backward_navigation() {
+        let kb = tiny();
+        let treat = kb.ontology().lookup_relationship("Drug-treat-Indication").unwrap();
+        let has = kb.ontology().lookup_relationship("Indication-hasFinding-Finding").unwrap();
+        let aspirin = kb.lookup_name("aspirin")[0];
+        let fever = kb.lookup_name("fever")[0];
+        let ind = kb.objects(aspirin, treat)[0];
+        assert_eq!(kb.name(ind), "fever management");
+        assert_eq!(kb.subjects(fever, has), vec![ind]);
+        assert_eq!(kb.subjects(ind, treat), vec![aspirin]);
+    }
+
+    #[test]
+    fn range_violation_rejected() {
+        let mut b = OntologyBuilder::new();
+        let drug = b.concept("Drug");
+        let indication = b.concept("Indication");
+        b.relationship("treat", drug, indication);
+        let o = b.build().unwrap();
+        let mut kb = KbBuilder::new(o);
+        let onto = kb.ontology();
+        let (drug, _) =
+            (onto.lookup_concept("Drug").unwrap(), onto.lookup_concept("Indication").unwrap());
+        let treat = kb.ontology().lookup_relationship("Drug-treat-Indication").unwrap();
+        let a = kb.instance("aspirin", drug);
+        let b2 = kb.instance("ibuprofen", drug); // Drug, not Indication
+        kb.triple(a, treat, b2);
+        assert!(kb.build().is_err());
+    }
+
+    #[test]
+    fn subconcept_satisfies_range() {
+        // chills (Symptom ⊑ Finding) accepted as object of hasFinding.
+        let kb = tiny();
+        assert_eq!(kb.triple_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_names_coexist() {
+        let mut b = OntologyBuilder::new();
+        let drug = b.concept("Drug");
+        let finding = b.concept("Finding");
+        b.relationship("r", drug, finding);
+        let o = b.build().unwrap();
+        let mut kb = KbBuilder::new(o);
+        let onto = kb.ontology();
+        let (d, f) =
+            (onto.lookup_concept("Drug").unwrap(), onto.lookup_concept("Finding").unwrap());
+        kb.instance("cold", d); // the drug "Cold" brand
+        kb.instance("cold", f); // the finding
+        let kb = kb.build().unwrap();
+        assert_eq!(kb.lookup_name("cold").len(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Entity mention extraction (the Watson Assistant entity layer of §6.1).
+//!
+//! Known mentions are spotted with a longest-match gazetteer over KB
+//! instance names. Remaining content words — after removing template
+//! vocabulary — are grouped into contiguous *unknown mentions*, the
+//! "pyelectasia" case that triggers relaxation.
+
+use std::collections::HashSet;
+
+use medkb_kb::Kb;
+use medkb_text::{tokenize, Gazetteer};
+use medkb_types::{Id, InstanceId};
+
+/// Words that belong to question phrasing rather than entities.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "of", "for", "with", "in", "on", "to", "and", "or", "is", "are",
+    "be", "can", "do", "does", "you", "any", "what", "which", "who", "how", "when",
+    "drug", "drugs", "medication", "medications", "medicine", "treat", "treats",
+    "treated", "treatment", "cause", "causes", "causing", "caused", "risk", "risks",
+    "side", "effect", "effects", "used", "use", "using", "indicated", "avoided",
+    "lead", "leads", "happens", "overdose", "toxic", "monitored", "monitoring",
+    "checks", "needed", "patients", "patient", "about", "tell", "me", "give",
+    "information", "should", "has", "have", "by", "as",
+];
+
+/// The result of scanning one utterance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extraction {
+    /// Instances whose names were found, in utterance order.
+    pub known: Vec<InstanceId>,
+    /// Contiguous unknown content-word mentions, in utterance order.
+    pub unknown: Vec<String>,
+}
+
+impl Extraction {
+    /// Whether nothing entity-like was found at all.
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty() && self.unknown.is_empty()
+    }
+}
+
+/// Gazetteer-based entity extractor over a KB.
+#[derive(Debug, Clone)]
+pub struct EntityExtractor {
+    gazetteer: Gazetteer,
+    stopwords: HashSet<&'static str>,
+}
+
+impl EntityExtractor {
+    /// Build from all instance names of `kb`.
+    pub fn build(kb: &Kb) -> Self {
+        let mut gazetteer = Gazetteer::new();
+        for (id, instance) in kb.instances() {
+            gazetteer.insert(&instance.name, id.as_u32());
+        }
+        Self { gazetteer, stopwords: STOPWORDS.iter().copied().collect() }
+    }
+
+    /// Scan `utterance` for known instances and unknown mentions.
+    pub fn extract(&self, utterance: &str) -> Extraction {
+        let tokens = tokenize(utterance);
+        let matches = self.gazetteer.scan_tokens(&tokens);
+        let mut covered = vec![false; tokens.len()];
+        let mut known = Vec::new();
+        for m in &matches {
+            known.push(InstanceId::new(m.payload));
+            for i in m.start_token..m.start_token + m.len {
+                covered[i] = true;
+            }
+        }
+        // Group the leftover non-stopword tokens into contiguous mentions.
+        let mut unknown = Vec::new();
+        let mut current: Vec<&str> = Vec::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            let is_content = !covered[i] && !self.stopwords.contains(tok.as_str());
+            if is_content {
+                current.push(tok);
+            } else if !current.is_empty() {
+                unknown.push(current.join(" "));
+                current.clear();
+            }
+        }
+        if !current.is_empty() {
+            unknown.push(current.join(" "));
+        }
+        Extraction { known, unknown }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medkb_ontology::OntologyBuilder;
+
+    fn kb() -> Kb {
+        let mut b = OntologyBuilder::new();
+        let drug = b.concept("Drug");
+        let finding = b.concept("Finding");
+        b.relationship("treats", drug, finding);
+        let o = b.build().unwrap();
+        let mut kb = medkb_kb::KbBuilder::new(o);
+        let onto = kb.ontology();
+        let (dc, fc) =
+            (onto.lookup_concept("Drug").unwrap(), onto.lookup_concept("Finding").unwrap());
+        kb.instance("aspirin", dc);
+        kb.instance("kidney disease", fc);
+        kb.instance("fever", fc);
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn finds_known_instances() {
+        let e = EntityExtractor::build(&kb());
+        let x = e.extract("what drugs treat fever");
+        assert_eq!(x.known.len(), 1);
+        assert!(x.unknown.is_empty());
+    }
+
+    #[test]
+    fn multiword_instances_matched_longest() {
+        let e = EntityExtractor::build(&kb());
+        let x = e.extract("which medication is used for kidney disease");
+        assert_eq!(x.known.len(), 1);
+        assert!(x.unknown.is_empty());
+    }
+
+    #[test]
+    fn unknown_term_detected() {
+        let e = EntityExtractor::build(&kb());
+        let x = e.extract("what drugs treat pyelectasia");
+        assert!(x.known.is_empty());
+        assert_eq!(x.unknown, vec!["pyelectasia"]);
+    }
+
+    #[test]
+    fn multiword_unknown_mention_grouped() {
+        let e = EntityExtractor::build(&kb());
+        let x = e.extract("what drugs treat psychogenic hyperthermia quickly");
+        assert_eq!(x.unknown, vec!["psychogenic hyperthermia quickly"]);
+    }
+
+    #[test]
+    fn known_and_unknown_coexist() {
+        let e = EntityExtractor::build(&kb());
+        let x = e.extract("does aspirin help with pyelectasia");
+        assert_eq!(x.known.len(), 1);
+        assert_eq!(x.unknown, vec!["help", "pyelectasia"]);
+    }
+
+    #[test]
+    fn pure_template_words_yield_empty() {
+        let e = EntityExtractor::build(&kb());
+        assert!(e.extract("what drugs treat").is_empty());
+        assert!(e.extract("").is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Multinomial naive-Bayes intent (context) classification.
+//!
+//! Stands in for Watson Assistant's intent model (§4): trained on the
+//! bootstrap utterances from [`crate::trainset`], it maps a user utterance
+//! to the most likely context. Entity words appear across many intents and
+//! wash out; the carrier signal is the phrasing ("treat" vs "cause" vs
+//! "monitor"), which is exactly how production intent classifiers behave.
+
+use std::collections::HashMap;
+
+use medkb_text::tokenize;
+use medkb_types::ContextId;
+
+use crate::trainset::LabeledQuery;
+
+/// A trained multinomial naive-Bayes intent classifier.
+#[derive(Debug, Clone)]
+pub struct IntentClassifier {
+    /// log prior per class.
+    priors: HashMap<ContextId, f64>,
+    /// log P(word | class) with Laplace smoothing.
+    likelihoods: HashMap<ContextId, HashMap<String, f64>>,
+    /// log of the smoothing mass for unseen words, per class.
+    unseen: HashMap<ContextId, f64>,
+    vocab_size: usize,
+}
+
+impl IntentClassifier {
+    /// Train from labeled utterances.
+    ///
+    /// # Panics
+    /// Panics on an empty training set — the bootstrap always produces
+    /// at least one example per context.
+    pub fn train(examples: &[LabeledQuery]) -> Self {
+        assert!(!examples.is_empty(), "intent training set must not be empty");
+        let mut class_counts: HashMap<ContextId, usize> = HashMap::new();
+        let mut word_counts: HashMap<ContextId, HashMap<String, usize>> = HashMap::new();
+        let mut vocab: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for ex in examples {
+            *class_counts.entry(ex.context).or_insert(0) += 1;
+            let words = word_counts.entry(ex.context).or_default();
+            for tok in tokenize(&ex.text) {
+                vocab.insert(tok.clone());
+                *words.entry(tok).or_insert(0) += 1;
+            }
+        }
+        let total = examples.len() as f64;
+        let vocab_size = vocab.len().max(1);
+        let mut priors = HashMap::new();
+        let mut likelihoods = HashMap::new();
+        let mut unseen = HashMap::new();
+        for (&class, &count) in &class_counts {
+            priors.insert(class, (count as f64 / total).ln());
+            let words = &word_counts[&class];
+            let class_tokens: usize = words.values().sum();
+            let denom = (class_tokens + vocab_size) as f64;
+            let map: HashMap<String, f64> = words
+                .iter()
+                .map(|(w, &c)| (w.clone(), ((c + 1) as f64 / denom).ln()))
+                .collect();
+            likelihoods.insert(class, map);
+            unseen.insert(class, (1.0 / denom).ln());
+        }
+        Self { priors, likelihoods, unseen, vocab_size }
+    }
+
+    /// Vocabulary size seen at training.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Classify an utterance, returning the best context and a softmax-ish
+    /// confidence in `(0, 1]`.
+    pub fn classify(&self, utterance: &str) -> Option<(ContextId, f64)> {
+        let tokens = tokenize(utterance);
+        if tokens.is_empty() {
+            return None;
+        }
+        let mut scores: Vec<(ContextId, f64)> = self
+            .priors
+            .iter()
+            .map(|(&class, &prior)| {
+                let words = &self.likelihoods[&class];
+                let unseen = self.unseen[&class];
+                let ll: f64 =
+                    tokens.iter().map(|t| words.get(t).copied().unwrap_or(unseen)).sum();
+                (class, prior + ll)
+            })
+            .collect();
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let best = scores[0];
+        // Normalized confidence via log-sum-exp over all classes.
+        let max = best.1;
+        let lse: f64 = scores.iter().map(|&(_, s)| (s - max).exp()).sum::<f64>().ln() + max;
+        Some((best.0, (best.1 - lse).exp()))
+    }
+
+    /// Full ranked class list with normalized probabilities.
+    pub fn classify_all(&self, utterance: &str) -> Vec<(ContextId, f64)> {
+        let tokens = tokenize(utterance);
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let mut scores: Vec<(ContextId, f64)> = self
+            .priors
+            .iter()
+            .map(|(&class, &prior)| {
+                let words = &self.likelihoods[&class];
+                let unseen = self.unseen[&class];
+                let ll: f64 =
+                    tokens.iter().map(|t| words.get(t).copied().unwrap_or(unseen)).sum();
+                (class, prior + ll)
+            })
+            .collect();
+        let max = scores.iter().map(|&(_, s)| s).fold(f64::NEG_INFINITY, f64::max);
+        let lse: f64 = scores.iter().map(|&(_, s)| (s - max).exp()).sum::<f64>().ln() + max;
+        for (_, s) in scores.iter_mut() {
+            *s = (*s - lse).exp();
+        }
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled(text: &str, ctx: u32) -> LabeledQuery {
+        LabeledQuery { text: text.to_string(), context: ContextId::new(ctx) }
+    }
+
+    fn classifier() -> IntentClassifier {
+        IntentClassifier::train(&[
+            labeled("what drugs treat fever", 0),
+            labeled("which medication is used for headache", 0),
+            labeled("how do you treat kidney disease", 0),
+            labeled("what drugs cause fever", 1),
+            labeled("which medication has the risk of causing rash", 1),
+            labeled("can any drug lead to dizziness", 1),
+        ])
+    }
+
+    #[test]
+    fn separates_treat_from_cause() {
+        // The entity ("ulcer") is unseen in training, so only the phrasing
+        // carries signal — the situation intent classifiers live in.
+        let c = classifier();
+        let (treat, _) = c.classify("what drugs treat ulcer").unwrap();
+        assert_eq!(treat, ContextId::new(0));
+        let (cause, _) = c.classify("which drugs cause ulcer").unwrap();
+        assert_eq!(cause, ContextId::new(1));
+    }
+
+    #[test]
+    fn confidence_normalized() {
+        let c = classifier();
+        let all = c.classify_all("what drugs treat fever");
+        let sum: f64 = all.iter().map(|&(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(all[0].1 >= all[1].1);
+    }
+
+    #[test]
+    fn unseen_entity_words_do_not_break_it() {
+        let c = classifier();
+        let (ctx, _) = c.classify("what drugs treat pyelectasia").unwrap();
+        assert_eq!(ctx, ContextId::new(0));
+    }
+
+    #[test]
+    fn empty_utterance_is_none() {
+        let c = classifier();
+        assert!(c.classify("").is_none());
+        assert!(c.classify("?!").is_none());
+        assert!(c.classify_all("").is_empty());
+    }
+
+    #[test]
+    fn ambiguous_utterance_has_low_margin() {
+        let c = classifier();
+        let all = c.classify_all("fever");
+        // Entity-only utterance: close to the prior split.
+        assert!(all[0].1 < 0.9, "{all:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_training_panics() {
+        let _ = IntentClassifier::train(&[]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Natural-language interface substrates (§4, §6).
+//!
+//! The paper integrates its query relaxation with two closed systems: IBM
+//! Watson Assistant (a conversational interface) and an ATHENA-style
+//! natural language query system. Both are reproduced here from scratch:
+//!
+//! * [`trainset`] — the §4 bootstrap: generate labeled training queries
+//!   for every context from the domain ontology and the KB instances
+//!   (including the "replace the instance with other instances of the same
+//!   concept" enrichment).
+//! * [`intent`] — a multinomial naive-Bayes intent classifier standing in
+//!   for Watson Assistant's intent model.
+//! * [`extract`] — gazetteer entity extraction over KB instance names plus
+//!   unknown-mention detection (the trigger for Scenario 1 relaxation).
+//! * [`conversation`] — the dialogue engine: context tracking across
+//!   turns ("what about fever?"), conversation repair through relaxation
+//!   on unknown terms (Figure 7), and concept expansion on known terms
+//!   (Figure 8). A switch disables relaxation to produce the Table 3
+//!   "no QR" system.
+//! * [`nlq`] — the one-shot NLQ pipeline (Figure 9): evidence generation
+//!   over ontology elements and instance values, relaxation of unmatched
+//!   tokens, and Steiner-tree interpretation generation ranked by
+//!   compactness and relaxation scores.
+//! * [`sql`] — rendering an interpretation as the "structured query such
+//!   as SQL" §6.2 says the NLQ system emits.
+
+#![warn(missing_docs)]
+
+pub mod conversation;
+pub mod extract;
+pub mod intent;
+pub mod nlq;
+pub mod sql;
+pub mod trainset;
+
+pub use conversation::{ConversationEngine, Response};
+pub use extract::{EntityExtractor, Extraction};
+pub use intent::IntentClassifier;
+pub use nlq::{Interpretation, NlqEngine};

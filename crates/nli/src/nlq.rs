@@ -1,0 +1,534 @@
+//! The one-shot natural language query pipeline (§6.2, Figure 9).
+//!
+//! Mirrors the ATHENA-style flow the paper integrates with:
+//!
+//! 1. **Evidence generation** — each utterance token (span) collects
+//!    *metadata* evidence (ontology concepts and relationships matched by
+//!    name) or *data-value* evidence (KB instances matched by name, plus —
+//!    through query relaxation — semantically related instances for
+//!    unknown spans, carrying their relaxation scores).
+//! 2. **Interpretation generation** — for each selection of one evidence
+//!    per span, connect the referenced ontology concepts in the semantic
+//!    graph with an (approximate) Steiner tree and rank interpretations by
+//!    compactness, breaking ties with the relaxation scores, exactly the
+//!    ranking refinement the paper describes for the pyelectasia example.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use medkb_core::QueryRelaxer;
+use medkb_kb::Kb;
+use medkb_text::tokenize;
+use medkb_types::{InstanceId, OntoConceptId, RelationshipId};
+
+use crate::extract::EntityExtractor;
+
+/// One piece of evidence for a token span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Evidence {
+    /// The span names an ontology concept.
+    Concept(OntoConceptId),
+    /// The span names an ontology relationship.
+    Relationship(RelationshipId),
+    /// The span names (or relaxes to) a KB instance; `score` is 1 for a
+    /// direct match and the Eq. 5 similarity for a relaxed one.
+    DataValue {
+        /// The matched instance.
+        instance: InstanceId,
+        /// Match confidence.
+        score: f64,
+    },
+}
+
+/// Evidence set of one span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvidence {
+    /// The surface span.
+    pub span: String,
+    /// Candidate evidences, best first.
+    pub candidates: Vec<Evidence>,
+}
+
+/// One ranked interpretation of the utterance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interpretation {
+    /// The chosen evidence per span (span text, evidence).
+    pub selection: Vec<(String, Evidence)>,
+    /// The relationships of the connecting (Steiner) tree.
+    pub tree: Vec<RelationshipId>,
+    /// Number of tree edges (lower = more compact = better).
+    pub compactness: usize,
+    /// Sum of data-value scores (higher breaks compactness ties).
+    pub score: f64,
+}
+
+/// The NLQ engine.
+pub struct NlqEngine {
+    kb: Kb,
+    relaxer: QueryRelaxer,
+    extractor: EntityExtractor,
+    /// Relaxed candidates per unknown span.
+    pub relax_k: usize,
+    /// Maximum evidence candidates kept per span.
+    pub max_candidates: usize,
+}
+
+impl NlqEngine {
+    /// Assemble an engine over a KB and a relaxer built from the same
+    /// ontology.
+    pub fn new(kb: Kb, relaxer: QueryRelaxer) -> Self {
+        let extractor = EntityExtractor::build(&kb);
+        Self { kb, relaxer, extractor, relax_k: 3, max_candidates: 3 }
+    }
+
+    /// The KB queried.
+    pub fn kb(&self) -> &Kb {
+        &self.kb
+    }
+
+    /// Evidence generation (§6.2).
+    pub fn evidences(&self, utterance: &str) -> Vec<SpanEvidence> {
+        let mut out = Vec::new();
+        let tokens = tokenize(utterance);
+
+        // Metadata evidence: concept and relationship names.
+        let onto = self.kb.ontology();
+        let concept_by_name: HashMap<String, OntoConceptId> = onto
+            .concepts()
+            .map(|c| (onto.concept_name(c).to_lowercase(), c))
+            .collect();
+        let rel_names = onto.relationship_name_index();
+
+        let mut covered = vec![false; tokens.len()];
+        for (i, tok) in tokens.iter().enumerate() {
+            let singular = tok.trim_end_matches('s');
+            if let Some(&c) =
+                concept_by_name.get(tok.as_str()).or_else(|| concept_by_name.get(singular))
+            {
+                out.push(SpanEvidence {
+                    span: tok.clone(),
+                    candidates: vec![Evidence::Concept(c)],
+                });
+                covered[i] = true;
+                continue;
+            }
+            let rel_key = rel_names
+                .keys()
+                .find(|name| {
+                    let lower = name.to_lowercase();
+                    lower == *tok || lower == singular || lower.trim_end_matches('d') == singular
+                })
+                .copied();
+            if let Some(name) = rel_key {
+                let candidates: Vec<Evidence> = rel_names[name]
+                    .iter()
+                    .take(self.max_candidates)
+                    .map(|&r| Evidence::Relationship(r))
+                    .collect();
+                out.push(SpanEvidence { span: tok.clone(), candidates });
+                covered[i] = true;
+            }
+        }
+
+        // Data-value evidence: known instances and relaxed unknowns.
+        let extraction = self.extractor.extract(utterance);
+        for inst in extraction.known {
+            out.push(SpanEvidence {
+                span: self.kb.name(inst).to_string(),
+                candidates: vec![Evidence::DataValue { instance: inst, score: 1.0 }],
+            });
+        }
+        for unknown in extraction.unknown {
+            // Skip spans that already produced metadata evidence.
+            if out.iter().any(|e| unknown.contains(&e.span)) {
+                continue;
+            }
+            if let Ok(res) = self.relaxer.relax(&unknown, None, self.relax_k) {
+                let mut candidates = Vec::new();
+                for ans in &res.answers {
+                    for &inst in &ans.instances {
+                        candidates.push(Evidence::DataValue { instance: inst, score: ans.score });
+                        if candidates.len() >= self.max_candidates {
+                            break;
+                        }
+                    }
+                    if candidates.len() >= self.max_candidates {
+                        break;
+                    }
+                }
+                if !candidates.is_empty() {
+                    out.push(SpanEvidence { span: unknown, candidates });
+                }
+            }
+        }
+        out
+    }
+
+    /// Interpretation generation: enumerate selection sets (capped),
+    /// connect each in the semantic graph, rank by compactness then score.
+    pub fn interpret(&self, utterance: &str) -> Vec<Interpretation> {
+        let evidences = self.evidences(utterance);
+        if evidences.is_empty() {
+            return Vec::new();
+        }
+        let mut selections: Vec<Vec<(String, Evidence)>> = vec![Vec::new()];
+        for ev in &evidences {
+            let mut next = Vec::new();
+            for sel in &selections {
+                for cand in &ev.candidates {
+                    if next.len() >= 64 {
+                        break;
+                    }
+                    let mut s = sel.clone();
+                    s.push((ev.span.clone(), cand.clone()));
+                    next.push(s);
+                }
+            }
+            selections = next;
+        }
+
+        let mut interpretations: Vec<Interpretation> = selections
+            .into_iter()
+            .map(|selection| {
+                let (tree, compactness) = self.steiner_tree(&selection);
+                let score: f64 = selection
+                    .iter()
+                    .map(|(_, e)| match e {
+                        Evidence::DataValue { score, .. } => *score,
+                        _ => 0.0,
+                    })
+                    .sum();
+                Interpretation { selection, tree, compactness, score }
+            })
+            .collect();
+        interpretations.sort_by(|a, b| {
+            a.compactness.cmp(&b.compactness).then(b.score.total_cmp(&a.score))
+        });
+        interpretations
+    }
+
+    /// Interpret and execute in one call: try interpretations in rank
+    /// order and return the first whose execution yields results, together
+    /// with the interpretation used — the system behaviour users actually
+    /// see ("the top interpretation with answers wins").
+    pub fn answer(&self, utterance: &str) -> Option<(Interpretation, Vec<InstanceId>)> {
+        let interps = self.interpret(utterance);
+        for interp in interps {
+            let results = self.execute(&interp);
+            if !results.is_empty() {
+                return Some((interp, results));
+            }
+        }
+        None
+    }
+
+    /// Execute the top interpretation: for each data value, walk backwards
+    /// over data edges whose relationship is in the tree — or
+    /// schema-compatible with a tree edge modulo TBox subsumption (the
+    /// tree is a schema-level object; the data may use an equally valid
+    /// sibling relationship, e.g. `hasFinding` to a `Disease ⊑ Finding`
+    /// where the tree chose `forDisease`).
+    pub fn execute(&self, interpretation: &Interpretation) -> Vec<InstanceId> {
+        let onto = self.kb.ontology();
+        let compatible = |r: RelationshipId| -> bool {
+            if interpretation.tree.contains(&r) {
+                return true;
+            }
+            let rel = onto.relationship(r);
+            interpretation.tree.iter().any(|&t| {
+                let te = onto.relationship(t);
+                let dom_ok = rel.domain == te.domain
+                    || onto.concept_subsumes(te.domain, rel.domain)
+                    || onto.concept_subsumes(rel.domain, te.domain);
+                let range_ok = rel.range == te.range
+                    || onto.concept_subsumes(te.range, rel.range)
+                    || onto.concept_subsumes(rel.range, te.range);
+                dom_ok && range_ok
+            })
+        };
+        let mut out: HashSet<InstanceId> = HashSet::new();
+        for (_, ev) in &interpretation.selection {
+            let Evidence::DataValue { instance, .. } = ev else { continue };
+            let mut frontier = vec![*instance];
+            for _ in 0..interpretation.tree.len().max(1) {
+                let mut next = Vec::new();
+                for &cur in &frontier {
+                    for &(rel, subj) in self.kb.incoming(cur) {
+                        if compatible(rel) {
+                            next.push(subj);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                out.extend(next.iter().copied());
+                frontier = next;
+            }
+        }
+        let mut v: Vec<InstanceId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Metric-closure Steiner tree approximation over the ontology's
+    /// semantic graph (concepts = nodes, relationships = undirected unit
+    /// edges). Returns the tree's relationships and its edge count.
+    fn steiner_tree(&self, selection: &[(String, Evidence)]) -> (Vec<RelationshipId>, usize) {
+        let onto = self.kb.ontology();
+        // Terminal concepts referenced by the selection.
+        let mut terminals: Vec<OntoConceptId> = Vec::new();
+        let mut forced_edges: HashSet<RelationshipId> = HashSet::new();
+        for (_, ev) in selection {
+            match ev {
+                Evidence::Concept(c) => terminals.push(*c),
+                Evidence::Relationship(r) => {
+                    let rel = onto.relationship(*r);
+                    terminals.push(rel.domain);
+                    terminals.push(rel.range);
+                    forced_edges.insert(*r);
+                }
+                Evidence::DataValue { instance, .. } => {
+                    terminals.push(self.kb.concept_of(*instance));
+                }
+            }
+        }
+        terminals.sort_unstable();
+        terminals.dedup();
+        if terminals.len() <= 1 {
+            let count = forced_edges.len();
+            return (forced_edges.into_iter().collect(), count);
+        }
+
+        // BFS shortest paths from each terminal over the semantic graph.
+        let paths: Vec<HashMap<OntoConceptId, (OntoConceptId, RelationshipId)>> =
+            terminals.iter().map(|&t| self.bfs_parents(t)).collect();
+
+        // Greedy metric-closure MST: connect terminals one by one through
+        // their shortest paths to the growing component.
+        let mut edges: HashSet<RelationshipId> = forced_edges.clone();
+        let mut component: HashSet<OntoConceptId> = HashSet::from([terminals[0]]);
+        let mut remaining: Vec<usize> = (1..terminals.len()).collect();
+        while !remaining.is_empty() {
+            // Pick the remaining terminal with the shortest distance to
+            // the component.
+            let mut best: Option<(usize, usize, OntoConceptId)> = None; // (idx in remaining, dist, attach point)
+            for (ri, &ti) in remaining.iter().enumerate() {
+                for &node in component.iter() {
+                    if let Some(d) = path_length(&paths[ti], terminals[ti], node) {
+                        if best.map_or(true, |(_, bd, _)| d < bd) {
+                            best = Some((ri, d, node));
+                        }
+                    }
+                }
+            }
+            let Some((ri, _, attach)) = best else { break };
+            let ti = remaining.remove(ri);
+            // Walk the path from `attach` back to terminal ti, collecting
+            // edges and adding intermediate concepts to the component.
+            let mut cur = attach;
+            while cur != terminals[ti] {
+                let Some(&(prev, rel)) = paths[ti].get(&cur) else { break };
+                edges.insert(rel);
+                component.insert(cur);
+                cur = prev;
+            }
+            component.insert(terminals[ti]);
+        }
+        let count = edges.len();
+        let mut v: Vec<RelationshipId> = edges.into_iter().collect();
+        v.sort_unstable();
+        (v, count)
+    }
+
+    /// BFS over the semantic graph from `source`, recording for each
+    /// reached concept the predecessor towards the source.
+    ///
+    /// TBox inheritance applies: a concept participates in every
+    /// relationship declared on any of its ancestors (a `Symptom` is a
+    /// `Finding`, so `Indication-hasFinding-Finding` connects it too).
+    fn bfs_parents(
+        &self,
+        source: OntoConceptId,
+    ) -> HashMap<OntoConceptId, (OntoConceptId, RelationshipId)> {
+        let onto = self.kb.ontology();
+        let mut parents = HashMap::new();
+        let mut seen = HashSet::from([source]);
+        let mut queue = VecDeque::from([source]);
+        while let Some(c) = queue.pop_front() {
+            let mut hosts: Vec<OntoConceptId> = vec![c];
+            hosts.extend(
+                onto.concepts().filter(|&a| onto.concept_subsumes(a, c)),
+            );
+            let mut neighbors: Vec<(OntoConceptId, RelationshipId)> = Vec::new();
+            for host in hosts {
+                for &r in onto.relationships_from(host) {
+                    neighbors.push((onto.relationship(r).range, r));
+                }
+                for &r in onto.relationships_to(host) {
+                    neighbors.push((onto.relationship(r).domain, r));
+                }
+            }
+            for (n, r) in neighbors {
+                if seen.insert(n) {
+                    parents.insert(n, (c, r));
+                    queue.push_back(n);
+                }
+            }
+        }
+        parents
+    }
+}
+
+/// Hop count from `node` back to `source` following the BFS parents, if
+/// reachable.
+fn path_length(
+    parents: &HashMap<OntoConceptId, (OntoConceptId, RelationshipId)>,
+    source: OntoConceptId,
+    node: OntoConceptId,
+) -> Option<usize> {
+    if node == source {
+        return Some(0);
+    }
+    let mut cur = node;
+    let mut len = 0;
+    while cur != source {
+        let &(prev, _) = parents.get(&cur)?;
+        cur = prev;
+        len += 1;
+        if len > parents.len() {
+            return None;
+        }
+    }
+    Some(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medkb_core::{ingest, MappingMethod, QueryRelaxer, RelaxConfig};
+    use medkb_corpus::MentionCounts;
+    use medkb_snomed::figures::paper_fragment;
+    use std::collections::HashMap as Map;
+
+    /// Figure-1-shaped KB with the fragment findings and one drug.
+    fn engine() -> NlqEngine {
+        let f = paper_fragment();
+        let mut ob = medkb_ontology::OntologyBuilder::new();
+        let drug = ob.concept("Drug");
+        let indication = ob.concept("Indication");
+        let risk = ob.concept("Risk");
+        let finding = ob.concept("Finding");
+        ob.relationship("treat", drug, indication);
+        ob.relationship("cause", drug, risk);
+        ob.relationship("hasFinding", indication, finding);
+        ob.relationship("hasFinding", risk, finding);
+        let onto = ob.build().unwrap();
+        let mut kb = medkb_kb::KbBuilder::new(onto);
+        let o = kb.ontology();
+        let (dc, ic, rc, fc) = (
+            o.lookup_concept("Drug").unwrap(),
+            o.lookup_concept("Indication").unwrap(),
+            o.lookup_concept("Risk").unwrap(),
+            o.lookup_concept("Finding").unwrap(),
+        );
+        let r_treat = kb.ontology().lookup_relationship("Drug-treat-Indication").unwrap();
+        let r_cause = kb.ontology().lookup_relationship("Drug-cause-Risk").unwrap();
+        let r_ind = kb.ontology().lookup_relationship("Indication-hasFinding-Finding").unwrap();
+        let r_risk = kb.ontology().lookup_relationship("Risk-hasFinding-Finding").unwrap();
+        let aspirin = kb.instance("aspirin", dc);
+        let ind = kb.instance("renal indication", ic);
+        let risk_i = kb.instance("renal risk", rc);
+        let kd = kb.instance("kidney disease", fc);
+        let nephro = kb.instance("nephropathy", fc);
+        kb.triple(aspirin, r_treat, ind);
+        kb.triple(aspirin, r_cause, risk_i);
+        kb.triple(ind, r_ind, kd);
+        kb.triple(risk_i, r_risk, nephro);
+        let kb = kb.build().unwrap();
+
+        let counts = MentionCounts::from_direct(Map::new(), Map::new(), 1);
+        let config = RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() };
+        let out = ingest(&kb, f.ekg.clone(), &counts, None, &config).unwrap();
+        NlqEngine::new(kb, QueryRelaxer::new(out, config))
+    }
+
+    #[test]
+    fn figure9_evidences_for_the_running_example() {
+        let e = engine();
+        let evs = e.evidences("what are the risks caused by using aspirin with pyelectasia");
+        let spans: Vec<&str> = evs.iter().map(|s| s.span.as_str()).collect();
+        assert!(spans.contains(&"risks") || spans.contains(&"risk"), "{spans:?}");
+        assert!(spans.contains(&"aspirin"), "{spans:?}");
+        // pyelectasia is unknown: it must arrive as relaxed data values.
+        let pyel = evs.iter().find(|s| s.span.contains("pyelectasia")).expect("relaxed span");
+        assert!(matches!(pyel.candidates[0], Evidence::DataValue { .. }));
+        let names: Vec<&str> = pyel
+            .candidates
+            .iter()
+            .map(|c| match c {
+                Evidence::DataValue { instance, .. } => e.kb.name(*instance),
+                _ => "?",
+            })
+            .collect();
+        assert!(
+            names.contains(&"kidney disease") || names.contains(&"nephropathy"),
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn interpretations_ranked_by_compactness() {
+        let e = engine();
+        let interps = e.interpret("risks caused by aspirin with pyelectasia");
+        assert!(!interps.is_empty());
+        for w in interps.windows(2) {
+            assert!(
+                w[0].compactness < w[1].compactness
+                    || (w[0].compactness == w[1].compactness && w[0].score >= w[1].score)
+            );
+        }
+    }
+
+    #[test]
+    fn execute_reaches_the_drug() {
+        let e = engine();
+        let interps = e.interpret("which drug treats kidney disease");
+        let top = &interps[0];
+        let results = e.execute(top);
+        let names: Vec<&str> = results.iter().map(|&i| e.kb.name(i)).collect();
+        assert!(names.contains(&"aspirin"), "{names:?}");
+    }
+
+    #[test]
+    fn answer_falls_back_across_interpretations() {
+        let e = engine();
+        let (interp, results) = e.answer("which drug treats kidney disease").expect("answerable");
+        assert!(!results.is_empty());
+        assert!(!interp.tree.is_empty());
+        // Unanswerable input yields None rather than an empty success.
+        assert!(e.answer("").is_none());
+    }
+
+    #[test]
+    fn relationship_evidence_recognized() {
+        let e = engine();
+        let evs = e.evidences("what does aspirin treat");
+        assert!(evs.iter().any(|s| matches!(s.candidates[0], Evidence::Relationship(_))));
+    }
+
+    #[test]
+    fn empty_utterance_yields_nothing() {
+        let e = engine();
+        assert!(e.interpret("").is_empty());
+        assert!(e.evidences("the of with").is_empty());
+    }
+
+    #[test]
+    fn steiner_tree_connects_concept_pairs() {
+        let e = engine();
+        // Drug and Finding are 2 hops apart (via Indication or Risk).
+        let interps = e.interpret("drug finding");
+        assert!(!interps.is_empty());
+        assert!(interps[0].compactness >= 2, "{:?}", interps[0]);
+    }
+}

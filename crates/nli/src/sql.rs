@@ -1,0 +1,176 @@
+//! Rendering an NLQ interpretation as SQL (§6.2).
+//!
+//! The NLQ system the paper integrates with "interprets [the query] over
+//! the domain ontology to produce a structured query such as SQL". Under
+//! the standard ontology-to-relational mapping — one table per concept,
+//! one join table per relationship — an interpretation tree becomes a
+//! join query: the tree's relationships are the joins, the data values are
+//! the `WHERE` predicates, and the concept evidences select the projected
+//! table.
+
+use std::collections::HashSet;
+
+use medkb_kb::Kb;
+use medkb_types::{OntoConceptId, RelationshipId};
+
+use crate::nlq::{Evidence, Interpretation};
+
+/// Render `interpretation` as a SQL query over the virtual star schema.
+///
+/// Projection: the first concept evidence (or, failing that, the domain of
+/// the first tree relationship). Each tree relationship `D --r--> R`
+/// contributes `JOIN r ON r.domain_id = D.id JOIN R ON r.range_id = R.id`;
+/// each data value contributes a `WHERE <table>.name = '<value>'`
+/// predicate (with the relaxation score kept as a trailing comment, the
+/// ranking signal the paper feeds into interpretation selection).
+pub fn to_sql(kb: &Kb, interpretation: &Interpretation) -> String {
+    let onto = kb.ontology();
+    let table = |c: OntoConceptId| onto.concept_name(c).to_lowercase().replace(' ', "_");
+    let join_table = |r: RelationshipId| {
+        let rel = onto.relationship(r);
+        format!("{}_{}", rel.name.to_lowercase(), table(rel.range))
+    };
+
+    // Projection target.
+    let projected: OntoConceptId = interpretation
+        .selection
+        .iter()
+        .find_map(|(_, e)| match e {
+            Evidence::Concept(c) => Some(*c),
+            _ => None,
+        })
+        .or_else(|| {
+            interpretation.tree.first().map(|&r| onto.relationship(r).domain)
+        })
+        .unwrap_or_else(|| OntoConceptId::new(0));
+
+    let mut sql = format!("SELECT DISTINCT {p}.* FROM {p}", p = table(projected));
+    let mut joined: HashSet<OntoConceptId> = HashSet::from([projected]);
+    // Greedy join ordering: repeatedly attach a tree edge that touches an
+    // already-joined concept.
+    let mut remaining: Vec<RelationshipId> = interpretation.tree.clone();
+    loop {
+        let Some(pos) = remaining.iter().position(|&r| {
+            let rel = onto.relationship(r);
+            joined.contains(&rel.domain) || joined.contains(&rel.range)
+        }) else {
+            break;
+        };
+        let r = remaining.remove(pos);
+        let rel = onto.relationship(r);
+        let jt = join_table(r);
+        if joined.contains(&rel.domain) {
+            sql.push_str(&format!(
+                "\n  JOIN {jt} ON {jt}.domain_id = {}.id\n  JOIN {rng} ON {jt}.range_id = {rng}.id",
+                table(rel.domain),
+                rng = table(rel.range),
+            ));
+            joined.insert(rel.range);
+        } else {
+            sql.push_str(&format!(
+                "\n  JOIN {jt} ON {jt}.range_id = {}.id\n  JOIN {dom} ON {jt}.domain_id = {dom}.id",
+                table(rel.range),
+                dom = table(rel.domain),
+            ));
+            joined.insert(rel.domain);
+        }
+    }
+
+    // Predicates from data values.
+    let mut predicates = Vec::new();
+    for (_, e) in &interpretation.selection {
+        if let Evidence::DataValue { instance, score } = e {
+            let concept = kb.concept_of(*instance);
+            let name = kb.name(*instance).replace('\'', "''");
+            predicates.push(format!(
+                "{}.name = '{}' /* relaxation score {:.2} */",
+                table(concept),
+                name,
+                score
+            ));
+        }
+    }
+    if !predicates.is_empty() {
+        sql.push_str("\nWHERE ");
+        sql.push_str(&predicates.join("\n  AND "));
+    }
+    sql.push(';');
+    sql
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nlq::NlqEngine;
+    use medkb_core::{ingest, MappingMethod, QueryRelaxer, RelaxConfig};
+    use medkb_corpus::MentionCounts;
+    use std::collections::HashMap;
+
+    fn engine() -> NlqEngine {
+        let f = medkb_snomed::figures::paper_fragment();
+        let mut ob = medkb_ontology::OntologyBuilder::new();
+        let drug = ob.concept("Drug");
+        let risk = ob.concept("Risk");
+        let finding = ob.concept("Finding");
+        ob.relationship("cause", drug, risk);
+        ob.relationship("hasFinding", risk, finding);
+        let onto = ob.build().unwrap();
+        let mut kb = medkb_kb::KbBuilder::new(onto);
+        let o = kb.ontology();
+        let (dc, rc, fc) = (
+            o.lookup_concept("Drug").unwrap(),
+            o.lookup_concept("Risk").unwrap(),
+            o.lookup_concept("Finding").unwrap(),
+        );
+        let r_cause = kb.ontology().lookup_relationship("Drug-cause-Risk").unwrap();
+        let r_has = kb.ontology().lookup_relationship("Risk-hasFinding-Finding").unwrap();
+        let aspirin = kb.instance("aspirin", dc);
+        let risk_row = kb.instance("renal adverse events", rc);
+        let kd = kb.instance("kidney disease", fc);
+        kb.triple(aspirin, r_cause, risk_row);
+        kb.triple(risk_row, r_has, kd);
+        let kb = kb.build().unwrap();
+        let counts = MentionCounts::from_direct(HashMap::new(), HashMap::new(), 1);
+        let config = RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() };
+        let out = ingest(&kb, f.ekg.clone(), &counts, None, &config).unwrap();
+        NlqEngine::new(kb, QueryRelaxer::new(out, config))
+    }
+
+    #[test]
+    fn renders_the_figure9_query() {
+        let e = engine();
+        let interps = e.interpret("what risks are caused by aspirin with pyelectasia");
+        let sql = to_sql(e.kb(), &interps[0]);
+        assert!(sql.starts_with("SELECT DISTINCT risk.*"), "{sql}");
+        assert!(sql.contains("JOIN cause_risk"), "{sql}");
+        assert!(sql.contains("aspirin"), "{sql}");
+        assert!(sql.contains("relaxation score"), "{sql}");
+        assert!(sql.ends_with(';'), "{sql}");
+    }
+
+    #[test]
+    fn escapes_single_quotes_in_values() {
+        let e = engine();
+        let interp = Interpretation {
+            selection: vec![(
+                "x".into(),
+                Evidence::DataValue { instance: e.kb().lookup_name("aspirin")[0], score: 1.0 },
+            )],
+            tree: vec![],
+            compactness: 0,
+            score: 1.0,
+        };
+        let sql = to_sql(e.kb(), &interp);
+        assert!(!sql.contains("JOIN"));
+        assert!(sql.contains("WHERE drug.name = 'aspirin'"), "{sql}");
+    }
+
+    #[test]
+    fn join_ordering_attaches_connected_edges() {
+        let e = engine();
+        let interps = e.interpret("which drug causes kidney disease");
+        let sql = to_sql(e.kb(), &interps[0]);
+        // Both tree edges appear as joins.
+        assert!(sql.matches("JOIN").count() >= 2, "{sql}");
+    }
+}

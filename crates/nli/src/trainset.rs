@@ -1,0 +1,153 @@
+//! Training-data bootstrap for intent classification (§4).
+//!
+//! "The first step is to generate all possible contexts … The second step
+//! is to associate a query workload to the generated contexts … we can
+//! further enrich the query workload [by replacing] identified instances
+//! with other instances of the same concept."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use medkb_kb::Kb;
+use medkb_ontology::ContextSpec;
+use medkb_snomed::ContextTag;
+use medkb_types::ContextId;
+
+/// Utterance templates per context tag. `{e}` is the entity slot.
+pub const QUERY_TEMPLATES: [(ContextTag, &[&str]); 5] = [
+    (
+        ContextTag::Treatment,
+        &[
+            "what drugs treat {e}",
+            "which medication is used for {e}",
+            "how do you treat {e}",
+            "what is the treatment for {e}",
+            "which drugs are indicated for {e}",
+        ],
+    ),
+    (
+        ContextTag::Risk,
+        &[
+            "what drugs cause {e}",
+            "which medication has the risk of causing {e}",
+            "can any drug lead to {e}",
+            "what are the drugs with {e} as a side effect",
+            "which drugs should be avoided with {e}",
+        ],
+    ),
+    (
+        ContextTag::Monitoring,
+        &[
+            "what should be monitored for {e}",
+            "which checks are needed for patients with {e}",
+        ],
+    ),
+    (
+        ContextTag::Toxicology,
+        &[
+            "what happens in an overdose with {e}",
+            "what are the toxic effects related to {e}",
+        ],
+    ),
+    (
+        ContextTag::General,
+        &["tell me about {e}", "what is {e}", "give me information on {e}"],
+    ),
+];
+
+/// A labeled training utterance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledQuery {
+    /// The utterance text.
+    pub text: String,
+    /// The context (intent) label.
+    pub context: ContextId,
+}
+
+/// Generate up to `per_context` labeled utterances for each of `contexts`,
+/// filling entity slots with KB instances of the context's range concept
+/// (the §4 enrichment). Contexts whose range concept has no instances get
+/// a placeholder entity so that every intent has at least a few examples.
+pub fn generate_training_queries(
+    kb: &Kb,
+    contexts: &[ContextSpec],
+    tag_of: impl Fn(ContextId) -> ContextTag,
+    per_context: usize,
+    seed: u64,
+) -> Vec<LabeledQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for ctx in contexts {
+        let tag = tag_of(ctx.id);
+        let templates = QUERY_TEMPLATES
+            .iter()
+            .find(|&&(t, _)| t == tag)
+            .map(|&(_, ts)| ts)
+            .expect("every tag has templates");
+        let instances = kb.instances_of_subtree(ctx.range);
+        for i in 0..per_context {
+            let template = templates[i % templates.len()];
+            let entity = if instances.is_empty() {
+                kb.ontology().concept_name(ctx.range).to_lowercase()
+            } else {
+                let pick = instances[rng.gen_range(0..instances.len())];
+                kb.name(pick).to_string()
+            };
+            out.push(LabeledQuery { text: template.replace("{e}", &entity), context: ctx.id });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medkb_snomed::{MedWorld, WorldConfig};
+
+    #[test]
+    fn every_context_gets_examples() {
+        let w = MedWorld::generate(&WorldConfig::tiny(81));
+        let queries =
+            generate_training_queries(&w.kb, &w.contexts, |c| w.tag_of(c), 4, 1);
+        assert_eq!(queries.len(), w.contexts.len() * 4);
+        for ctx in &w.contexts {
+            assert!(queries.iter().any(|q| q.context == ctx.id));
+        }
+    }
+
+    #[test]
+    fn treatment_queries_use_treatment_phrasing() {
+        let w = MedWorld::generate(&WorldConfig::tiny(82));
+        let queries =
+            generate_training_queries(&w.kb, &w.contexts, |c| w.tag_of(c), 5, 2);
+        let treat_ctx = w.treatment_context();
+        let sample: Vec<&LabeledQuery> =
+            queries.iter().filter(|q| q.context == treat_ctx).collect();
+        assert!(!sample.is_empty());
+        assert!(sample.iter().any(|q| q.text.contains("treat") || q.text.contains("indicated")));
+    }
+
+    #[test]
+    fn entities_come_from_kb_instances() {
+        let w = MedWorld::generate(&WorldConfig::tiny(83));
+        let queries =
+            generate_training_queries(&w.kb, &w.contexts, |c| w.tag_of(c), 3, 3);
+        let treat_ctx = w.treatment_context();
+        let with_instance = queries
+            .iter()
+            .filter(|q| q.context == treat_ctx)
+            .filter(|q| {
+                w.kb.instances().any(|(_, inst)| q.text.contains(&*inst.name))
+            })
+            .count();
+        assert!(with_instance > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = MedWorld::generate(&WorldConfig::tiny(84));
+        let a = generate_training_queries(&w.kb, &w.contexts, |c| w.tag_of(c), 3, 9);
+        let b = generate_training_queries(&w.kb, &w.contexts, |c| w.tag_of(c), 3, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,142 @@
+//! Context generation (Algorithm 1, lines 1–4; §4).
+//!
+//! A *context* is a relationship together with its domain and range
+//! concepts. The set of possible contexts is exactly the set of ontology
+//! relationships: context generation traverses the ontology and returns
+//! `(domain(r), r, range(r))` for every relationship `r`. Context ids are
+//! assigned densely in relationship order, so `ContextId` and
+//! `RelationshipId` agree on their raw index — [`ContextSpec`] keeps both
+//! for type clarity.
+
+use medkb_types::{ContextId, Id, OntoConceptId, RelationshipId};
+
+use crate::model::Ontology;
+
+/// One possible context of the application: a relationship plus its
+/// associated concepts (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextSpec {
+    /// Dense context id (same raw index as `relationship`).
+    pub id: ContextId,
+    /// The underlying ontology relationship.
+    pub relationship: RelationshipId,
+    /// Source concept of the relationship.
+    pub domain: OntoConceptId,
+    /// Destination concept of the relationship.
+    pub range: OntoConceptId,
+    /// Canonical label, e.g. `Indication-hasFinding-Finding`.
+    pub label: String,
+}
+
+/// Generate all possible contexts from the ontology.
+///
+/// This is the offline step that bootstraps the NLI system's intent space
+/// (§4: "we define the set of possible contexts (i.e., possible labels for
+/// training data) as the set of relationships").
+pub fn generate_contexts(ontology: &Ontology) -> Vec<ContextSpec> {
+    ontology
+        .relationships()
+        .map(|(rid, r)| ContextSpec {
+            id: ContextId::new(rid.as_u32()),
+            relationship: rid,
+            domain: r.domain,
+            range: r.range,
+            label: ontology.relationship_label(rid),
+        })
+        .collect()
+}
+
+/// Contexts in which a query term belonging to ontology concept `concept`
+/// can occur: the relationships whose *range* is the concept (the query
+/// term fills the destination slot, as in `[diabetes,
+/// Indication-hasFinding-Finding]`), plus — for completeness — those whose
+/// range is a TBox ancestor of the concept.
+pub fn contexts_for_range_concept(
+    ontology: &Ontology,
+    contexts: &[ContextSpec],
+    concept: OntoConceptId,
+) -> Vec<ContextId> {
+    contexts
+        .iter()
+        .filter(|c| c.range == concept || ontology.concept_subsumes(c.range, concept))
+        .map(|c| c.id)
+        .collect()
+}
+
+/// Find a context by its canonical label.
+pub fn lookup_context(contexts: &[ContextSpec], label: &str) -> Option<ContextId> {
+    contexts.iter().find(|c| c.label == label).map(|c| c.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OntologyBuilder;
+
+    fn figure1() -> Ontology {
+        let mut b = OntologyBuilder::new();
+        let drug = b.concept("Drug");
+        let indication = b.concept("Indication");
+        let risk = b.concept("Risk");
+        let finding = b.concept("Finding");
+        let ae = b.concept("AdverseEffect");
+        b.sub_concept(ae, risk);
+        b.relationship("treat", drug, indication);
+        b.relationship("cause", drug, risk);
+        b.relationship("hasFinding", indication, finding);
+        b.relationship("hasFinding", risk, finding);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn one_context_per_relationship() {
+        let o = figure1();
+        let ctxs = generate_contexts(&o);
+        assert_eq!(ctxs.len(), o.relationship_count());
+        let labels: Vec<&str> = ctxs.iter().map(|c| c.label.as_str()).collect();
+        assert!(labels.contains(&"Indication-hasFinding-Finding"));
+        assert!(labels.contains(&"Risk-hasFinding-Finding"));
+        assert!(labels.contains(&"Drug-treat-Indication"));
+        assert!(labels.contains(&"Drug-cause-Risk"));
+    }
+
+    #[test]
+    fn context_ids_align_with_relationship_ids() {
+        let o = figure1();
+        for c in generate_contexts(&o) {
+            assert_eq!(c.id.raw(), c.relationship.raw());
+        }
+    }
+
+    #[test]
+    fn finding_has_two_contexts() {
+        let o = figure1();
+        let ctxs = generate_contexts(&o);
+        let finding = o.lookup_concept("Finding").unwrap();
+        let for_finding = contexts_for_range_concept(&o, &ctxs, finding);
+        assert_eq!(for_finding.len(), 2);
+    }
+
+    #[test]
+    fn subsumed_range_concept_inherits_context() {
+        let o = figure1();
+        let ctxs = generate_contexts(&o);
+        // AdverseEffect ⊑ Risk, and Risk is the range of Drug-cause-Risk,
+        // so an AdverseEffect term can occur in that context.
+        let ae = o.lookup_concept("AdverseEffect").unwrap();
+        let for_ae = contexts_for_range_concept(&o, &ctxs, ae);
+        let labels: Vec<String> = for_ae
+            .iter()
+            .map(|&id| ctxs[id.as_usize()].label.clone())
+            .collect();
+        assert_eq!(labels, vec!["Drug-cause-Risk"]);
+    }
+
+    #[test]
+    fn lookup_by_label() {
+        let o = figure1();
+        let ctxs = generate_contexts(&o);
+        assert!(lookup_context(&ctxs, "Drug-cause-Risk").is_some());
+        assert!(lookup_context(&ctxs, "Drug-cause-Finding").is_none());
+    }
+}

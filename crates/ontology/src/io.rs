@@ -1,0 +1,151 @@
+//! TSV persistence for domain ontologies.
+//!
+//! Same spirit as the terminology's RF2-flavoured exchange format: three
+//! simple tab-separated documents so a downstream user can bring their own
+//! TBox.
+//!
+//! * **concepts**: `id <TAB> name`
+//! * **subsumptions**: `childId <TAB> parentId`
+//! * **relationships**: `name <TAB> domainId <TAB> rangeId`
+
+use std::collections::HashMap;
+
+use medkb_types::{Id, MedKbError, OntoConceptId, Result};
+
+use crate::model::{Ontology, OntologyBuilder};
+
+/// Serialize `ontology` into `(concepts, subsumptions, relationships)` TSV
+/// documents.
+pub fn to_tsv(ontology: &Ontology) -> (String, String, String) {
+    let mut concepts = String::new();
+    for c in ontology.concepts() {
+        concepts.push_str(&format!("{}\t{}\n", c.as_u32(), ontology.concept_name(c)));
+    }
+    let mut subs = String::new();
+    for c in ontology.concepts() {
+        for &p in ontology.concept_parents(c) {
+            subs.push_str(&format!("{}\t{}\n", c.as_u32(), p.as_u32()));
+        }
+    }
+    let mut rels = String::new();
+    for (_, r) in ontology.relationships() {
+        rels.push_str(&format!(
+            "{}\t{}\t{}\n",
+            r.name,
+            r.domain.as_u32(),
+            r.range.as_u32()
+        ));
+    }
+    (concepts, subs, rels)
+}
+
+/// Parse an ontology from the three TSV documents of [`to_tsv`].
+///
+/// # Errors
+/// [`MedKbError::Corrupt`] on malformed lines or dangling ids, plus the
+/// structural errors of [`OntologyBuilder::build`].
+pub fn from_tsv(concepts_tsv: &str, subs_tsv: &str, rels_tsv: &str) -> Result<Ontology> {
+    let mut builder = OntologyBuilder::new();
+    let mut id_map: HashMap<u32, OntoConceptId> = HashMap::new();
+    for (lineno, line) in concepts_tsv.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(2, '\t');
+        let (raw, name) = match (parts.next(), parts.next()) {
+            (Some(r), Some(n)) if !n.is_empty() => (r, n),
+            _ => {
+                return Err(MedKbError::Corrupt {
+                    detail: format!("ontology concepts line {}: bad record", lineno + 1),
+                })
+            }
+        };
+        let raw: u32 = raw.parse().map_err(|_| MedKbError::Corrupt {
+            detail: format!("ontology concepts line {}: bad id {raw:?}", lineno + 1),
+        })?;
+        let id = builder.concept(name);
+        if id_map.insert(raw, id).is_some() {
+            return Err(MedKbError::Corrupt {
+                detail: format!("ontology concepts line {}: duplicate id {raw}", lineno + 1),
+            });
+        }
+    }
+    let resolve = |raw: &str, what: &str, lineno: usize| -> Result<OntoConceptId> {
+        let n: u32 = raw.parse().map_err(|_| MedKbError::Corrupt {
+            detail: format!("{what} line {lineno}: bad id {raw:?}"),
+        })?;
+        id_map.get(&n).copied().ok_or_else(|| MedKbError::Corrupt {
+            detail: format!("{what} line {lineno}: unknown concept id {n}"),
+        })
+    };
+    for (lineno, line) in subs_tsv.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(2, '\t');
+        let (c, p) = match (parts.next(), parts.next()) {
+            (Some(c), Some(p)) => (c, p),
+            _ => {
+                return Err(MedKbError::Corrupt {
+                    detail: format!("subsumptions line {}: bad record", lineno + 1),
+                })
+            }
+        };
+        let (c, p) =
+            (resolve(c, "subsumptions", lineno + 1)?, resolve(p, "subsumptions", lineno + 1)?);
+        builder.sub_concept(c, p);
+    }
+    for (lineno, line) in rels_tsv.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (name, d, r) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(n), Some(d), Some(r)) if !n.is_empty() => (n, d, r),
+            _ => {
+                return Err(MedKbError::Corrupt {
+                    detail: format!("relationships line {}: bad record", lineno + 1),
+                })
+            }
+        };
+        let (d, r) =
+            (resolve(d, "relationships", lineno + 1)?, resolve(r, "relationships", lineno + 1)?);
+        builder.relationship(name, d, r);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::med::med_ontology;
+
+    #[test]
+    fn med_ontology_roundtrips() {
+        let o = med_ontology();
+        let (c, s, r) = to_tsv(&o);
+        let back = from_tsv(&c, &s, &r).unwrap();
+        assert_eq!(back.concept_count(), 43);
+        assert_eq!(back.relationship_count(), 58);
+        assert!(back.lookup_relationship("Risk-hasFinding-Finding").is_some());
+        let risk = back.lookup_concept("Risk").unwrap();
+        assert_eq!(back.concept_children(risk).len(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        assert!(from_tsv("x\tA\n", "", "").is_err());
+        assert!(from_tsv("1\t\n", "", "").is_err());
+        assert!(from_tsv("1\tA\n1\tB\n", "", "").is_err());
+        assert!(from_tsv("1\tA\n", "1\t9\n", "").is_err());
+        assert!(from_tsv("1\tA\n2\tB\n", "", "r\t1\t9\n").is_err());
+        assert!(from_tsv("1\tA\n2\tB\n", "", "\t1\t2\n").is_err());
+    }
+
+    #[test]
+    fn empty_documents_build_empty_ontology() {
+        let o = from_tsv("", "", "").unwrap();
+        assert_eq!(o.concept_count(), 0);
+        assert_eq!(o.relationship_count(), 0);
+    }
+}

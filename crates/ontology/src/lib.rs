@@ -1,0 +1,29 @@
+//! The domain ontology (TBox) of the medical knowledge base.
+//!
+//! §2.1: a KB is given as TBox + ABox; the TBox — called the *domain
+//! ontology* — describes the concepts of the domain and the relationships
+//! (roles) between them, each relationship constrained by a domain (source)
+//! and range (destination) concept. The *context* of a query term is a
+//! relationship together with its associated concepts, e.g.
+//! `Indication-hasFinding-Finding` (Figure 1).
+//!
+//! This crate provides:
+//!
+//! * [`model`] — the ontology data model and builder, including concept
+//!   subsumption inside the TBox (Figure 1 shows `Risk` with descendants
+//!   `Black Box Warning`, `Adverse Effect`, `Contra Indication`, which
+//!   Example 3 aggregates over),
+//! * [`context`] — context generation as in Algorithm 1 lines 1–4,
+//! * [`med`] — the *MED*-shaped domain ontology used throughout the
+//!   evaluation: 43 concepts and 58 relationships (§7.1), embedding the
+//!   exact Figure 1 fragment.
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod io;
+pub mod med;
+pub mod model;
+
+pub use context::ContextSpec;
+pub use model::{Ontology, OntologyBuilder, Relationship};

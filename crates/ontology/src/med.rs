@@ -1,0 +1,235 @@
+//! The *MED*-shaped domain ontology.
+//!
+//! §7.1: "The ontology corresponding to *MED* consists of 43 concepts and
+//! 58 relationships." The real ontology is proprietary, so this module
+//! reconstructs a medication/disease/toxicology ontology of exactly that
+//! size, embedding the published Figure 1 fragment verbatim:
+//!
+//! ```text
+//! Drug --treat--> Indication --hasFinding--> Finding
+//! Drug --cause--> Risk       --hasFinding--> Finding
+//! Risk ⊒ {BlackBoxWarning, AdverseEffect, ContraIndication}
+//! ```
+//!
+//! Everything else is filled in with the structures the paper's narrative
+//! mentions (dosage, interactions, toxicology, patient education) so that
+//! context generation produces a realistic context space: `Finding` alone
+//! participates in several contexts, which is what makes per-context
+//! frequencies (Example 1) non-trivial.
+
+use crate::model::{Ontology, OntologyBuilder};
+
+/// Concept names of the MED ontology (43 entries).
+pub const MED_CONCEPTS: [&str; 43] = [
+    "Drug",
+    "DrugClass",
+    "Indication",
+    "Risk",
+    "Finding",
+    "BlackBoxWarning",
+    "AdverseEffect",
+    "ContraIndication",
+    "Dosage",
+    "DoseForm",
+    "Route",
+    "Interaction",
+    "InteractingDrug",
+    "Warning",
+    "Precaution",
+    "Monitoring",
+    "Disease",
+    "Symptom",
+    "BodySystem",
+    "Organism",
+    "PatientGroup",
+    "Pregnancy",
+    "Lactation",
+    "Pediatric",
+    "Geriatric",
+    "RenalImpairment",
+    "HepaticImpairment",
+    "Toxicology",
+    "Overdose",
+    "Antidote",
+    "Poison",
+    "MechanismOfAction",
+    "Pharmacokinetics",
+    "Metabolism",
+    "Excretion",
+    "Absorption",
+    "HalfLife",
+    "Brand",
+    "Manufacturer",
+    "Strength",
+    "Package",
+    "Evidence",
+    "Guideline",
+];
+
+/// TBox subsumptions (child, parent) of the MED ontology.
+///
+/// `Risk` has exactly the three children shown in Figure 1 and discussed in
+/// Example 3.
+pub const MED_SUBSUMPTIONS: [(&str, &str); 15] = [
+    ("BlackBoxWarning", "Risk"),
+    ("AdverseEffect", "Risk"),
+    ("ContraIndication", "Risk"),
+    ("Disease", "Finding"),
+    ("Symptom", "Finding"),
+    ("Pregnancy", "PatientGroup"),
+    ("Lactation", "PatientGroup"),
+    ("Pediatric", "PatientGroup"),
+    ("Geriatric", "PatientGroup"),
+    ("RenalImpairment", "PatientGroup"),
+    ("HepaticImpairment", "PatientGroup"),
+    ("Overdose", "Toxicology"),
+    ("Poison", "Toxicology"),
+    ("Metabolism", "Pharmacokinetics"),
+    ("Excretion", "Pharmacokinetics"),
+];
+
+/// Relationships (name, domain, range) of the MED ontology (58 entries).
+pub const MED_RELATIONSHIPS: [(&str, &str, &str); 58] = [
+    // —— The Figure 1 fragment ——
+    ("treat", "Drug", "Indication"),
+    ("cause", "Drug", "Risk"),
+    ("hasFinding", "Indication", "Finding"),
+    ("hasFinding", "Risk", "Finding"),
+    // —— Dosage and administration ——
+    ("hasDosage", "Drug", "Dosage"),
+    ("hasForm", "Drug", "DoseForm"),
+    ("viaRoute", "Dosage", "Route"),
+    ("formRoute", "DoseForm", "Route"),
+    ("hasStrength", "Drug", "Strength"),
+    ("dosageStrength", "Dosage", "Strength"),
+    ("packagedAs", "Drug", "Package"),
+    ("packageForm", "Package", "DoseForm"),
+    // —— Interactions ——
+    ("hasInteraction", "Drug", "Interaction"),
+    ("withDrug", "Interaction", "InteractingDrug"),
+    ("leadsTo", "Interaction", "Risk"),
+    ("hasFinding", "Interaction", "Finding"),
+    ("interactionSeverity", "Interaction", "Evidence"),
+    // —— Risks, warnings, precautions ——
+    ("hasWarning", "Drug", "Warning"),
+    ("warnsAbout", "Warning", "Finding"),
+    ("hasPrecaution", "Drug", "Precaution"),
+    ("hasFinding", "Precaution", "Finding"),
+    ("appliesTo", "Precaution", "PatientGroup"),
+    ("contraindicatedIn", "ContraIndication", "PatientGroup"),
+    ("requiresMonitoring", "Drug", "Monitoring"),
+    ("monitorsFinding", "Monitoring", "Finding"),
+    ("riskEvidence", "Risk", "Evidence"),
+    // —— Diseases and symptoms ——
+    ("forDisease", "Indication", "Disease"),
+    ("hasSymptom", "Disease", "Symptom"),
+    ("affects", "Disease", "BodySystem"),
+    ("causedBy", "Disease", "Organism"),
+    ("presentsIn", "Disease", "PatientGroup"),
+    ("comorbidWith", "Disease", "Disease"),
+    ("symptomOf", "Symptom", "BodySystem"),
+    // —— Drug classification ——
+    ("memberOf", "Drug", "DrugClass"),
+    ("classTreats", "DrugClass", "Indication"),
+    ("classCauses", "DrugClass", "Risk"),
+    ("subclassOf", "DrugClass", "DrugClass"),
+    // —— Toxicology ——
+    ("hasToxicology", "Drug", "Toxicology"),
+    ("manifestsAs", "Toxicology", "Finding"),
+    ("overdoseOf", "Overdose", "Drug"),
+    ("treatedBy", "Overdose", "Antidote"),
+    ("antidoteDrug", "Antidote", "Drug"),
+    ("poisonOrganism", "Poison", "Organism"),
+    ("poisonAffects", "Poison", "BodySystem"),
+    // —— Mechanism and pharmacokinetics ——
+    ("hasMechanism", "Drug", "MechanismOfAction"),
+    ("actsOn", "MechanismOfAction", "BodySystem"),
+    ("hasPharmacokinetics", "Drug", "Pharmacokinetics"),
+    ("hasHalfLife", "Pharmacokinetics", "HalfLife"),
+    ("absorbedVia", "Absorption", "Route"),
+    ("hasAbsorption", "Pharmacokinetics", "Absorption"),
+    ("metabolizedBy", "Metabolism", "BodySystem"),
+    ("excretedVia", "Excretion", "BodySystem"),
+    // —— Commercial ——
+    ("hasBrand", "Drug", "Brand"),
+    ("madeBy", "Brand", "Manufacturer"),
+    // —— Evidence and guidelines ——
+    ("supportedBy", "Indication", "Evidence"),
+    ("recommends", "Guideline", "Drug"),
+    ("covers", "Guideline", "Indication"),
+    ("guidelineEvidence", "Guideline", "Evidence"),
+];
+
+/// Build the MED domain ontology (43 concepts, 58 relationships).
+pub fn med_ontology() -> Ontology {
+    let mut b = OntologyBuilder::new();
+    for name in MED_CONCEPTS {
+        b.concept(name);
+    }
+    for (child, parent) in MED_SUBSUMPTIONS {
+        let c = b.concept(child);
+        let p = b.concept(parent);
+        b.sub_concept(c, p);
+    }
+    for (name, domain, range) in MED_RELATIONSHIPS {
+        let d = b.concept(domain);
+        let r = b.concept(range);
+        b.relationship(name, d, r);
+    }
+    b.build().expect("the MED ontology is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::generate_contexts;
+
+    #[test]
+    fn med_has_paper_reported_size() {
+        let o = med_ontology();
+        assert_eq!(o.concept_count(), 43, "§7.1: 43 concepts");
+        assert_eq!(o.relationship_count(), 58, "§7.1: 58 relationships");
+    }
+
+    #[test]
+    fn relationship_tables_reference_declared_concepts_only() {
+        let declared: std::collections::HashSet<&str> = MED_CONCEPTS.into_iter().collect();
+        for (_, d, r) in MED_RELATIONSHIPS {
+            assert!(declared.contains(d), "undeclared domain {d}");
+            assert!(declared.contains(r), "undeclared range {r}");
+        }
+        for (c, p) in MED_SUBSUMPTIONS {
+            assert!(declared.contains(c) && declared.contains(p));
+        }
+    }
+
+    #[test]
+    fn figure1_fragment_present() {
+        let o = med_ontology();
+        for label in [
+            "Drug-treat-Indication",
+            "Drug-cause-Risk",
+            "Indication-hasFinding-Finding",
+            "Risk-hasFinding-Finding",
+        ] {
+            assert!(o.lookup_relationship(label).is_some(), "missing {label}");
+        }
+        let risk = o.lookup_concept("Risk").unwrap();
+        assert_eq!(o.concept_children(risk).len(), 3, "Example 3: Risk has 3 descendants");
+    }
+
+    #[test]
+    fn context_space_matches_relationship_count() {
+        let o = med_ontology();
+        assert_eq!(generate_contexts(&o).len(), 58);
+    }
+
+    #[test]
+    fn finding_participates_in_multiple_contexts() {
+        let o = med_ontology();
+        let finding = o.lookup_concept("Finding").unwrap();
+        // Indication/Risk/Interaction/Precaution-hasFinding, warnsAbout,
+        // monitorsFinding, manifestsAs.
+        assert!(o.relationships_to(finding).len() >= 5);
+    }
+}

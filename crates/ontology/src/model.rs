@@ -1,0 +1,400 @@
+//! Ontology data model and builder.
+
+use std::collections::{HashMap, HashSet};
+
+use medkb_types::{
+    Id, IdVec, MedKbError, OntoConceptId, RelationshipId, Result, StringInterner,
+};
+
+/// A relationship (role) of the domain ontology with its domain and range
+/// constraints.
+///
+/// The same relationship *name* may occur with several domain/range pairs —
+/// Figure 1 has `hasFinding` both as `Indication → Finding` and
+/// `Risk → Finding` — so relationships are identified by the full triple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relationship {
+    /// Role name, e.g. `hasFinding`.
+    pub name: Box<str>,
+    /// Source concept.
+    pub domain: OntoConceptId,
+    /// Destination concept.
+    pub range: OntoConceptId,
+}
+
+/// Builder for [`Ontology`].
+#[derive(Debug, Default)]
+pub struct OntologyBuilder {
+    concepts: StringInterner<OntoConceptId>,
+    subsumptions: Vec<(OntoConceptId, OntoConceptId)>,
+    relationships: Vec<Relationship>,
+}
+
+impl OntologyBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or look up) a concept by name.
+    pub fn concept(&mut self, name: &str) -> OntoConceptId {
+        self.concepts.intern(name)
+    }
+
+    /// Record that `child` is a sub-concept of `parent` within the TBox.
+    pub fn sub_concept(&mut self, child: OntoConceptId, parent: OntoConceptId) {
+        self.subsumptions.push((child, parent));
+    }
+
+    /// Register a relationship `domain --name--> range`.
+    pub fn relationship(
+        &mut self,
+        name: &str,
+        domain: OntoConceptId,
+        range: OntoConceptId,
+    ) -> RelationshipId {
+        let id = RelationshipId::from_usize(self.relationships.len());
+        self.relationships.push(Relationship { name: name.into(), domain, range });
+        id
+    }
+
+    /// Number of registered concepts.
+    pub fn concept_count(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Number of registered relationships.
+    pub fn relationship_count(&self) -> usize {
+        self.relationships.len()
+    }
+
+    /// Validate and freeze.
+    ///
+    /// # Errors
+    /// * Duplicate relationship triples or subsumption pairs.
+    /// * Cyclic concept subsumption.
+    pub fn build(self) -> Result<Ontology> {
+        let n = self.concepts.len();
+        let mut triples = HashSet::new();
+        for r in &self.relationships {
+            if !triples.insert((r.name.clone(), r.domain, r.range)) {
+                return Err(MedKbError::invalid(format!(
+                    "duplicate relationship {} from {:?} to {:?}",
+                    r.name,
+                    self.concepts.resolve(r.domain),
+                    self.concepts.resolve(r.range)
+                )));
+            }
+        }
+
+        let mut parents: IdVec<OntoConceptId, Vec<OntoConceptId>> = IdVec::filled(Vec::new(), n);
+        let mut children: IdVec<OntoConceptId, Vec<OntoConceptId>> = IdVec::filled(Vec::new(), n);
+        let mut pairs = HashSet::new();
+        for &(child, parent) in &self.subsumptions {
+            if child == parent || !pairs.insert((child, parent)) {
+                return Err(MedKbError::invalid(format!(
+                    "bad subsumption {:?} -> {:?}",
+                    self.concepts.resolve(child),
+                    self.concepts.resolve(parent)
+                )));
+            }
+            parents[child].push(parent);
+            children[parent].push(child);
+        }
+
+        // Cycle check via DFS coloring over child -> parent edges.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: IdVec<OntoConceptId, Color> = IdVec::filled(Color::White, n);
+        fn dfs(
+            c: OntoConceptId,
+            parents: &IdVec<OntoConceptId, Vec<OntoConceptId>>,
+            color: &mut IdVec<OntoConceptId, Color>,
+        ) -> bool {
+            color[c] = Color::Gray;
+            for &p in &parents[c] {
+                match color[p] {
+                    Color::Gray => return false,
+                    Color::White => {
+                        if !dfs(p, parents, color) {
+                            return false;
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+            color[c] = Color::Black;
+            true
+        }
+        for c in (0..n).map(OntoConceptId::from_usize) {
+            if color[c] == Color::White && !dfs(c, &parents, &mut color) {
+                return Err(MedKbError::CycleDetected {
+                    detail: format!("TBox subsumption around {:?}", self.concepts.resolve(c)),
+                });
+            }
+        }
+
+        // Relationship adjacency per concept (as domain / as range).
+        let mut by_domain: IdVec<OntoConceptId, Vec<RelationshipId>> = IdVec::filled(Vec::new(), n);
+        let mut by_range: IdVec<OntoConceptId, Vec<RelationshipId>> = IdVec::filled(Vec::new(), n);
+        for (i, r) in self.relationships.iter().enumerate() {
+            let id = RelationshipId::from_usize(i);
+            by_domain[r.domain].push(id);
+            by_range[r.range].push(id);
+        }
+
+        let relationships: IdVec<RelationshipId, Relationship> =
+            self.relationships.into_iter().collect();
+        Ok(Ontology {
+            concepts: self.concepts,
+            relationships,
+            parents,
+            children,
+            by_domain,
+            by_range,
+        })
+    }
+}
+
+/// The frozen domain ontology.
+#[derive(Debug, Clone)]
+pub struct Ontology {
+    concepts: StringInterner<OntoConceptId>,
+    relationships: IdVec<RelationshipId, Relationship>,
+    parents: IdVec<OntoConceptId, Vec<OntoConceptId>>,
+    children: IdVec<OntoConceptId, Vec<OntoConceptId>>,
+    by_domain: IdVec<OntoConceptId, Vec<RelationshipId>>,
+    by_range: IdVec<OntoConceptId, Vec<RelationshipId>>,
+}
+
+impl Ontology {
+    /// Number of concepts.
+    pub fn concept_count(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Number of relationships.
+    pub fn relationship_count(&self) -> usize {
+        self.relationships.len()
+    }
+
+    /// Name of `concept`.
+    pub fn concept_name(&self, concept: OntoConceptId) -> &str {
+        self.concepts.resolve(concept)
+    }
+
+    /// Resolve a concept by exact name.
+    pub fn lookup_concept(&self, name: &str) -> Option<OntoConceptId> {
+        self.concepts.get(name)
+    }
+
+    /// The relationship behind `id`.
+    pub fn relationship(&self, id: RelationshipId) -> &Relationship {
+        &self.relationships[id]
+    }
+
+    /// All relationships as `(id, relationship)`.
+    pub fn relationships(&self) -> impl Iterator<Item = (RelationshipId, &Relationship)> {
+        self.relationships.iter()
+    }
+
+    /// All concept ids.
+    pub fn concepts(&self) -> impl Iterator<Item = OntoConceptId> {
+        (0..self.concepts.len()).map(OntoConceptId::from_usize)
+    }
+
+    /// Direct TBox parents of `concept`.
+    pub fn concept_parents(&self, concept: OntoConceptId) -> &[OntoConceptId] {
+        &self.parents[concept]
+    }
+
+    /// Direct TBox children of `concept` — e.g. `Risk`'s children
+    /// `Black Box Warning`, `Adverse Effect`, `Contra Indication` in
+    /// Figure 1.
+    pub fn concept_children(&self, concept: OntoConceptId) -> &[OntoConceptId] {
+        &self.children[concept]
+    }
+
+    /// All TBox descendants of `concept` (strict).
+    pub fn concept_descendants(&self, concept: OntoConceptId) -> Vec<OntoConceptId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut stack: Vec<OntoConceptId> = self.children[concept].to_vec();
+        while let Some(c) = stack.pop() {
+            if seen.insert(c) {
+                out.push(c);
+                stack.extend(self.children[c].iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Relationships whose domain is `concept`.
+    pub fn relationships_from(&self, concept: OntoConceptId) -> &[RelationshipId] {
+        &self.by_domain[concept]
+    }
+
+    /// Relationships whose range is `concept`.
+    pub fn relationships_to(&self, concept: OntoConceptId) -> &[RelationshipId] {
+        &self.by_range[concept]
+    }
+
+    /// Whether `anc` strictly subsumes `desc` in the TBox.
+    pub fn concept_subsumes(&self, anc: OntoConceptId, desc: OntoConceptId) -> bool {
+        if anc == desc {
+            return false;
+        }
+        let mut seen = HashSet::new();
+        let mut stack: Vec<OntoConceptId> = self.parents[desc].to_vec();
+        while let Some(c) = stack.pop() {
+            if c == anc {
+                return true;
+            }
+            if seen.insert(c) {
+                stack.extend(self.parents[c].iter().copied());
+            }
+        }
+        false
+    }
+
+    /// The canonical `Domain-name-Range` label of a relationship, used as
+    /// the context label throughout the paper (e.g.
+    /// `Indication-hasFinding-Finding`).
+    pub fn relationship_label(&self, id: RelationshipId) -> String {
+        let r = &self.relationships[id];
+        format!(
+            "{}-{}-{}",
+            self.concept_name(r.domain),
+            r.name,
+            self.concept_name(r.range)
+        )
+    }
+
+    /// Find a relationship by its `Domain-name-Range` label.
+    pub fn lookup_relationship(&self, label: &str) -> Option<RelationshipId> {
+        self.relationships().find(|(id, _)| self.relationship_label(*id) == label).map(|(id, _)| id)
+    }
+
+    /// Map each relationship name to its ids (a name may be reused across
+    /// domain/range pairs).
+    pub fn relationships_named(&self, name: &str) -> Vec<RelationshipId> {
+        self.relationships
+            .iter()
+            .filter(|(_, r)| &*r.name == name)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Group relationships by name.
+    pub fn relationship_name_index(&self) -> HashMap<&str, Vec<RelationshipId>> {
+        let mut m: HashMap<&str, Vec<RelationshipId>> = HashMap::new();
+        for (id, r) in self.relationships.iter() {
+            m.entry(&r.name).or_default().push(id);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> Ontology {
+        let mut b = OntologyBuilder::new();
+        let drug = b.concept("Drug");
+        let indication = b.concept("Indication");
+        let risk = b.concept("Risk");
+        let finding = b.concept("Finding");
+        let bbw = b.concept("BlackBoxWarning");
+        let ae = b.concept("AdverseEffect");
+        let ci = b.concept("ContraIndication");
+        b.sub_concept(bbw, risk);
+        b.sub_concept(ae, risk);
+        b.sub_concept(ci, risk);
+        b.relationship("treat", drug, indication);
+        b.relationship("cause", drug, risk);
+        b.relationship("hasFinding", indication, finding);
+        b.relationship("hasFinding", risk, finding);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_figure1_fragment() {
+        let o = figure1();
+        assert_eq!(o.concept_count(), 7);
+        assert_eq!(o.relationship_count(), 4);
+    }
+
+    #[test]
+    fn same_name_different_triples_allowed() {
+        let o = figure1();
+        assert_eq!(o.relationships_named("hasFinding").len(), 2);
+    }
+
+    #[test]
+    fn duplicate_triple_rejected() {
+        let mut b = OntologyBuilder::new();
+        let a = b.concept("A");
+        let c = b.concept("B");
+        b.relationship("r", a, c);
+        b.relationship("r", a, c);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn relationship_label_format() {
+        let o = figure1();
+        let risk = o.lookup_concept("Risk").unwrap();
+        let to_finding = o
+            .relationships_from(risk)
+            .iter()
+            .map(|&id| o.relationship_label(id))
+            .collect::<Vec<_>>();
+        assert_eq!(to_finding, vec!["Risk-hasFinding-Finding"]);
+        assert!(o.lookup_relationship("Risk-hasFinding-Finding").is_some());
+        assert!(o.lookup_relationship("Risk-hasFinding-Drug").is_none());
+    }
+
+    #[test]
+    fn finding_is_range_of_two_relationships() {
+        let o = figure1();
+        let finding = o.lookup_concept("Finding").unwrap();
+        assert_eq!(o.relationships_to(finding).len(), 2);
+    }
+
+    #[test]
+    fn risk_descendants_per_example3() {
+        let o = figure1();
+        let risk = o.lookup_concept("Risk").unwrap();
+        let mut kids: Vec<&str> =
+            o.concept_children(risk).iter().map(|&c| o.concept_name(c)).collect();
+        kids.sort_unstable();
+        assert_eq!(kids, vec!["AdverseEffect", "BlackBoxWarning", "ContraIndication"]);
+        assert_eq!(o.concept_descendants(risk).len(), 3);
+        let bbw = o.lookup_concept("BlackBoxWarning").unwrap();
+        assert!(o.concept_subsumes(risk, bbw));
+        assert!(!o.concept_subsumes(bbw, risk));
+    }
+
+    #[test]
+    fn subsumption_cycle_rejected() {
+        let mut b = OntologyBuilder::new();
+        let a = b.concept("A");
+        let c = b.concept("B");
+        b.sub_concept(a, c);
+        b.sub_concept(c, a);
+        assert!(matches!(b.build(), Err(MedKbError::CycleDetected { .. })));
+    }
+
+    #[test]
+    fn self_subsumption_rejected() {
+        let mut b = OntologyBuilder::new();
+        let a = b.concept("A");
+        b.sub_concept(a, a);
+        assert!(b.build().is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Synthetic SNOMED CT-like terminology and the generated *MED* world.
+//!
+//! SNOMED CT is license-gated and the paper's *MED* knowledge base is
+//! proprietary, so this crate generates faithful synthetic stand-ins (see
+//! DESIGN.md §2 for the substitution argument):
+//!
+//! * [`vocab`] — deterministic medical-ish name synthesis (findings,
+//!   drugs, organisms, body structures, procedures), with synonym and
+//!   abbreviation variants and deliberate *antonym traps* ("hyper…" vs
+//!   "hypo…") that are taxonomic siblings yet semantic opposites — the
+//!   paper's "psychogenic fever"/"hypothermia" pitfall.
+//! * [`generator`] — builds a rooted multi-parent DAG with SNOMED-shaped
+//!   top-level hierarchies, configurable size/depth/fan-out.
+//! * [`oracle`] — the latent ground truth that replaces the paper's 20
+//!   SMEs: per-concept latent vectors, per-context affinities, and a graded
+//!   relevance judgment combining extension overlap (directional), latent
+//!   proximity (sibling relatedness), and context affinity.
+//! * [`world`] — assembles the full experimental world: the terminology,
+//!   the MED KB with perturbed instance names (driving Table 1's
+//!   EXACT/EDIT/EMBEDDING shape), relation triples, and the gold mapping.
+//! * [`figures`] — exact hand-built fragments of Figures 4, 5 and 6 with
+//!   the paper's worked numbers.
+//! * [`rf2`] — an RF2-flavoured TSV exchange format for terminologies.
+//! * [`go`] — a Gene-Ontology-flavoured second terminology (the paper's
+//!   §1 names GO as another usable knowledge source), proving the stack is
+//!   terminology-agnostic.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod figures;
+pub mod generator;
+pub mod go;
+pub mod oracle;
+pub mod rf2;
+pub mod vocab;
+pub mod world;
+
+pub use config::{SnomedConfig, WorldConfig};
+pub use generator::{ConceptMeta, GeneratedTerminology, Hierarchy};
+pub use oracle::{ContextTag, Oracle};
+pub use world::{InstanceOrigin, MedWorld, NameShape};

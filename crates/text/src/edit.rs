@@ -1,0 +1,228 @@
+//! Edit distances for approximate name matching.
+//!
+//! Table 1's `EDIT` matcher accepts a mapping when the Levenshtein distance
+//! between the (normalized) instance name and an external concept name is at
+//! most `τ = 2`. The hot path therefore needs a *bounded* distance test, not
+//! the full O(m·n) matrix: [`levenshtein_within`] runs the banded dynamic
+//! program that visits only the `2τ+1` diagonal band and exits early once the
+//! whole band exceeds the threshold.
+
+/// Classic Levenshtein distance (insert / delete / substitute, unit costs).
+///
+/// Runs the two-row dynamic program in O(m·n) time and O(min(m,n)) space.
+///
+/// ```
+/// use medkb_text::levenshtein;
+/// assert_eq!(levenshtein("fever", "fever"), 0);
+/// assert_eq!(levenshtein("fever", "fevers"), 1);
+/// assert_eq!(levenshtein("hyperpyrexia", "hypothermia"), 6);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        if ac.len() <= bc.len() {
+            (ac, bc)
+        } else {
+            (bc, ac)
+        }
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Damerau-Levenshtein distance (adds adjacent transposition, unit cost).
+///
+/// Used as an alternative matcher configuration; medical misspellings are
+/// frequently transpositions (`"psoriasis"` / `"psoraisis"`).
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let (m, n) = (ac.len(), bc.len());
+    if m == 0 {
+        return n;
+    }
+    if n == 0 {
+        return m;
+    }
+    // Three rolling rows: i-2, i-1, i.
+    let mut row2: Vec<usize> = vec![0; n + 1];
+    let mut row1: Vec<usize> = (0..=n).collect();
+    let mut row0: Vec<usize> = vec![0; n + 1];
+    for i in 1..=m {
+        row0[0] = i;
+        for j in 1..=n {
+            let cost = usize::from(ac[i - 1] != bc[j - 1]);
+            let mut best = (row1[j - 1] + cost).min(row1[j] + 1).min(row0[j - 1] + 1);
+            if i > 1 && j > 1 && ac[i - 1] == bc[j - 2] && ac[i - 2] == bc[j - 1] {
+                best = best.min(row2[j - 2] + 1);
+            }
+            row0[j] = best;
+        }
+        std::mem::swap(&mut row2, &mut row1);
+        std::mem::swap(&mut row1, &mut row0);
+    }
+    row1[n]
+}
+
+/// Bounded Levenshtein: `Some(d)` if `d = levenshtein(a, b) <= max`, else
+/// `None`, computed in O(max·min(m,n)) via the diagonal band.
+///
+/// ```
+/// use medkb_text::levenshtein_within;
+/// assert_eq!(levenshtein_within("asthma", "astma", 2), Some(1));
+/// assert_eq!(levenshtein_within("asthma", "bronchitis", 2), None);
+/// ```
+pub fn levenshtein_within(a: &str, b: &str, max: usize) -> Option<usize> {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let (short, long) = if ac.len() <= bc.len() { (&ac, &bc) } else { (&bc, &ac) };
+    let (m, n) = (short.len(), long.len());
+    if n - m > max {
+        return None;
+    }
+    if m == 0 {
+        return (n <= max).then_some(n);
+    }
+    const BIG: usize = usize::MAX / 2;
+    // prev[j] holds distance for row i-1; only a band of width 2·max+1
+    // around the main diagonal is ever finite.
+    let mut prev: Vec<usize> = (0..=m).map(|j| if j <= max { j } else { BIG }).collect();
+    let mut cur = vec![BIG; m + 1];
+    for i in 1..=n {
+        let lo = i.saturating_sub(max).max(1);
+        let hi = (i + max).min(m);
+        if lo > hi {
+            return None;
+        }
+        cur[lo - 1] = if lo == 1 { i } else { BIG };
+        let mut row_min = cur[lo - 1];
+        for j in lo..=hi {
+            let sub = prev[j - 1] + usize::from(long[i - 1] != short[j - 1]);
+            let del = if prev[j] < BIG { prev[j] + 1 } else { BIG };
+            let ins = if cur[j - 1] < BIG { cur[j - 1] + 1 } else { BIG };
+            cur[j] = sub.min(del).min(ins);
+            row_min = row_min.min(cur[j]);
+        }
+        if hi < m {
+            cur[hi + 1..].fill(BIG);
+        }
+        if row_min > max {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev[m] <= max).then_some(prev[m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_is_zero() {
+        assert_eq!(levenshtein("pertussis", "pertussis"), 0);
+        assert_eq!(damerau_levenshtein("pertussis", "pertussis"), 0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(damerau_levenshtein("", ""), 0);
+        assert_eq!(levenshtein_within("", "", 0), Some(0));
+        assert_eq!(levenshtein_within("", "ab", 1), None);
+    }
+
+    #[test]
+    fn single_edits() {
+        assert_eq!(levenshtein("fever", "feber"), 1); // substitution
+        assert_eq!(levenshtein("fever", "fevr"), 1); // deletion
+        assert_eq!(levenshtein("fever", "feverr"), 1); // insertion
+    }
+
+    #[test]
+    fn transposition_counts() {
+        // Plain Levenshtein needs 2 edits, Damerau needs 1.
+        assert_eq!(levenshtein("ab", "ba"), 2);
+        assert_eq!(damerau_levenshtein("ab", "ba"), 1);
+        assert_eq!(damerau_levenshtein("psoriasis", "psoraisis"), 1);
+    }
+
+    #[test]
+    fn bounded_matches_full_inside_threshold() {
+        assert_eq!(levenshtein_within("bronchitis", "bronchitis", 0), Some(0));
+        assert_eq!(levenshtein_within("headache", "headaches", 2), Some(1));
+        assert_eq!(levenshtein_within("headache", "headace", 2), Some(1));
+        assert_eq!(levenshtein_within("headache", "hadacke", 2), Some(2));
+    }
+
+    #[test]
+    fn bounded_rejects_beyond_threshold() {
+        assert_eq!(levenshtein("headache", "backache"), 4);
+        assert_eq!(levenshtein_within("headache", "backache", 2), None);
+        assert_eq!(levenshtein_within("headache", "toothache", 2), None);
+    }
+
+    #[test]
+    fn unicode_chars_handled_per_char() {
+        assert_eq!(levenshtein("naïve", "naive"), 1);
+        assert_eq!(levenshtein_within("naïve", "naive", 2), Some(1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symmetry(a in "[a-e]{0,12}", b in "[a-e]{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn prop_triangle_inequality(
+            a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}"
+        ) {
+            let ab = levenshtein(&a, &b);
+            let bc = levenshtein(&b, &c);
+            let ac = levenshtein(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn prop_bounded_agrees_with_full(a in "[a-d]{0,10}", b in "[a-d]{0,10}", max in 0usize..5) {
+            let full = levenshtein(&a, &b);
+            match levenshtein_within(&a, &b, max) {
+                Some(d) => {
+                    prop_assert_eq!(d, full);
+                    prop_assert!(d <= max);
+                }
+                None => prop_assert!(full > max),
+            }
+        }
+
+        #[test]
+        fn prop_damerau_not_larger_than_levenshtein(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+            prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn prop_distance_bounds(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+            let d = levenshtein(&a, &b);
+            let (la, lb) = (a.chars().count(), b.chars().count());
+            prop_assert!(d >= la.abs_diff(lb));
+            prop_assert!(d <= la.max(lb));
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Longest-match phrase spotting over a token trie.
+//!
+//! The conversational system (§6.1) extracts entity mentions from the user
+//! utterance before deciding whether they resolve in the KB. Mentions are
+//! multi-word ("pain in throat", "chronic kidney disease stage 1 due to
+//! hypertension"), so extraction is a greedy longest-match walk over a trie
+//! keyed by normalized tokens.
+
+use std::collections::HashMap;
+
+use crate::token::tokenize;
+
+/// A phrase matched in an input utterance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhraseMatch {
+    /// Index of the first matched token in the tokenized input.
+    pub start_token: usize,
+    /// Number of matched tokens.
+    pub len: usize,
+    /// Payload registered with the phrase.
+    pub payload: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TrieNode {
+    children: HashMap<Box<str>, usize>,
+    /// Payload if a registered phrase ends at this node.
+    terminal: Option<u32>,
+}
+
+/// Token-trie gazetteer with greedy longest-match scanning.
+///
+/// ```
+/// use medkb_text::Gazetteer;
+///
+/// let mut g = Gazetteer::new();
+/// g.insert("pain in throat", 1);
+/// g.insert("pain", 2);
+/// let matches = g.scan("severe pain in throat today");
+/// assert_eq!(matches.len(), 1);
+/// assert_eq!(matches[0].payload, 1); // longest match wins
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gazetteer {
+    nodes: Vec<TrieNode>,
+    phrases: usize,
+}
+
+impl Gazetteer {
+    /// An empty gazetteer.
+    pub fn new() -> Self {
+        Self { nodes: vec![TrieNode::default()], phrases: 0 }
+    }
+
+    /// Number of registered phrases.
+    pub fn len(&self) -> usize {
+        self.phrases
+    }
+
+    /// Whether no phrase has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.phrases == 0
+    }
+
+    /// Register `phrase` (normalized internally) with `payload`.
+    ///
+    /// Re-inserting a phrase overwrites its payload. Empty phrases (no
+    /// alphanumeric tokens) are ignored.
+    pub fn insert(&mut self, phrase: &str, payload: u32) {
+        let tokens = tokenize(phrase);
+        if tokens.is_empty() {
+            return;
+        }
+        let mut node = 0usize;
+        for tok in &tokens {
+            let next = match self.nodes[node].children.get(tok.as_str()) {
+                Some(&n) => n,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[node].children.insert(tok.clone().into_boxed_str(), n);
+                    n
+                }
+            };
+            node = next;
+        }
+        if self.nodes[node].terminal.replace(payload).is_none() {
+            self.phrases += 1;
+        }
+    }
+
+    /// Exact lookup of a whole phrase.
+    pub fn lookup(&self, phrase: &str) -> Option<u32> {
+        let tokens = tokenize(phrase);
+        if tokens.is_empty() {
+            return None;
+        }
+        let mut node = 0usize;
+        for tok in &tokens {
+            node = *self.nodes[node].children.get(tok.as_str())?;
+        }
+        self.nodes[node].terminal
+    }
+
+    /// Scan an utterance, returning non-overlapping greedy longest matches
+    /// left to right.
+    pub fn scan(&self, utterance: &str) -> Vec<PhraseMatch> {
+        let tokens = tokenize(utterance);
+        self.scan_tokens(&tokens)
+    }
+
+    /// [`Self::scan`] over pre-tokenized input.
+    pub fn scan_tokens(&self, tokens: &[String]) -> Vec<PhraseMatch> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let mut node = 0usize;
+            let mut best: Option<(usize, u32)> = None; // (len, payload)
+            for (offset, tok) in tokens[i..].iter().enumerate() {
+                match self.nodes[node].children.get(tok.as_str()) {
+                    Some(&n) => {
+                        node = n;
+                        if let Some(p) = self.nodes[node].terminal {
+                            best = Some((offset + 1, p));
+                        }
+                    }
+                    None => break,
+                }
+            }
+            match best {
+                Some((len, payload)) => {
+                    out.push(PhraseMatch { start_token: i, len, payload });
+                    i += len;
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_word_match() {
+        let mut g = Gazetteer::new();
+        g.insert("fever", 7);
+        let m = g.scan("does aspirin treat fever");
+        assert_eq!(m, vec![PhraseMatch { start_token: 3, len: 1, payload: 7 }]);
+    }
+
+    #[test]
+    fn longest_match_preferred() {
+        let mut g = Gazetteer::new();
+        g.insert("kidney", 1);
+        g.insert("kidney disease", 2);
+        let m = g.scan("chronic kidney disease");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].payload, 2);
+        assert_eq!(m[0].len, 2);
+    }
+
+    #[test]
+    fn multiple_non_overlapping_matches() {
+        let mut g = Gazetteer::new();
+        g.insert("aspirin", 1);
+        g.insert("fever", 2);
+        let m = g.scan("aspirin for fever");
+        assert_eq!(m.iter().map(|p| p.payload).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn normalization_applies_to_phrases_and_input() {
+        let mut g = Gazetteer::new();
+        g.insert("Pain (in throat)", 9);
+        assert_eq!(g.lookup("pain in throat"), Some(9));
+        assert_eq!(g.scan("PAIN, IN-THROAT").len(), 1);
+    }
+
+    #[test]
+    fn reinsert_overwrites_payload() {
+        let mut g = Gazetteer::new();
+        g.insert("fever", 1);
+        g.insert("fever", 2);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.lookup("fever"), Some(2));
+    }
+
+    #[test]
+    fn empty_phrase_ignored() {
+        let mut g = Gazetteer::new();
+        g.insert("  --  ", 1);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn prefix_without_terminal_does_not_match() {
+        let mut g = Gazetteer::new();
+        g.insert("chronic kidney disease", 3);
+        assert!(g.scan("chronic kidney failure").is_empty());
+        assert_eq!(g.lookup("chronic kidney"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_inserted_phrase_lookups(
+            phrases in proptest::collection::hash_set("[a-c]{1,4}( [a-c]{1,4}){0,2}", 1..16)
+        ) {
+            let mut g = Gazetteer::new();
+            for (i, p) in phrases.iter().enumerate() {
+                g.insert(p, i as u32);
+            }
+            for (i, p) in phrases.iter().enumerate() {
+                prop_assert_eq!(g.lookup(p), Some(i as u32));
+            }
+        }
+
+        #[test]
+        fn prop_matches_never_overlap(
+            phrases in proptest::collection::vec("[a-b]{1,2}( [a-b]{1,2}){0,2}", 1..8),
+            text in "[a-b ]{0,32}",
+        ) {
+            let mut g = Gazetteer::new();
+            for (i, p) in phrases.iter().enumerate() {
+                g.insert(p, i as u32);
+            }
+            let matches = g.scan(&text);
+            for w in matches.windows(2) {
+                prop_assert!(w[0].start_token + w[0].len <= w[1].start_token);
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Character n-gram inverted index for bounded edit-distance candidate
+//! generation.
+//!
+//! A τ-bounded matcher over an external knowledge source with |V| concept
+//! names cannot afford |V| banded DP runs per lookup. The standard filter:
+//! two strings within Levenshtein distance τ share at least
+//! `max(|a|, |b|) - (n-1) - τ·n` character n-grams (each edit destroys at
+//! most `n` grams). The index retrieves candidates by shared-gram counting
+//! and the caller verifies with the banded DP.
+
+use std::collections::HashMap;
+
+/// Padded character n-gram inverted index over a set of strings.
+///
+/// Entries are referenced by the dense `usize` position in insertion order;
+/// callers keep their own side table mapping positions to domain ids.
+#[derive(Debug, Clone)]
+pub struct NgramIndex {
+    n: usize,
+    /// gram -> postings (entry positions, ascending).
+    postings: HashMap<Box<str>, Vec<u32>>,
+    /// Character length of each indexed entry.
+    lengths: Vec<u32>,
+    /// length -> entry positions; fallback for lengths where the gram-count
+    /// bound degenerates (short strings can match while sharing zero grams).
+    by_length: HashMap<u32, Vec<u32>>,
+}
+
+impl NgramIndex {
+    /// An empty index over `n`-grams (`n >= 2` recommended; `n = 3` default
+    /// choice for medical names).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "n-gram size must be at least 1");
+        Self { n, postings: HashMap::new(), lengths: Vec::new(), by_length: HashMap::new() }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// Gram size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Add `s`, returning its position.
+    pub fn insert(&mut self, s: &str) -> usize {
+        let pos = self.lengths.len();
+        let len = s.chars().count() as u32;
+        self.lengths.push(len);
+        self.by_length.entry(len).or_default().push(pos as u32);
+        for gram in Self::grams(self.n, s) {
+            self.postings.entry(gram.into()).or_default().push(pos as u32);
+        }
+        pos
+    }
+
+    /// Positions of entries that could be within Levenshtein distance
+    /// `max_dist` of `query`, by the count filter. Guaranteed to be a
+    /// superset of the true matches among indexed entries (no false
+    /// negatives); the caller verifies each candidate.
+    pub fn candidates(&self, query: &str, max_dist: usize) -> Vec<usize> {
+        let qlen = query.chars().count();
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for gram in Self::grams(self.n, query) {
+            if let Some(posting) = self.postings.get(gram.as_str()) {
+                for &pos in posting {
+                    *counts.entry(pos).or_insert(0) += 1;
+                }
+            }
+        }
+        // Each edit destroys at most `n` padded grams, and a string of
+        // length L has L + n - 1 padded grams, so a true match of length L
+        // shares at least `bound(L) = max(L, qlen) + n - 1 - n·max_dist`
+        // grams with the query.
+        let bound = |len: usize| (len.max(qlen) + self.n - 1).saturating_sub(self.n * max_dist);
+        let mut out: Vec<usize> = counts
+            .into_iter()
+            .filter(|&(pos, shared)| {
+                let len = self.lengths[pos as usize] as usize;
+                len.abs_diff(qlen) <= max_dist && (shared as usize) >= bound(len).max(1)
+            })
+            .map(|(pos, _)| pos as usize)
+            .collect();
+        // Lengths whose bound degenerates to zero cannot be filtered by
+        // shared-gram counting at all: include every entry of such lengths.
+        for len in qlen.saturating_sub(max_dist)..=qlen + max_dist {
+            if bound(len) == 0 {
+                if let Some(bucket) = self.by_length.get(&(len as u32)) {
+                    out.extend(bucket.iter().map(|&p| p as usize));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The padded n-grams of `s` (padding char `\u{1}`): a string of k chars
+    /// yields `k + n - 1` grams, so even 1-char strings are indexable.
+    fn grams(n: usize, s: &str) -> Vec<String> {
+        let pad = "\u{1}".repeat(n - 1);
+        let padded: Vec<char> = format!("{pad}{s}{pad}").chars().collect();
+        if padded.len() < n {
+            return vec![padded.into_iter().collect()];
+        }
+        padded.windows(n).map(|w| w.iter().collect()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::levenshtein;
+    use proptest::prelude::*;
+
+    fn build(words: &[&str]) -> NgramIndex {
+        let mut idx = NgramIndex::new(3);
+        for w in words {
+            idx.insert(w);
+        }
+        idx
+    }
+
+    #[test]
+    fn exact_string_is_candidate() {
+        let idx = build(&["fever", "headache", "asthma"]);
+        assert!(idx.candidates("fever", 0).contains(&0));
+    }
+
+    #[test]
+    fn near_match_is_candidate() {
+        let idx = build(&["bronchitis", "pertussis"]);
+        let cands = idx.candidates("bronchitiss", 2);
+        assert!(cands.contains(&0));
+    }
+
+    #[test]
+    fn far_string_is_filtered() {
+        let idx = build(&["bronchitis"]);
+        assert!(idx.candidates("hypothermia", 2).is_empty());
+    }
+
+    #[test]
+    fn length_filter_applies() {
+        let idx = build(&["flu"]);
+        // Length difference 5 > max_dist 2 — cannot match.
+        assert!(idx.candidates("influenza", 2).is_empty());
+    }
+
+    #[test]
+    fn single_char_entries_indexable() {
+        let mut idx = NgramIndex::new(3);
+        idx.insert("a");
+        assert!(idx.candidates("a", 0).contains(&0));
+        assert!(idx.candidates("ab", 1).contains(&0));
+    }
+
+    proptest! {
+        /// The filter must never drop a true match (no false negatives).
+        #[test]
+        fn prop_no_false_negatives(
+            words in proptest::collection::vec("[a-d]{1,8}", 1..24),
+            query in "[a-d]{1,8}",
+            max in 0usize..3,
+        ) {
+            let mut idx = NgramIndex::new(3);
+            for w in &words {
+                idx.insert(w);
+            }
+            let cands: std::collections::HashSet<usize> =
+                idx.candidates(&query, max).into_iter().collect();
+            for (pos, w) in words.iter().enumerate() {
+                if levenshtein(w, &query) <= max {
+                    prop_assert!(
+                        cands.contains(&pos),
+                        "missed {w:?} for query {query:?} (max={max})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Canonical string form used by every matcher.
+
+/// Normalize a name or query term to its canonical comparison form.
+///
+/// Lowercases, maps any punctuation to spaces, collapses whitespace runs,
+/// and trims. Digits are kept: SNOMED-style names such as
+/// `"chronic kidney disease stage 1"` are distinguished by them.
+///
+/// ```
+/// use medkb_text::normalize;
+///
+/// assert_eq!(normalize("  Renal  Impairment "), "renal impairment");
+/// assert_eq!(normalize("Pain (in throat)"), "pain in throat");
+/// assert_eq!(normalize("CKD, stage-1"), "ckd stage 1");
+/// ```
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut pending_space = false;
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            for lower in ch.to_lowercase() {
+                out.push(lower);
+            }
+        } else {
+            // Whitespace and punctuation both act as (collapsed) separators.
+            pending_space = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(normalize("ASPIRIN"), "aspirin");
+    }
+
+    #[test]
+    fn collapses_internal_whitespace() {
+        assert_eq!(normalize("kidney   \t disease"), "kidney disease");
+    }
+
+    #[test]
+    fn punctuation_becomes_separator() {
+        assert_eq!(normalize("drug-induced fever"), "drug induced fever");
+        assert_eq!(normalize("fever, chronic"), "fever chronic");
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("---"), "");
+    }
+
+    #[test]
+    fn digits_survive() {
+        assert_eq!(normalize("Stage 1 CKD"), "stage 1 ckd");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_idempotent(s in ".{0,64}") {
+            let once = normalize(&s);
+            prop_assert_eq!(normalize(&once), once);
+        }
+
+        #[test]
+        fn prop_no_double_spaces_or_edges(s in ".{0,64}") {
+            let n = normalize(&s);
+            prop_assert!(!n.contains("  "));
+            prop_assert!(!n.starts_with(' '));
+            prop_assert!(!n.ends_with(' '));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Phonetic encoding (Soundex) for sound-alike matching.
+//!
+//! Medical terms are frequently misspelled *phonetically*
+//! ("neumonia" / "pneumonia", "difteria" / "diphtheria") — errors edit
+//! distance treats as far. Classic Soundex collapses sound-alike
+//! consonants into digit classes; a phrase key is the concatenation of its
+//! words' codes. The repository uses it as a fourth, extra mapping method
+//! ablated alongside the paper's three.
+
+/// The classic 4-character Soundex code of a single word (empty input or
+/// input without letters yields an empty string).
+///
+/// ```
+/// use medkb_text::phonetic::soundex;
+/// assert_eq!(soundex("Robert"), "R163");
+/// assert_eq!(soundex("Rupert"), "R163");
+/// assert_eq!(soundex("diarrhea"), soundex("diarrea"));
+/// ```
+pub fn soundex(word: &str) -> String {
+    let letters: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let Some(&first) = letters.first() else {
+        return String::new();
+    };
+    let class = |c: char| -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => 1,
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+            'D' | 'T' => 3,
+            'L' => 4,
+            'M' | 'N' => 5,
+            'R' => 6,
+            'H' | 'W' => 7, // separator-transparent per the standard rules
+            _ => 0,         // vowels and Y reset the run
+        }
+    };
+    let mut code = String::new();
+    code.push(first);
+    let mut last = class(first);
+    for &c in &letters[1..] {
+        let k = class(c);
+        match k {
+            0 => last = 0,
+            7 => {} // H/W do not encode and do not break a run
+            _ => {
+                if k != last {
+                    code.push(char::from(b'0' + k));
+                    if code.len() == 4 {
+                        return code;
+                    }
+                }
+                last = k;
+            }
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    code
+}
+
+/// Phonetic key of a multi-word phrase: the space-joined Soundex codes of
+/// its (normalized) words.
+pub fn phrase_key(phrase: &str) -> String {
+    crate::token::tokenize(phrase)
+        .iter()
+        .map(|w| soundex(w))
+        .filter(|k| !k.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn textbook_examples() {
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Ashcroft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+    }
+
+    #[test]
+    fn medical_misspellings_collide_as_intended() {
+        assert_eq!(soundex("diarrhea"), soundex("diarrea"));
+        assert_eq!(soundex("hemorrhage"), soundex("hemorage"));
+        assert_eq!(soundex("smith"), soundex("smyth"));
+        assert_eq!(soundex("catarrh"), soundex("catar"));
+    }
+
+    #[test]
+    fn empty_and_nonalpha() {
+        assert_eq!(soundex(""), "");
+        assert_eq!(soundex("123"), "");
+        assert_eq!(soundex("a"), "A000");
+    }
+
+    #[test]
+    fn phrase_keys() {
+        assert_eq!(phrase_key("kidney disease"), format!("{} {}", soundex("kidney"), soundex("disease")));
+        assert_eq!(phrase_key("Kidney  DISEASE!"), phrase_key("kidney disease"));
+        assert_eq!(phrase_key(""), "");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_code_shape(word in "[a-zA-Z]{1,16}") {
+            let code = soundex(&word);
+            prop_assert_eq!(code.len(), 4);
+            let mut chars = code.chars();
+            prop_assert!(chars.next().unwrap().is_ascii_uppercase());
+            prop_assert!(chars.all(|c| c.is_ascii_digit()));
+        }
+
+        #[test]
+        fn prop_case_insensitive(word in "[a-zA-Z]{1,12}") {
+            prop_assert_eq!(soundex(&word), soundex(&word.to_uppercase()));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, MedKbError>;
+
+/// Errors surfaced by the `medkb` crates.
+///
+/// The variants are deliberately coarse: downstream code either recovers by
+/// relaxing its request (e.g. an unmapped query term triggers query
+/// relaxation, which is the whole point of the paper) or reports the error
+/// to the operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MedKbError {
+    /// A name could not be resolved in the referenced namespace.
+    NotFound {
+        /// Namespace the lookup ran against (e.g. `"external concept"`).
+        what: &'static str,
+        /// The key that failed to resolve.
+        key: String,
+    },
+    /// The external knowledge source is not a rooted DAG as required by §2.2.
+    CycleDetected {
+        /// A human-readable witness of the cycle.
+        detail: String,
+    },
+    /// A graph that must have exactly one root has zero or several.
+    InvalidRoot {
+        /// Number of roots found.
+        roots: usize,
+    },
+    /// An argument violated a documented precondition.
+    InvalidArgument {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A serialized artifact could not be decoded.
+    Corrupt {
+        /// Description of the corruption.
+        detail: String,
+    },
+}
+
+impl MedKbError {
+    /// Shorthand for [`MedKbError::NotFound`].
+    pub fn not_found(what: &'static str, key: impl Into<String>) -> Self {
+        Self::NotFound { what, key: key.into() }
+    }
+
+    /// Shorthand for [`MedKbError::InvalidArgument`].
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        Self::InvalidArgument { detail: detail.into() }
+    }
+}
+
+impl fmt::Display for MedKbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotFound { what, key } => write!(f, "{what} not found: {key:?}"),
+            Self::CycleDetected { detail } => {
+                write!(f, "external knowledge source contains a cycle: {detail}")
+            }
+            Self::InvalidRoot { roots } => {
+                write!(f, "expected exactly one root concept, found {roots}")
+            }
+            Self::InvalidArgument { detail } => write!(f, "invalid argument: {detail}"),
+            Self::Corrupt { detail } => write!(f, "corrupt artifact: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MedKbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_not_found() {
+        let e = MedKbError::not_found("external concept", "pyelectasia");
+        assert_eq!(e.to_string(), "external concept not found: \"pyelectasia\"");
+    }
+
+    #[test]
+    fn display_invalid_root() {
+        assert_eq!(
+            MedKbError::InvalidRoot { roots: 3 }.to_string(),
+            "expected exactly one root concept, found 3"
+        );
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(MedKbError::invalid("k must be > 0"));
+        assert!(e.to_string().contains("k must be > 0"));
+    }
+}

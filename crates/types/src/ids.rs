@@ -1,0 +1,151 @@
+//! Typed, `Copy` identifier newtypes.
+//!
+//! All ids are thin wrappers around `u32`, which is large enough for every
+//! artifact this workspace generates (SNOMED CT itself has ~350k concepts)
+//! while keeping adjacency lists and candidate heaps compact.
+
+use std::fmt;
+
+/// Common behaviour of all identifier newtypes.
+///
+/// The trait exists so generic containers such as [`crate::IdVec`] and the
+/// interner can be reused across namespaces without erasing which namespace
+/// an index belongs to.
+pub trait Id: Copy + Eq + Ord + std::hash::Hash + fmt::Debug + 'static {
+    /// Construct an id from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    fn from_usize(index: usize) -> Self;
+
+    /// The dense index this id wraps.
+    fn as_usize(self) -> usize;
+
+    /// The raw `u32` representation.
+    fn as_u32(self) -> u32;
+}
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[derive(serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Construct from a raw `u32`.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl Id for $name {
+            #[inline]
+            fn from_usize(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index exceeds u32::MAX"))
+            }
+
+            #[inline]
+            fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+
+            #[inline]
+            fn as_u32(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A concept in the external knowledge source (e.g. SNOMED CT).
+    ExtConceptId,
+    "ext:"
+);
+define_id!(
+    /// A concept of the domain ontology (TBox), e.g. `Finding`.
+    OntoConceptId,
+    "onto:"
+);
+define_id!(
+    /// A relationship (role) of the domain ontology, e.g. `hasFinding`.
+    RelationshipId,
+    "rel:"
+);
+define_id!(
+    /// A `(domain concept, relationship, range concept)` triple; the paper's
+    /// notion of *context*, e.g. `Indication-hasFinding-Finding`.
+    ContextId,
+    "ctx:"
+);
+define_id!(
+    /// An instance (ABox row) of the knowledge base, e.g. the finding
+    /// `"fever"`.
+    InstanceId,
+    "inst:"
+);
+define_id!(
+    /// A document of the curation corpus.
+    DocId,
+    "doc:"
+);
+define_id!(
+    /// An interned token of the corpus vocabulary.
+    TokenId,
+    "tok:"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_usize() {
+        let id = ExtConceptId::from_usize(42);
+        assert_eq!(id.as_usize(), 42);
+        assert_eq!(id.as_u32(), 42);
+        assert_eq!(id, ExtConceptId::new(42));
+    }
+
+    #[test]
+    fn debug_and_display_carry_namespace_prefix() {
+        assert_eq!(format!("{:?}", OntoConceptId::new(7)), "onto:7");
+        assert_eq!(format!("{}", ContextId::new(3)), "ctx:3");
+        assert_eq!(format!("{}", TokenId::new(0)), "tok:0");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(InstanceId::new(1) < InstanceId::new(2));
+        let mut v = vec![DocId::new(5), DocId::new(1), DocId::new(3)];
+        v.sort();
+        assert_eq!(v, vec![DocId::new(1), DocId::new(3), DocId::new(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "id index exceeds u32::MAX")]
+    fn from_usize_overflow_panics() {
+        let _ = ExtConceptId::from_usize(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Relevance feedback in action — the extension §7.2 proposes ("incorporate
+//! the user's relevance feedback … and progressively improve the relaxed
+//! results").
+//!
+//! Each round, the simulated expert accepts/rejects the returned concepts
+//! (judged by the world's oracle); the feedback store folds those signals
+//! into the Eq. 5 scores, and P@10 is re-measured.
+//!
+//! ```text
+//! cargo run --release --example feedback_loop
+//! ```
+
+use std::collections::HashSet;
+
+use medkb::core::{Feedback, FeedbackStore};
+use medkb::eval::pipeline::{EvalConfig, EvalStack};
+use medkb::eval::relax_eval::build_workload;
+use medkb::prelude::*;
+use medkb::snomed::oracle::DEFAULT_RELEVANCE_THRESHOLD;
+
+fn main() {
+    eprintln!("building a small generated world…");
+    let stack = EvalStack::build(EvalConfig::tiny(55)).expect("stack builds");
+    let relaxer = stack.relaxer(stack.config.relax.clone());
+    let workload = build_workload(&stack, 30);
+    let term = &stack.world.terminology;
+
+    let mut store = FeedbackStore::with_lambda(1.0);
+    println!("round | P@10 | feedback entries");
+    for round in 0..5 {
+        let mut precisions = Vec::new();
+        for &(q, ctx, tag) in &workload.queries {
+            let res = relaxer
+                .relax_concept_with_feedback(q, Some(ctx), 10, Some(&store))
+                .expect("relax");
+            let returned: Vec<_> = res.concepts().into_iter().take(10).collect();
+            if returned.is_empty() {
+                continue;
+            }
+            // The expert judges the returned concepts…
+            let ext_q = Oracle::extension(&term.ekg, q);
+            let relevant: HashSet<_> = returned
+                .iter()
+                .copied()
+                .filter(|&b| {
+                    stack.world.oracle.relevance(term, &ext_q, q, b, tag)
+                        >= DEFAULT_RELEVANCE_THRESHOLD
+                })
+                .collect();
+            precisions.push(relevant.len() as f64 / returned.len() as f64);
+            // …and the judgments flow back as feedback.
+            for &b in &returned {
+                let signal = if relevant.contains(&b) {
+                    Feedback::Accept
+                } else {
+                    Feedback::Reject
+                };
+                store.record(&relaxer.ingested().ekg, q, b, tag, signal);
+            }
+        }
+        let p10 = 100.0 * precisions.iter().sum::<f64>() / precisions.len().max(1) as f64;
+        println!("{round:>5} | {p10:>5.2} | {}", store.len());
+    }
+    println!(
+        "\nPrecision improves as rejected neighbours are demoted and confirmed \
+         ones promoted — the paper's proposed feedback extension, realized."
+    );
+}

@@ -1,0 +1,103 @@
+//! The NLQ integration of §6.2, on the paper's running example:
+//! *"What are the risks caused by using Aspirin with pyelectasia"*
+//! (Figure 9).
+//!
+//! ```text
+//! cargo run --example nlq
+//! ```
+
+use std::collections::HashMap;
+
+use medkb::nli::nlq::Evidence;
+use medkb::prelude::*;
+
+fn main() -> Result<()> {
+    // Figure-1-shaped ontology and a KB with aspirin and kidney findings.
+    let fragment = medkb::snomed::figures::paper_fragment();
+    let mut ob = OntologyBuilder::new();
+    let drug = ob.concept("Drug");
+    let indication = ob.concept("Indication");
+    let risk = ob.concept("Risk");
+    let finding = ob.concept("Finding");
+    ob.relationship("treat", drug, indication);
+    ob.relationship("cause", drug, risk);
+    ob.relationship("hasFinding", indication, finding);
+    ob.relationship("hasFinding", risk, finding);
+    let ontology = ob.build()?;
+
+    let mut kb = KbBuilder::new(ontology);
+    let o = kb.ontology();
+    let (dc, ic, rc, fc) = (
+        o.lookup_concept("Drug").unwrap(),
+        o.lookup_concept("Indication").unwrap(),
+        o.lookup_concept("Risk").unwrap(),
+        o.lookup_concept("Finding").unwrap(),
+    );
+    let r_treat = kb.ontology().lookup_relationship("Drug-treat-Indication").unwrap();
+    let r_cause = kb.ontology().lookup_relationship("Drug-cause-Risk").unwrap();
+    let r_ind = kb.ontology().lookup_relationship("Indication-hasFinding-Finding").unwrap();
+    let r_risk = kb.ontology().lookup_relationship("Risk-hasFinding-Finding").unwrap();
+    let aspirin = kb.instance("aspirin", dc);
+    let pain_relief = kb.instance("pain relief", ic);
+    let renal_risk = kb.instance("renal adverse events", rc);
+    let headache = kb.instance("headache", fc);
+    let kidney_disease = kb.instance("kidney disease", fc);
+    let nephropathy = kb.instance("nephropathy", fc);
+    kb.triple(aspirin, r_treat, pain_relief);
+    kb.triple(pain_relief, r_ind, headache);
+    kb.triple(aspirin, r_cause, renal_risk);
+    kb.triple(renal_risk, r_risk, kidney_disease);
+    kb.triple(renal_risk, r_risk, nephropathy);
+    let kb = kb.build()?;
+
+    let counts = MentionCounts::from_direct(HashMap::new(), HashMap::new(), 1);
+    let config = RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() };
+    let ingested = ingest(&kb, fragment.ekg.clone(), &counts, None, &config)?;
+    let engine = NlqEngine::new(kb, QueryRelaxer::new(ingested, config));
+
+    let query = "what are the risks caused by using aspirin with pyelectasia";
+    println!("query: {query}\n");
+
+    // —— Evidence generation ——
+    println!("evidence sets:");
+    for ev in engine.evidences(query) {
+        print!("  [{}] →", ev.span);
+        for cand in &ev.candidates {
+            match cand {
+                Evidence::Concept(c) => {
+                    print!(" concept:{}", engine.kb().ontology().concept_name(*c))
+                }
+                Evidence::Relationship(r) => {
+                    print!(" rel:{}", engine.kb().ontology().relationship(*r).name)
+                }
+                Evidence::DataValue { instance, score } => {
+                    print!(" value:{}({score:.2})", engine.kb().name(*instance))
+                }
+            }
+        }
+        println!();
+    }
+
+    // —— Interpretation generation ——
+    let interps = engine.interpret(query);
+    println!("\n{} interpretation(s); top ranked:", interps.len());
+    let top = &interps[0];
+    println!(
+        "  compactness {} | relaxation score {:.2} | tree: {}",
+        top.compactness,
+        top.score,
+        top.tree
+            .iter()
+            .map(|&r| engine.kb().ontology().relationship_label(r))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // —— Execution ——
+    let results = engine.execute(top);
+    println!("\nanswers:");
+    for inst in results {
+        println!("  {}", engine.kb().name(inst));
+    }
+    Ok(())
+}

@@ -1,0 +1,196 @@
+//! `medkb-cli` — explore the relaxation system from a terminal.
+//!
+//! ```text
+//! medkb-cli demo                         # quickstart on the paper fragment
+//! medkb-cli relax <term> [k]            # one-shot relaxation on a generated world
+//! medkb-cli chat [--no-qr]              # interactive conversation (stdin)
+//! medkb-cli gen <concepts> <out-dir>    # generate + save an RF2-style terminology
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write as _};
+
+use medkb::eval::pipeline::{EvalConfig, EvalStack};
+use medkb::nli::trainset::generate_training_queries;
+use medkb::prelude::*;
+use medkb::snomed::{rf2, GeneratedTerminology};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("demo") => demo(),
+        Some("relax") => relax(&args[1..]),
+        Some("chat") => chat(&args[1..]),
+        Some("gen") => gen(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: medkb-cli <demo | relax <term> [k] | chat [--no-qr] | \
+                 gen <concepts> <out-dir>>"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn demo() -> i32 {
+    let fragment = medkb::snomed::figures::paper_fragment();
+    let mut ob = OntologyBuilder::new();
+    let drug = ob.concept("Drug");
+    let indication = ob.concept("Indication");
+    let finding = ob.concept("Finding");
+    ob.relationship("treat", drug, indication);
+    ob.relationship("hasFinding", indication, finding);
+    let mut kb = KbBuilder::new(ob.build().expect("static ontology"));
+    let fc = kb.ontology().lookup_concept("Finding").unwrap();
+    for name in &fragment.flagged {
+        kb.instance(name, fc);
+    }
+    let kb = kb.build().expect("static KB");
+    let counts = MentionCounts::from_direct(HashMap::new(), HashMap::new(), 1);
+    let config = RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() };
+    let ingested = ingest(&kb, fragment.ekg.clone(), &counts, None, &config).expect("ingest");
+    let relaxer = QueryRelaxer::new(ingested, config);
+    for term in ["pyelectasia", "pertussis", "psychogenic fever"] {
+        println!("relax({term}):");
+        match relaxer.relax(term, None, 4) {
+            Ok(res) => {
+                for a in res.answers {
+                    println!("  {:.3}  {}", a.score, relaxer.ingested().ekg.name(a.concept));
+                }
+            }
+            Err(e) => println!("  error: {e}"),
+        }
+    }
+    0
+}
+
+fn build_stack(seed: u64) -> EvalStack {
+    eprintln!("generating world (seed {seed})…");
+    EvalStack::build(EvalConfig::tiny(seed)).expect("stack builds")
+}
+
+fn relax(args: &[String]) -> i32 {
+    let Some(term) = args.first() else {
+        eprintln!("usage: medkb-cli relax <term> [k]");
+        return 2;
+    };
+    let k: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let stack = build_stack(42);
+    let relaxer = stack.relaxer(stack.config.relax.clone());
+    let ctx = stack.world.treatment_context();
+    match relaxer.relax(term, Some(ctx), k) {
+        Ok(res) => {
+            println!(
+                "\"{term}\" → {:?} (radius {})",
+                relaxer.ingested().ekg.name(res.query_concept),
+                res.radius_used
+            );
+            for a in &res.answers {
+                let names: Vec<&str> =
+                    a.instances.iter().map(|&i| stack.world.kb.name(i)).collect();
+                println!(
+                    "  {:.3}  {}  [{}]",
+                    a.score,
+                    relaxer.ingested().ekg.name(a.concept),
+                    names.join(", ")
+                );
+            }
+            if let Some(top) = res.answers.first() {
+                println!("\nwhy the top answer:");
+                for line in relaxer.explain(res.query_concept, top.concept, Some(ctx)).lines() {
+                    println!("  {line}");
+                }
+            }
+            println!(
+                "\n(tip: terminology names to try — {})",
+                sample_terms(&stack).join(", ")
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try one of: {}", sample_terms(&stack).join(", "));
+            1
+        }
+    }
+}
+
+fn sample_terms(stack: &EvalStack) -> Vec<String> {
+    stack
+        .ingested
+        .flagged
+        .iter()
+        .take(4)
+        .map(|&c| stack.ingested.ekg.name(c).to_string())
+        .collect()
+}
+
+fn chat(args: &[String]) -> i32 {
+    let stack = build_stack(42);
+    let queries = generate_training_queries(
+        &stack.world.kb,
+        &stack.world.contexts,
+        |c| stack.world.tag_of(c),
+        6,
+        43,
+    );
+    let classifier = IntentClassifier::train(&queries);
+    let extractor = EntityExtractor::build(&stack.world.kb);
+    let relaxer = stack.relaxer(stack.config.relax.clone());
+    let mut engine =
+        ConversationEngine::new(stack.world.kb.clone(), relaxer, classifier, extractor);
+    engine.use_relaxation = !args.iter().any(|a| a == "--no-qr");
+    println!(
+        "conversational medical KB ({}). Ask e.g. \"what drugs treat {}\". \
+         Type 'exit' to quit.",
+        if engine.use_relaxation { "with query relaxation" } else { "no relaxation" },
+        sample_terms(&stack).first().cloned().unwrap_or_default()
+    );
+    let stdin = std::io::stdin();
+    loop {
+        print!("you> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "exit" || line == "quit" {
+            break;
+        }
+        println!("bot> {}", engine.handle(line).text());
+    }
+    0
+}
+
+fn gen(args: &[String]) -> i32 {
+    let (Some(concepts), Some(out)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: medkb-cli gen <concepts> <out-dir>");
+        return 2;
+    };
+    let Ok(n) = concepts.parse::<usize>() else {
+        eprintln!("concepts must be a number");
+        return 2;
+    };
+    let term = GeneratedTerminology::generate(&SnomedConfig {
+        concepts: n,
+        ..SnomedConfig::default()
+    });
+    println!("generated: {}", EkgStats::compute(&term.ekg));
+    match rf2::save_dir(&term.ekg, std::path::Path::new(out)) {
+        Ok(()) => {
+            println!("saved concepts.tsv / relationships.tsv to {out}");
+            0
+        }
+        Err(e) => {
+            eprintln!("save failed: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! # medkb — Expanding Query Answers on Medical Knowledge Bases
+//!
+//! A from-scratch Rust implementation of the EDBT 2020 paper
+//! *Expanding Query Answers on Medical Knowledge Bases* (Lei, Efthymiou,
+//! Geis, Özcan): context-aware, two-phase query relaxation over a medical
+//! knowledge base backed by an external knowledge source (SNOMED CT in the
+//! paper; a faithful synthetic terminology here, since SNOMED CT is
+//! license-gated — see `DESIGN.md`).
+//!
+//! The workspace is layered (each layer is its own crate, re-exported
+//! here):
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`types`] | `medkb-types` | ids, interning, errors |
+//! | [`text`] | `medkb-text` | normalization, edit distance, n-grams, gazetteer |
+//! | [`ekg`] | `medkb-ekg` | the external knowledge source DAG |
+//! | [`ontology`] | `medkb-ontology` | domain ontology (TBox) + contexts |
+//! | [`kb`] | `medkb-kb` | instance store (ABox) + path queries |
+//! | [`snomed`] | `medkb-snomed` | synthetic terminology, MED world, oracle |
+//! | [`corpus`] | `medkb-corpus` | monograph corpus + mention counting |
+//! | [`embed`] | `medkb-embed` | SGNS word vectors + SIF phrase embeddings |
+//! | [`core`] | `medkb-core` | **the paper's method**: Algorithms 1 & 2, Eq. 1–5 |
+//! | [`nli`] | `medkb-nli` | conversational + NLQ interfaces (§6) |
+//! | [`eval`] | `medkb-eval` | experiments: Tables 1–3 |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use medkb::prelude::*;
+//! use std::collections::HashMap;
+//!
+//! // The external knowledge source: the paper's own worked fragment.
+//! let fragment = medkb::snomed::figures::paper_fragment();
+//!
+//! // A miniature medical KB whose instances map onto the fragment.
+//! let mut ob = OntologyBuilder::new();
+//! let drug = ob.concept("Drug");
+//! let indication = ob.concept("Indication");
+//! let finding = ob.concept("Finding");
+//! ob.relationship("treat", drug, indication);
+//! ob.relationship("hasFinding", indication, finding);
+//! let ontology = ob.build()?;
+//! let mut kb = KbBuilder::new(ontology);
+//! let fc = kb.ontology().lookup_concept("Finding").unwrap();
+//! for name in ["kidney disease", "nephropathy", "renal impairment", "fever"] {
+//!     kb.instance(name, fc);
+//! }
+//! let kb = kb.build()?;
+//!
+//! // Offline phase (Algorithm 1), then online relaxation (Algorithm 2).
+//! let counts = MentionCounts::from_direct(HashMap::new(), HashMap::new(), 1);
+//! let config = RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() };
+//! let ingested = ingest(&kb, fragment.ekg.clone(), &counts, None, &config)?;
+//! let relaxer = QueryRelaxer::new(ingested, config);
+//!
+//! // "pyelectasia" is not in the KB — relaxation finds what is.
+//! let result = relaxer.relax("pyelectasia", None, 3)?;
+//! let names: Vec<&str> = result
+//!     .answers
+//!     .iter()
+//!     .map(|a| relaxer.ingested().ekg.name(a.concept))
+//!     .collect();
+//! assert!(names.contains(&"kidney disease") || names.contains(&"nephropathy"));
+//! # Ok::<(), medkb::types::MedKbError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use medkb_core as core;
+pub use medkb_corpus as corpus;
+pub use medkb_ekg as ekg;
+pub use medkb_embed as embed;
+pub use medkb_eval as eval;
+pub use medkb_kb as kb;
+pub use medkb_nli as nli;
+pub use medkb_ontology as ontology;
+pub use medkb_snomed as snomed;
+pub use medkb_text as text;
+pub use medkb_types as types;
+
+/// The most frequently used items, re-exported flat.
+pub mod prelude {
+    pub use medkb_core::{
+        ingest, ConceptMapper, FrequencyMode, Frequencies, IngestOutput, MappingMethod,
+        QueryRelaxer, RelaxConfig, RelaxationResult, RelaxedAnswer,
+    };
+    pub use medkb_corpus::{Corpus, CorpusConfig, CorpusGenerator, MentionCounts};
+    pub use medkb_ekg::{Ekg, EkgBuilder, EkgStats};
+    pub use medkb_embed::{SgnsConfig, SifModel, WordVectors};
+    pub use medkb_kb::{Kb, KbBuilder, PathQuery};
+    pub use medkb_nli::{ConversationEngine, EntityExtractor, IntentClassifier, NlqEngine};
+    pub use medkb_ontology::{Ontology, OntologyBuilder};
+    pub use medkb_snomed::{ContextTag, MedWorld, Oracle, SnomedConfig, WorldConfig};
+    pub use medkb_types::{
+        ContextId, ExtConceptId, InstanceId, MedKbError, OntoConceptId, Result,
+    };
+}

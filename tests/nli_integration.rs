@@ -1,0 +1,171 @@
+//! Integration of the relaxation method with the two NLI systems (§6).
+
+use medkb::eval::pipeline::{EvalConfig, EvalStack};
+use medkb::nli::nlq::Evidence;
+use medkb::nli::trainset::generate_training_queries;
+use medkb::nli::Response;
+use medkb::prelude::*;
+
+fn stack() -> EvalStack {
+    EvalStack::build(EvalConfig::tiny(401)).expect("stack builds")
+}
+
+fn engine(stack: &EvalStack, use_qr: bool) -> ConversationEngine {
+    let queries = generate_training_queries(
+        &stack.world.kb,
+        &stack.world.contexts,
+        |c| stack.world.tag_of(c),
+        6,
+        402,
+    );
+    let classifier = IntentClassifier::train(&queries);
+    let extractor = EntityExtractor::build(&stack.world.kb);
+    let relaxer = stack.relaxer(stack.config.relax.clone());
+    let mut e =
+        ConversationEngine::new(stack.world.kb.clone(), relaxer, classifier, extractor);
+    e.use_relaxation = use_qr;
+    e
+}
+
+#[test]
+fn conversation_answers_known_questions() {
+    let s = stack();
+    let mut e = engine(&s, true);
+    let rel = s.world.kb.ontology().lookup_relationship("Indication-hasFinding-Finding").unwrap();
+    let target = s
+        .world
+        .kb
+        .instances()
+        .map(|(id, _)| id)
+        .find(|&id| {
+            !s.world.kb.subjects(id, rel).is_empty() && s.ingested.mappings.contains_key(&id)
+        })
+        .expect("treated mapped finding");
+    match e.handle(&format!("what drugs treat {}", s.world.kb.name(target))) {
+        Response::Answer { results, entity, .. } => {
+            assert_eq!(entity, target);
+            assert!(!results.is_empty());
+        }
+        other => panic!("expected an answer, got {other:?}"),
+    }
+}
+
+#[test]
+fn conversation_repair_beats_dont_understand() {
+    let s = stack();
+    let extractor = EntityExtractor::build(&s.world.kb);
+    let unknown = s
+        .world
+        .unrepresented_findings()
+        .into_iter()
+        .filter(|&c| s.world.terminology.ekg.depth(c) >= 3)
+        .map(|c| s.world.terminology.ekg.name(c).to_string())
+        .find(|n| extractor.extract(n).known.is_empty())
+        .expect("unknown term");
+    let q = format!("what drugs treat {unknown}");
+
+    let mut with_qr = engine(&s, true);
+    let mut without = engine(&s, false);
+    assert!(
+        matches!(with_qr.handle(&q), Response::Repair { .. }),
+        "QR system should repair"
+    );
+    assert!(
+        matches!(without.handle(&q), Response::DontUnderstand { .. }),
+        "no-QR system cannot"
+    );
+}
+
+#[test]
+fn conversation_state_survives_topic_switches() {
+    let s = stack();
+    let mut e = engine(&s, true);
+    let rel = s.world.kb.ontology().lookup_relationship("Indication-hasFinding-Finding").unwrap();
+    let targets: Vec<InstanceId> = s
+        .world
+        .kb
+        .instances()
+        .map(|(id, _)| id)
+        .filter(|&id| !s.world.kb.subjects(id, rel).is_empty())
+        .take(3)
+        .collect();
+    assert!(targets.len() >= 2, "need at least two treated findings");
+    let first = e.handle(&format!("what drugs treat {}", s.world.kb.name(targets[0])));
+    let ctx = match first {
+        Response::Answer { context, .. } => context,
+        other => panic!("{other:?}"),
+    };
+    // A bare follow-up keeps the context.
+    match e.handle(&format!("what about {}", s.world.kb.name(targets[1]))) {
+        Response::Answer { context, entity, .. } => {
+            assert_eq!(context, ctx);
+            assert_eq!(entity, targets[1]);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn nlq_pipeline_interprets_and_executes() {
+    let s = stack();
+    let relaxer = s.relaxer(s.config.relax.clone());
+    let engine = NlqEngine::new(s.world.kb.clone(), relaxer);
+    let rel = s.world.kb.ontology().lookup_relationship("Indication-hasFinding-Finding").unwrap();
+    let r_treat = s.world.kb.ontology().lookup_relationship("Drug-treat-Indication").unwrap();
+    let target = s
+        .world
+        .kb
+        .instances()
+        .map(|(id, _)| id)
+        .find(|&id| !s.world.kb.subjects(id, rel).is_empty())
+        .expect("a treated finding");
+    let query = format!("which drug treats {}", s.world.kb.name(target));
+    let interps = engine.interpret(&query);
+    assert!(!interps.is_empty());
+    // The top interpretation includes the treat relationship and a data
+    // value for the finding.
+    let top = &interps[0];
+    assert!(
+        top.selection
+            .iter()
+            .any(|(_, e)| matches!(e, Evidence::DataValue { instance, .. } if *instance == target)),
+        "{top:?}"
+    );
+    let results = engine.execute(top);
+    // The expected drugs are reachable.
+    let expected: Vec<InstanceId> = s
+        .world
+        .kb
+        .subjects(target, rel)
+        .into_iter()
+        .flat_map(|ind| s.world.kb.subjects(ind, r_treat))
+        .collect();
+    assert!(expected.iter().any(|d| results.contains(d)), "{results:?} vs {expected:?}");
+}
+
+#[test]
+fn nlq_relaxes_unknown_spans_into_evidence() {
+    let s = stack();
+    let relaxer = s.relaxer(s.config.relax.clone());
+    let engine = NlqEngine::new(s.world.kb.clone(), relaxer);
+    let extractor = EntityExtractor::build(&s.world.kb);
+    let unknown = s
+        .world
+        .unrepresented_findings()
+        .into_iter()
+        .filter(|&c| s.world.terminology.ekg.depth(c) >= 3)
+        .map(|c| s.world.terminology.ekg.name(c).to_string())
+        .find(|n| extractor.extract(n).known.is_empty())
+        .expect("unknown term");
+    let evidences = engine.evidences(&format!("which drug treats {unknown}"));
+    let relaxed = evidences
+        .iter()
+        .find(|e| unknown.contains(&e.span) || e.span.contains(&unknown));
+    let Some(relaxed) = relaxed else {
+        // The relaxer may legitimately find nothing nearby for some terms;
+        // the pipeline must still produce the metadata evidence.
+        assert!(!evidences.is_empty());
+        return;
+    };
+    assert!(matches!(relaxed.candidates[0], Evidence::DataValue { .. }));
+}
