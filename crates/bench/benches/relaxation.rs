@@ -2,57 +2,24 @@
 //!
 //! §5.2 claims the online phase is `Θ(N log N)` in the number of flagged
 //! concepts reached; the radius sweep shows how candidate volume drives
-//! latency, and the shortcut on/off comparison quantifies the §5.1
-//! customization's effect on retrieval.
+//! latency, the shortcut on/off comparison quantifies the §5.1
+//! customization's effect on retrieval, the reference-vs-scoped pair
+//! isolates the query-scoped scoring engine's win, and the thread sweep
+//! measures batch-relaxation scaling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use medkb_core::{ingest, MappingMethod, QueryRelaxer, RelaxConfig};
-use medkb_corpus::{CorpusConfig, CorpusGenerator, MentionCounts};
-use medkb_snomed::{Hierarchy, MedWorld, SnomedConfig, WorldConfig};
+use medkb_bench::{relaxation_bench_world, RelaxBenchWorld};
+use medkb_core::QueryRelaxer;
 use medkb_types::ExtConceptId;
 
 fn setup(shortcuts: bool) -> (QueryRelaxer, Vec<ExtConceptId>) {
-    let config = WorldConfig {
-        snomed: SnomedConfig { concepts: 4_000, seed: 52, ..SnomedConfig::default() },
-        seed: 53,
-        finding_instances: 900,
-        drug_instances: 200,
-        ..WorldConfig::default()
-    };
-    let world = MedWorld::generate(&config);
-    let corpus = CorpusGenerator::new(&world.terminology, &world.oracle).generate(&CorpusConfig {
-        seed: 54,
-        docs: 250,
-        ..CorpusConfig::default()
-    });
-    let counts = MentionCounts::count(&corpus, &world.terminology.ekg);
-    let relax_config = RelaxConfig {
-        mapping: MappingMethod::Exact,
-        add_shortcuts: shortcuts,
-        ..RelaxConfig::default()
-    };
-    let out = ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &relax_config)
-        .expect("ingest");
-    let queries: Vec<ExtConceptId> = world
-        .terminology
-        .of_hierarchy_below(Hierarchy::ClinicalFinding, 3)
-        .into_iter()
-        .filter(|c| out.flagged.contains(c))
-        .take(32)
-        .collect();
-    (QueryRelaxer::new(out, relax_config), queries)
+    let RelaxBenchWorld { relaxer, queries, .. } = relaxation_bench_world(shortcuts);
+    (relaxer, queries)
 }
 
 fn bench_radius_sweep(c: &mut Criterion) {
-    let (relaxer, queries) = setup(true);
-    let ctx = relaxer
-        .ingested()
-        .contexts
-        .iter()
-        .find(|s| s.label == "Indication-hasFinding-Finding")
-        .unwrap()
-        .id;
+    let RelaxBenchWorld { relaxer, queries, context: ctx } = relaxation_bench_world(true);
     let mut group = c.benchmark_group("relax_radius");
     for &radius in &[2u32, 4, 6] {
         let mut cfg = relaxer.config().clone();
@@ -75,14 +42,8 @@ fn bench_shortcut_effect(c: &mut Criterion) {
     let mut group = c.benchmark_group("relax_shortcuts");
     group.sample_size(20);
     for (label, shortcuts) in [("with_shortcuts", true), ("without_shortcuts", false)] {
-        let (relaxer, queries) = setup(shortcuts);
-        let ctx = relaxer
-            .ingested()
-            .contexts
-            .iter()
-            .find(|s| s.label == "Indication-hasFinding-Finding")
-            .unwrap()
-            .id;
+        let RelaxBenchWorld { relaxer, queries, context: ctx } =
+            relaxation_bench_world(shortcuts);
         group.bench_function(label, |b| {
             let mut i = 0usize;
             b.iter(|| {
@@ -90,6 +51,48 @@ fn bench_shortcut_effect(c: &mut Criterion) {
                 i += 1;
                 relaxer.relax_concept(q, Some(ctx), 10).expect("relax")
             })
+        });
+    }
+    group.finish();
+}
+
+/// The optimized engine against the pre-optimization reference path at the
+/// default radius — the direct before/after of the query-scoped scoring
+/// engine (DESIGN.md §performance).
+fn bench_reference_vs_scoped(c: &mut Criterion) {
+    let RelaxBenchWorld { relaxer, queries, context: ctx } = relaxation_bench_world(true);
+    let mut group = c.benchmark_group("relax_engine");
+    group.sample_size(20);
+    group.bench_function("reference", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            relaxer.relax_concept_reference(q, Some(ctx), 10).expect("relax")
+        })
+    });
+    group.bench_function("query_scoped", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = queries[i % queries.len()];
+            i += 1;
+            relaxer.relax_concept(q, Some(ctx), 10).expect("relax")
+        })
+    });
+    group.finish();
+}
+
+/// Batch-relaxation throughput over the 32-query workload as the shard
+/// count grows.
+fn bench_batch_threads(c: &mut Criterion) {
+    let RelaxBenchWorld { relaxer, queries, context: ctx } = relaxation_bench_world(true);
+    let batch: Vec<(ExtConceptId, Option<medkb_types::ContextId>)> =
+        queries.iter().map(|&q| (q, Some(ctx))).collect();
+    let mut group = c.benchmark_group("relax_batch");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| relaxer.relax_concepts_batch_with_threads(&batch, 10, t))
         });
     }
     group.finish();
@@ -112,5 +115,12 @@ fn bench_scoring_only(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_radius_sweep, bench_shortcut_effect, bench_scoring_only);
+criterion_group!(
+    benches,
+    bench_radius_sweep,
+    bench_shortcut_effect,
+    bench_reference_vs_scoped,
+    bench_batch_threads,
+    bench_scoring_only
+);
 criterion_main!(benches);

@@ -26,15 +26,11 @@ fn run_variant(
     workload: &Workload,
     k: usize,
 ) -> Vec<Vec<ExtConceptId>> {
-    workload
-        .queries
-        .iter()
-        .map(|&(q, ctx, _)| {
-            relaxer
-                .relax_concept(q, Some(ctx), k)
-                .map(|res| res.concepts().into_iter().take(k).collect())
-                .unwrap_or_default()
-        })
+    let queries: Vec<_> = workload.queries.iter().map(|&(q, ctx, _)| (q, Some(ctx))).collect();
+    relaxer
+        .relax_concepts_batch(&queries, k)
+        .into_iter()
+        .map(|res| res.map(|r| r.concepts().into_iter().take(k).collect()).unwrap_or_default())
         .collect()
 }
 

@@ -1,0 +1,119 @@
+//! Machine-readable relaxation benchmark: runs the Table 2 workload shape
+//! (the 4k-concept world of `relaxation_bench_world`) at a fixed radius 4
+//! through both the pre-optimization reference path and the query-scoped
+//! engine, and writes `BENCH_relax.json` at the repo root.
+//!
+//! ```text
+//! cargo run --release -p medkb-bench --bin bench_json
+//! ```
+
+use std::time::Instant;
+
+use medkb_bench::{relaxation_bench_world, RelaxBenchWorld};
+use medkb_core::QueryRelaxer;
+use medkb_types::ExtConceptId;
+
+/// Median of a sample set (averages the middle pair for even sizes).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Per-query relaxation times (µs) over `reps` passes of the workload.
+fn time_queries(
+    relaxer: &QueryRelaxer,
+    queries: &[ExtConceptId],
+    ctx: medkb_types::ContextId,
+    k: usize,
+    reps: usize,
+    reference: bool,
+) -> Vec<f64> {
+    let mut samples = Vec::with_capacity(queries.len() * reps);
+    for _ in 0..reps {
+        for &q in queries {
+            let t = Instant::now();
+            let r = if reference {
+                relaxer.relax_concept_reference(q, Some(ctx), k)
+            } else {
+                relaxer.relax_concept(q, Some(ctx), k)
+            };
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            r.expect("relaxation succeeds");
+            samples.push(us);
+        }
+    }
+    samples
+}
+
+fn main() {
+    let radius = 4u32;
+    let k = 10usize;
+    let reps = if std::env::args().any(|a| a == "--quick") { 2 } else { 5 };
+
+    eprintln!("[bench_json] building 4k-concept benchmark world…");
+    let RelaxBenchWorld { relaxer, queries, context } = relaxation_bench_world(true);
+    let mut cfg = relaxer.config().clone();
+    cfg.radius = radius;
+    cfg.dynamic_radius = false;
+    let relaxer = QueryRelaxer::new(relaxer.ingested().clone(), cfg);
+
+    let candidates: Vec<usize> = queries
+        .iter()
+        .map(|&q| {
+            relaxer
+                .ingested()
+                .ekg
+                .neighborhood(q, radius)
+                .into_iter()
+                .filter(|(c, _)| *c != q && relaxer.ingested().flagged.contains(c))
+                .count()
+        })
+        .collect();
+    let candidates_mean =
+        candidates.iter().sum::<usize>() as f64 / candidates.len().max(1) as f64;
+
+    // Warm up both paths once, then interleave full measurement passes.
+    time_queries(&relaxer, &queries, context, k, 1, true);
+    time_queries(&relaxer, &queries, context, k, 1, false);
+    let mut reference_us = time_queries(&relaxer, &queries, context, k, reps, true);
+    let mut scoped_us = time_queries(&relaxer, &queries, context, k, reps, false);
+
+    let t_batch = Instant::now();
+    let batch: Vec<(ExtConceptId, Option<medkb_types::ContextId>)> =
+        queries.iter().map(|&q| (q, Some(context))).collect();
+    for _ in 0..reps {
+        for res in relaxer.relax_concepts_batch(&batch, k) {
+            res.expect("batch relaxation succeeds");
+        }
+    }
+    let batch_us_per_query =
+        t_batch.elapsed().as_secs_f64() * 1e6 / (queries.len() * reps) as f64;
+
+    let reference_median = median(&mut reference_us);
+    let scoped_median = median(&mut scoped_us);
+    let speedup = reference_median / scoped_median;
+
+    let json = format!(
+        "{{\n  \"median_us_per_query\": {scoped_median:.2},\n  \
+         \"reference_median_us_per_query\": {reference_median:.2},\n  \
+         \"speedup_vs_reference\": {speedup:.2},\n  \
+         \"batch_us_per_query\": {batch_us_per_query:.2},\n  \
+         \"queries\": {},\n  \"reps\": {reps},\n  \
+         \"candidates_mean\": {candidates_mean:.2},\n  \
+         \"radius\": {radius},\n  \"k\": {k},\n  \
+         \"world_concepts\": 4000\n}}\n",
+        queries.len()
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_relax.json");
+    std::fs::write(out, &json).expect("write BENCH_relax.json");
+    eprintln!("[bench_json] wrote {out}");
+    println!("{json}");
+}

@@ -14,7 +14,11 @@
 
 #![warn(missing_docs)]
 
+use medkb_core::{ingest, MappingMethod, QueryRelaxer, RelaxConfig};
+use medkb_corpus::{CorpusConfig, CorpusGenerator, MentionCounts};
 use medkb_eval::pipeline::{EvalConfig, EvalStack};
+use medkb_snomed::{Hierarchy, MedWorld, SnomedConfig, WorldConfig};
+use medkb_types::{ContextId, ExtConceptId};
 
 /// The seed all experiment binaries share (results are deterministic).
 pub const EXPERIMENT_SEED: u64 = 2020;
@@ -41,4 +45,57 @@ pub fn stack_from_args() -> EvalStack {
         eprintln!("[medkb-bench] building paper-scale stack (seed {EXPERIMENT_SEED})…");
         paper_stack()
     }
+}
+
+/// The 4k-concept relaxation benchmark world shared by the `relaxation`
+/// Criterion bench and the `bench_json` binary, so their numbers are
+/// directly comparable.
+pub struct RelaxBenchWorld {
+    /// Relaxer over the ingested world.
+    pub relaxer: QueryRelaxer,
+    /// 32 popular flagged clinical-finding query concepts.
+    pub queries: Vec<ExtConceptId>,
+    /// The `Indication-hasFinding-Finding` (treatment) context.
+    pub context: ContextId,
+}
+
+/// Build the fixed 4k-concept world the relaxation benchmarks run on.
+pub fn relaxation_bench_world(shortcuts: bool) -> RelaxBenchWorld {
+    let config = WorldConfig {
+        snomed: SnomedConfig { concepts: 4_000, seed: 52, ..SnomedConfig::default() },
+        seed: 53,
+        finding_instances: 900,
+        drug_instances: 200,
+        ..WorldConfig::default()
+    };
+    let world = MedWorld::generate(&config);
+    let corpus = CorpusGenerator::new(&world.terminology, &world.oracle).generate(&CorpusConfig {
+        seed: 54,
+        docs: 250,
+        ..CorpusConfig::default()
+    });
+    let counts = MentionCounts::count(&corpus, &world.terminology.ekg);
+    let relax_config = RelaxConfig {
+        mapping: MappingMethod::Exact,
+        add_shortcuts: shortcuts,
+        ..RelaxConfig::default()
+    };
+    let out = ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &relax_config)
+        .expect("ingest");
+    let queries: Vec<ExtConceptId> = world
+        .terminology
+        .of_hierarchy_below(Hierarchy::ClinicalFinding, 3)
+        .into_iter()
+        .filter(|c| out.flagged.contains(c))
+        .take(32)
+        .collect();
+    let relaxer = QueryRelaxer::new(out, relax_config);
+    let context = relaxer
+        .ingested()
+        .contexts
+        .iter()
+        .find(|s| s.label == "Indication-hasFinding-Finding")
+        .expect("treatment context")
+        .id;
+    RelaxBenchWorld { relaxer, queries, context }
 }

@@ -30,10 +30,27 @@ pub struct Frequencies {
     per_tag_total: [f64; N_TAGS],
     /// Normalized frequency aggregated over all tags.
     aggregate: IdVec<ExtConceptId, f64>,
-    /// Total raw weight of the aggregate.
-    aggregate_total: f64,
     /// Intrinsic (structure-only) IC à la Seco et al.: `1 − ln(1+|desc|)/ln N`.
     intrinsic: IdVec<ExtConceptId, f64>,
+    /// Precomputed Eq. 1 IC per tag (smoothing folded in), so the scoring
+    /// hot loop is a dense array probe instead of a branch + `ln` per call.
+    ic_per_tag: Vec<IdVec<ExtConceptId, f64>>,
+    /// Precomputed IC of the aggregate frequencies.
+    ic_aggregate: IdVec<ExtConceptId, f64>,
+}
+
+/// Eq. 1 with half-count smoothing: `−ln f`, or `−ln(0.5/total)` when the
+/// concept was never mentioned; degenerate (0) contexts yield IC 0.
+fn ic_value(f: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        // No corpus signal at all for this context: IC degenerates.
+        return 0.0;
+    }
+    if f > 0.0 {
+        -f.ln()
+    } else {
+        -(0.5 / total).ln()
+    }
 }
 
 impl Frequencies {
@@ -91,7 +108,15 @@ impl Frequencies {
             })
             .collect();
 
-        Self { per_tag, per_tag_total, aggregate, aggregate_total, intrinsic }
+        let ic_per_tag: Vec<IdVec<ExtConceptId, f64>> = per_tag
+            .iter()
+            .zip(&per_tag_total)
+            .map(|(freqs, &total)| freqs.iter().map(|(_, &f)| ic_value(f, total)).collect())
+            .collect();
+        let ic_aggregate: IdVec<ExtConceptId, f64> =
+            aggregate.iter().map(|(_, &f)| ic_value(f, aggregate_total)).collect();
+
+        Self { per_tag, per_tag_total, aggregate, intrinsic, ic_per_tag, ic_aggregate }
     }
 
     /// Normalized frequency of `concept` in context `tag` (root = 1).
@@ -109,18 +134,9 @@ impl Frequencies {
     /// aggregates over all contexts. Zero frequencies are smoothed to half
     /// a count.
     pub fn ic(&self, concept: ExtConceptId, tag: Option<ContextTag>) -> f64 {
-        let (f, total) = match tag {
-            Some(t) => (self.freq(concept, t), self.per_tag_total[t.index()]),
-            None => (self.freq_aggregate(concept), self.aggregate_total),
-        };
-        if total <= 0.0 {
-            // No corpus signal at all for this context: IC degenerates.
-            return 0.0;
-        }
-        if f > 0.0 {
-            -f.ln()
-        } else {
-            -(0.5 / total).ln()
+        match tag {
+            Some(t) => self.ic_per_tag[t.index()][concept],
+            None => self.ic_aggregate[concept],
         }
     }
 

@@ -4,7 +4,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use medkb_corpus::MentionCounts;
-use medkb_ekg::Ekg;
+use medkb_ekg::{Ekg, ReachabilityIndex};
 use medkb_embed::SifModel;
 use medkb_kb::Kb;
 use medkb_ontology::context::generate_contexts;
@@ -38,6 +38,11 @@ pub struct IngestOutput {
     /// The mapper, reused online for query terms (Algorithm 2 line 1 uses
     /// "the same mapping function as in Algorithm 1").
     pub mapper: ConceptMapper,
+    /// Bitset transitive closure of the graph, built once here and reused
+    /// by every online LCS minimality check and shortcut validation
+    /// (shortcut edges never change the closure, so it stays valid for the
+    /// customized graph).
+    pub reach: ReachabilityIndex,
     /// Number of shortcut edges the customization added.
     pub shortcuts_added: usize,
 }
@@ -95,6 +100,10 @@ pub fn ingest(
     let freqs = Frequencies::compute(&ekg, counts, config.frequency_mode, config.use_tfidf);
 
     // —— Sparsity customization (lines 19–23, Figure 5) ——
+    // The closure is computed once, before any shortcut exists; shortcuts
+    // never change reachability, so the same index validates every
+    // insertion and then serves the online phase.
+    let reach = ReachabilityIndex::build(&ekg);
     let mut shortcuts_added = 0usize;
     if config.add_shortcuts {
         let order: Vec<ExtConceptId> = ekg.topo_children_first().to_vec();
@@ -102,7 +111,7 @@ pub fn ingest(
             let a_flagged = flagged.contains(&a);
             let parents: HashSet<ExtConceptId> = ekg.parents(a).iter().map(|e| e.to).collect();
             // Upward distances double as |shortestPath(A, B)|.
-            for (b, dist) in ekg.upward_distances(a) {
+            for (b, dist) in ekg.upward_distances_from(a).iter() {
                 if parents.contains(&b)
                     || dist < 2
                     || ekg.depth(b) < SHORTCUT_MIN_ANCESTOR_DEPTH
@@ -110,7 +119,7 @@ pub fn ingest(
                 {
                     continue;
                 }
-                ekg.add_shortcut(a, b, dist)?;
+                ekg.add_shortcut_with(a, b, dist, &reach)?;
                 shortcuts_added += 1;
             }
         }
@@ -125,6 +134,7 @@ pub fn ingest(
         instances_of,
         flagged,
         mapper,
+        reach,
         shortcuts_added,
     })
 }

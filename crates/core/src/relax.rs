@@ -1,5 +1,6 @@
 //! Online query relaxation (Algorithm 2, §5.2).
 
+use medkb_ekg::NeighborhoodScan;
 use medkb_snomed::ContextTag;
 use medkb_types::{ContextId, ExtConceptId, InstanceId, MedKbError, Result};
 
@@ -128,7 +129,85 @@ impl QueryRelaxer {
         }
         let tag: Option<ContextTag> = context.map(|c| self.ingested.tag(c));
 
-        // Candidate gathering (line 2), with dynamic radius growth.
+        // Candidate gathering (line 2), with dynamic radius growth. The
+        // scan keeps its BFS frontier alive across radius increments, so
+        // growth pays only for each newly reached ring instead of
+        // re-walking the whole neighborhood per radius.
+        let mut radius = self.config.radius.max(1);
+        let mut scan = NeighborhoodScan::new(&self.ingested.ekg, query);
+        let mut candidates: Vec<(ExtConceptId, u32)> = Vec::new();
+        let mut reachable_instances = 0usize;
+        loop {
+            let processed = scan.discovered().len();
+            scan.expand_to(radius);
+            for &(c, h) in &scan.discovered()[processed..] {
+                if self.ingested.flagged.contains(&c) {
+                    reachable_instances += self.ingested.instances(c).len();
+                    candidates.push((c, h));
+                }
+            }
+            if !self.config.dynamic_radius
+                || reachable_instances >= k
+                || radius >= self.config.max_radius
+            {
+                break;
+            }
+            radius += 1;
+        }
+
+        // Scoring and ranking (line 3): the query-scoped scorer amortizes
+        // the query-side Dijkstra and IC over all candidates.
+        let scorer = QrScorer::new(&self.ingested.ekg, &self.ingested.freqs, &self.config);
+        let mut scoped = scorer.query_scoped(query, tag, &self.ingested.reach);
+        let mut scored: Vec<(ExtConceptId, u32, f64)> = candidates
+            .into_iter()
+            .map(|(concept, hops)| {
+                let mut score = scoped.score(concept);
+                if let (Some(store), Some(t)) = (feedback, tag) {
+                    score *= store.adjustment(query, concept, t);
+                }
+                (concept, hops, score)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.2.total_cmp(&a.2).then(a.1.cmp(&b.1)).then(a.0.cmp(&b.0))
+        });
+
+        // Result accumulation until k instances (lines 4–8); instance lists
+        // are cloned only for the answers that survive the cut.
+        let mut answers = Vec::new();
+        let mut returned = 0usize;
+        for (concept, hops, score) in scored {
+            if returned >= k {
+                break;
+            }
+            let instances = self.ingested.instances(concept);
+            returned += instances.len();
+            answers.push(RelaxedAnswer { concept, score, hops, instances: instances.to_vec() });
+        }
+
+        Ok(RelaxationResult { query_concept: query, radius_used: radius, answers })
+    }
+
+    /// The pre-optimization Algorithm 2: re-runs the neighborhood BFS at
+    /// every radius increment, scores each candidate with a fresh per-pair
+    /// LCS (two `HashMap` Dijkstras + ancestor-walk pruning), and clones
+    /// every candidate's instance list before ranking.
+    ///
+    /// Kept as the reference the optimized path is regression-tested and
+    /// benchmarked against (`bench_json`, DESIGN.md §performance); not for
+    /// production use.
+    pub fn relax_concept_reference(
+        &self,
+        query: ExtConceptId,
+        context: Option<ContextId>,
+        k: usize,
+    ) -> Result<RelaxationResult> {
+        if k == 0 {
+            return Err(MedKbError::invalid("k must be positive"));
+        }
+        let tag: Option<ContextTag> = context.map(|c| self.ingested.tag(c));
+
         let mut radius = self.config.radius.max(1);
         let mut candidates: Vec<(ExtConceptId, u32)>;
         loop {
@@ -150,21 +229,14 @@ impl QueryRelaxer {
             radius += 1;
         }
 
-        // Scoring and ranking (line 3).
         let scorer = QrScorer::new(&self.ingested.ekg, &self.ingested.freqs, &self.config);
         let mut scored: Vec<RelaxedAnswer> = candidates
             .into_iter()
-            .map(|(concept, hops)| {
-                let mut score = scorer.score(query, concept, tag);
-                if let (Some(store), Some(t)) = (feedback, tag) {
-                    score *= store.adjustment(query, concept, t);
-                }
-                RelaxedAnswer {
-                    concept,
-                    score,
-                    hops,
-                    instances: self.ingested.instances(concept).to_vec(),
-                }
+            .map(|(concept, hops)| RelaxedAnswer {
+                concept,
+                score: scorer.score(query, concept, tag),
+                hops,
+                instances: self.ingested.instances(concept).to_vec(),
             })
             .collect();
         scored.sort_by(|a, b| {
@@ -174,7 +246,6 @@ impl QueryRelaxer {
                 .then(a.concept.cmp(&b.concept))
         });
 
-        // Result accumulation until k instances (lines 4–8).
         let mut answers = Vec::new();
         let mut returned = 0usize;
         for ans in scored {
@@ -186,6 +257,77 @@ impl QueryRelaxer {
         }
 
         Ok(RelaxationResult { query_concept: query, radius_used: radius, answers })
+    }
+
+    /// Relax a batch of `[term, context]` inputs, sharding the queries
+    /// across scoped threads. Results come back in input order and are
+    /// identical to calling [`QueryRelaxer::relax`] per query.
+    pub fn relax_batch(
+        &self,
+        queries: &[(&str, Option<ContextId>)],
+        k: usize,
+    ) -> Vec<Result<RelaxationResult>> {
+        let threads = Self::default_threads(queries.len());
+        self.shard_queries(queries, threads, |&(term, ctx)| self.relax(term, ctx, k))
+    }
+
+    /// [`QueryRelaxer::relax_batch`] over already-resolved query concepts.
+    pub fn relax_concepts_batch(
+        &self,
+        queries: &[(ExtConceptId, Option<ContextId>)],
+        k: usize,
+    ) -> Vec<Result<RelaxationResult>> {
+        let threads = Self::default_threads(queries.len());
+        self.relax_concepts_batch_with_threads(queries, k, threads)
+    }
+
+    /// [`QueryRelaxer::relax_concepts_batch`] with an explicit thread
+    /// count (the scaling benchmarks sweep this).
+    pub fn relax_concepts_batch_with_threads(
+        &self,
+        queries: &[(ExtConceptId, Option<ContextId>)],
+        k: usize,
+        threads: usize,
+    ) -> Vec<Result<RelaxationResult>> {
+        self.shard_queries(queries, threads, |&(q, ctx)| self.relax_concept(q, ctx, k))
+    }
+
+    fn default_threads(n: usize) -> usize {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1))
+    }
+
+    /// Split `queries` into `threads` contiguous chunks, run `f` over each
+    /// chunk on its own scoped thread, and reassemble results in input
+    /// order. Determinism note: each query is processed independently, so
+    /// chunking never changes any individual result.
+    fn shard_queries<Q: Sync, T: Send>(
+        &self,
+        queries: &[Q],
+        threads: usize,
+        f: impl Fn(&Q) -> T + Sync,
+    ) -> Vec<T> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.max(1).min(queries.len());
+        if threads == 1 {
+            return queries.iter().map(&f).collect();
+        }
+        let chunk = queries.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|shard| {
+                    let f = &f;
+                    scope.spawn(move |_| shard.iter().map(f).collect::<Vec<T>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("relaxation shard"))
+                .collect()
+        })
+        .expect("relaxation scope")
     }
 
     /// Render a human-readable explanation of why `candidate` scores as it
@@ -240,8 +382,9 @@ impl QueryRelaxer {
     ) -> Vec<(ExtConceptId, f64)> {
         let tag = context.map(|c| self.ingested.tag(c));
         let scorer = QrScorer::new(&self.ingested.ekg, &self.ingested.freqs, &self.config);
+        let mut scoped = scorer.query_scoped(query, tag, &self.ingested.reach);
         let mut scored: Vec<(ExtConceptId, f64)> =
-            candidates.iter().map(|&c| (c, scorer.score(query, c, tag))).collect();
+            candidates.iter().map(|&c| (c, scoped.score(c))).collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored
     }
@@ -436,6 +579,53 @@ mod tests {
         // The reverse direction explains a different path shape.
         let rev = r.explain(c, q, Some(ctx));
         assert_ne!(text, rev);
+    }
+
+    #[test]
+    fn optimized_relax_matches_reference_implementation() {
+        let r = relaxer();
+        let ctx = treatment_ctx(&r);
+        for term in ["fever", "headache", "pneumonia", "pertussis", "psychogenic fever"] {
+            let q = r.resolve_term(term).unwrap();
+            for context in [None, Some(ctx)] {
+                for k in [1, 3, 7, 50] {
+                    let fast = r.relax_concept(q, context, k).unwrap();
+                    let slow = r.relax_concept_reference(q, context, k).unwrap();
+                    assert_eq!(fast, slow, "{term} ctx={context:?} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relax_batch_matches_sequential_bit_identical() {
+        let r = relaxer();
+        let ctx = treatment_ctx(&r);
+        let terms = ["fever", "headache", "pneumonia", "kidney disease", "bronchitis"];
+        let queries: Vec<(ExtConceptId, Option<ContextId>)> = terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                (r.resolve_term(t).unwrap(), if i % 2 == 0 { Some(ctx) } else { None })
+            })
+            .collect();
+        let sequential: Vec<_> =
+            queries.iter().map(|&(q, c)| r.relax_concept(q, c, 5).unwrap()).collect();
+        for threads in [1, 2, 3, 8] {
+            let batch = r.relax_concepts_batch_with_threads(&queries, 5, threads);
+            let batch: Vec<_> = batch.into_iter().map(|res| res.unwrap()).collect();
+            assert_eq!(batch, sequential, "threads={threads}");
+        }
+        // The term-level entry point agrees too, including error slots.
+        let mut with_terms: Vec<(&str, Option<ContextId>)> =
+            terms.iter().zip(&queries).map(|(&t, &(_, c))| (t, c)).collect();
+        with_terms.push(("no such term", None));
+        let batch = r.relax_batch(&with_terms, 5);
+        assert_eq!(batch.len(), 6);
+        for (res, expect) in batch.iter().zip(&sequential) {
+            assert_eq!(res.as_ref().unwrap(), expect);
+        }
+        assert!(batch.last().unwrap().is_err());
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //!   the LCS-routed path: `dist_a` generalizations from the query concept
 //!   up, then `dist_b` specializations down.
 
-use medkb_ekg::lcs::{lcs, LcsOutcome};
-use medkb_ekg::{Ekg, PathSummary};
+use medkb_ekg::lcs::{lcs, lcs_with_upward_scratch, LcsOutcome};
+use medkb_ekg::{Ekg, PathSummary, ReachabilityIndex, UpwardDistances, UpwardScratch};
 use medkb_snomed::ContextTag;
 use medkb_types::ExtConceptId;
 
@@ -94,6 +94,84 @@ impl<'a> QrScorer<'a> {
         if denom <= 0.0 {
             // Both concepts carry no information (e.g. both are the root):
             // they are indistinguishable, hence maximally similar.
+            return 1.0;
+        }
+        (2.0 * lcs_ic / denom).clamp(0.0, 1.0)
+    }
+
+    /// Fix the query concept and context, amortizing the query-side upward
+    /// Dijkstra and IC lookup over every candidate scored against it.
+    ///
+    /// `reach` must be the closure of `ekg` (built at ingestion). Scores
+    /// are identical to the corresponding [`QrScorer::score`] calls.
+    pub fn query_scoped(
+        &self,
+        query: ExtConceptId,
+        tag: Option<ContextTag>,
+        reach: &'a ReachabilityIndex,
+    ) -> QueryScorer<'a> {
+        QueryScorer {
+            base: *self,
+            reach,
+            up_q: self.ekg.upward_distances_from(query),
+            ic_query: self.ic(query, tag),
+            tag,
+            scratch: UpwardScratch::new(),
+        }
+    }
+}
+
+/// [`QrScorer`] specialized to one `(query, context)` pair — the engine
+/// behind candidate loops: the query-side upward distances and IC are
+/// computed once at construction, each [`QueryScorer::score`] then costs
+/// one candidate-side Dijkstra plus dense probes.
+#[derive(Debug, Clone)]
+pub struct QueryScorer<'a> {
+    base: QrScorer<'a>,
+    reach: &'a ReachabilityIndex,
+    up_q: UpwardDistances,
+    ic_query: f64,
+    tag: Option<ContextTag>,
+    /// Candidate-side Dijkstra storage, reused across `score` calls.
+    scratch: UpwardScratch,
+}
+
+impl<'a> QueryScorer<'a> {
+    /// The query concept this scorer is bound to.
+    pub fn query(&self) -> ExtConceptId {
+        self.up_q.source()
+    }
+
+    /// Eq. 5 for `(query, candidate)`; equals
+    /// `QrScorer::score(query, candidate, tag)`.
+    pub fn score(&mut self, candidate: ExtConceptId) -> f64 {
+        self.breakdown(candidate).score
+    }
+
+    /// Eq. 5 with its constituents exposed.
+    pub fn breakdown(&mut self, candidate: ExtConceptId) -> ScoreBreakdown {
+        let out = lcs_with_upward_scratch(
+            self.base.ekg,
+            self.reach,
+            &self.up_q,
+            candidate,
+            &mut self.scratch,
+        );
+        let sim_ic = self.sim_ic_from(&out, candidate);
+        let path_weight = if self.base.config.use_path_weight {
+            PathSummary { ups: out.dist_a, downs: out.dist_b }
+                .weight(self.base.config.w_gen, self.base.config.w_spec)
+        } else {
+            1.0
+        };
+        ScoreBreakdown { sim_ic, path_weight, score: sim_ic * path_weight, lcs: out }
+    }
+
+    fn sim_ic_from(&self, out: &LcsOutcome, candidate: ExtConceptId) -> f64 {
+        let lcs_ic: f64 = out.concepts.iter().map(|&c| self.base.ic(c, self.tag)).sum::<f64>()
+            / out.concepts.len() as f64;
+        let denom = self.ic_query + self.base.ic(candidate, self.tag);
+        if denom <= 0.0 {
             return 1.0;
         }
         (2.0 * lcs_ic / denom).clamp(0.0, 1.0)
@@ -224,6 +302,31 @@ mod tests {
         let b = s.breakdown(pneumonia, lrti, None);
         assert_eq!(b.path_weight, 1.0);
         assert_eq!(b.score, b.sim_ic);
+    }
+
+    #[test]
+    fn query_scoped_scorer_matches_per_pair_scorer() {
+        let (ekg, freqs) = setup();
+        let reach = ReachabilityIndex::build(&ekg);
+        let names =
+            ["headache", "pain in throat", "bronchitis", "pneumonia", "fever", "kidney disease"];
+        for config in
+            [RelaxConfig::default(), RelaxConfig::default().no_context(), RelaxConfig::default().no_corpus()]
+        {
+            let s = QrScorer::new(&ekg, &freqs, &config);
+            for tag in [Some(ContextTag::Treatment), Some(ContextTag::Risk), None] {
+                for a in names {
+                    let qa = ekg.lookup_name(a)[0];
+                    let mut scoped = s.query_scoped(qa, tag, &reach);
+                    for b in names {
+                        let cb = ekg.lookup_name(b)[0];
+                        let slow = s.breakdown(qa, cb, tag);
+                        let fast = scoped.breakdown(cb);
+                        assert_eq!(slow, fast, "{a}/{b} {tag:?}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -349,6 +349,94 @@ impl Ekg {
         dist
     }
 
+    /// [`Ekg::upward_distances`] into a dense, reusable [`UpwardDistances`]
+    /// table — one `O(V)` allocation amortized over every probe instead of
+    /// a fresh `HashMap` per call. The source itself is present at
+    /// distance 0 (the convention LCS computation wants).
+    pub fn upward_distances_from(&self, concept: ExtConceptId) -> UpwardDistances {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut dist: IdVec<ExtConceptId, u32> = IdVec::filled(u32::MAX, self.len());
+        let mut reached: Vec<ExtConceptId> = Vec::new();
+        let mut heap: BinaryHeap<(Reverse<u32>, ExtConceptId)> = BinaryHeap::new();
+        dist[concept] = 0;
+        heap.push((Reverse(0), concept));
+        while let Some((Reverse(d), c)) = heap.pop() {
+            if dist[c] != d {
+                continue;
+            }
+            if c != concept {
+                reached.push(c);
+            }
+            for e in &self.up[c] {
+                let nd = d + e.weight;
+                if nd < dist[e.to] {
+                    dist[e.to] = nd;
+                    heap.push((Reverse(nd), e.to));
+                }
+            }
+        }
+        UpwardDistances { source: concept, dist, reached }
+    }
+
+    /// [`Ekg::upward_distances_from`] into caller-owned scratch storage.
+    ///
+    /// The hot loop of the query-scoped scoring engine runs one Dijkstra
+    /// per candidate; with a [`UpwardScratch`] reused across candidates the
+    /// per-run cost is proportional to the ancestors actually reached —
+    /// no `O(V)` table allocation or clearing (stale entries are
+    /// invalidated by epoch stamping). Distances computed are identical to
+    /// [`Ekg::upward_distances`].
+    pub fn upward_distances_into(&self, concept: ExtConceptId, scratch: &mut UpwardScratch) {
+        use std::cmp::Reverse;
+        scratch.begin(concept, self.len());
+        scratch.set(concept, 0);
+        scratch.heap.push((Reverse(0), concept));
+        while let Some((Reverse(d), c)) = scratch.heap.pop() {
+            if scratch.distance(c) != Some(d) {
+                continue;
+            }
+            if c != concept {
+                scratch.reached.push(c);
+            }
+            for e in &self.up[c] {
+                let nd = d + e.weight;
+                if scratch.distance(e.to).map_or(true, |old| nd < old) {
+                    scratch.set(e.to, nd);
+                    scratch.heap.push((Reverse(nd), e.to));
+                }
+            }
+        }
+    }
+
+    /// Weighted shortest *downward* distances from `concept` to every
+    /// descendant, into caller-owned scratch. Since the down-graph mirrors
+    /// the up-graph edge for edge (same weights), `scratch.distance(d)`
+    /// afterwards equals the upward distance `d → concept` — one run
+    /// answers "how far below `concept`" for every descendant, which is
+    /// what path reconstruction probes repeatedly.
+    pub fn downward_distances_into(&self, concept: ExtConceptId, scratch: &mut UpwardScratch) {
+        use std::cmp::Reverse;
+        scratch.begin(concept, self.len());
+        scratch.set(concept, 0);
+        scratch.heap.push((Reverse(0), concept));
+        while let Some((Reverse(d), c)) = scratch.heap.pop() {
+            if scratch.distance(c) != Some(d) {
+                continue;
+            }
+            if c != concept {
+                scratch.reached.push(c);
+            }
+            for e in &self.down[c] {
+                let nd = d + e.weight;
+                if scratch.distance(e.to).map_or(true, |old| nd < old) {
+                    scratch.set(e.to, nd);
+                    scratch.heap.push((Reverse(nd), e.to));
+                }
+            }
+        }
+    }
+
     /// Weighted shortest upward distance from `desc` to `anc`, if `anc`
     /// subsumes `desc`.
     pub fn distance_to_ancestor(&self, desc: ExtConceptId, anc: ExtConceptId) -> Option<u32> {
@@ -363,21 +451,9 @@ impl Ekg {
     /// exactly why ingestion adds shortcuts (§5.1). Returns `(concept, hops)`
     /// pairs excluding the start, in BFS order.
     pub fn neighborhood(&self, concept: ExtConceptId, radius: u32) -> Vec<(ExtConceptId, u32)> {
-        let mut out = Vec::new();
-        let mut seen: HashSet<ExtConceptId> = HashSet::from([concept]);
-        let mut frontier = VecDeque::from([(concept, 0u32)]);
-        while let Some((c, h)) = frontier.pop_front() {
-            if h == radius {
-                continue;
-            }
-            for e in self.up[c].iter().chain(self.down[c].iter()) {
-                if seen.insert(e.to) {
-                    out.push((e.to, h + 1));
-                    frontier.push_back((e.to, h + 1));
-                }
-            }
-        }
-        out
+        let mut scan = NeighborhoodScan::new(self, concept);
+        scan.expand_to(radius);
+        scan.into_discovered()
     }
 
     /// Add an application-specific shortcut edge `desc → anc` carrying the
@@ -392,7 +468,35 @@ impl Ekg {
         anc: ExtConceptId,
         original_distance: u32,
     ) -> Result<()> {
-        if !self.is_ancestor(anc, desc) {
+        let ok = self.is_ancestor(anc, desc);
+        self.add_shortcut_validated(desc, anc, original_distance, ok)
+    }
+
+    /// [`Ekg::add_shortcut`] with the ancestry check answered by a
+    /// prebuilt [`crate::reach::ReachabilityIndex`] — a single bit probe
+    /// instead of a per-edge upward BFS, which is what makes the §5.1
+    /// customization loop cheap at ingestion time. The index must have been
+    /// built over this graph; shortcut edges never change the closure, so
+    /// it stays valid across repeated insertions.
+    pub fn add_shortcut_with(
+        &mut self,
+        desc: ExtConceptId,
+        anc: ExtConceptId,
+        original_distance: u32,
+        reach: &crate::reach::ReachabilityIndex,
+    ) -> Result<()> {
+        let ok = reach.is_ancestor(anc, desc);
+        self.add_shortcut_validated(desc, anc, original_distance, ok)
+    }
+
+    fn add_shortcut_validated(
+        &mut self,
+        desc: ExtConceptId,
+        anc: ExtConceptId,
+        original_distance: u32,
+        is_ancestor: bool,
+    ) -> Result<()> {
+        if !is_ancestor {
             return Err(MedKbError::invalid(format!(
                 "shortcut target {:?} is not an ancestor of {:?}",
                 self.name(anc),
@@ -424,6 +528,187 @@ impl Ekg {
     /// Number of shortcut edges.
     pub fn shortcut_count(&self) -> usize {
         self.up.iter().map(|(_, es)| es.iter().filter(|e| e.shortcut).count()).sum()
+    }
+}
+
+/// Dense weighted upward-distance table from one source concept.
+///
+/// Produced by [`Ekg::upward_distances_from`]; the query-scoped scoring
+/// engine computes this once per query and probes it for every candidate
+/// LCS, replacing a per-pair `HashMap` Dijkstra. Probes are `O(1)` array
+/// reads; [`UpwardDistances::iter`] walks only the reached ancestors.
+#[derive(Debug, Clone)]
+pub struct UpwardDistances {
+    source: ExtConceptId,
+    /// `u32::MAX` marks unreachable (the source is at 0).
+    dist: IdVec<ExtConceptId, u32>,
+    /// Reached ancestors (source excluded), in settle order.
+    reached: Vec<ExtConceptId>,
+}
+
+impl UpwardDistances {
+    /// The concept the distances start from.
+    pub fn source(&self) -> ExtConceptId {
+        self.source
+    }
+
+    /// Weighted upward distance to `ancestor`; `Some(0)` for the source
+    /// itself, `None` when `ancestor` does not subsume the source.
+    pub fn get(&self, ancestor: ExtConceptId) -> Option<u32> {
+        match self.dist[ancestor] {
+            u32::MAX => None,
+            d => Some(d),
+        }
+    }
+
+    /// `(ancestor, distance)` pairs excluding the source.
+    pub fn iter(&self) -> impl Iterator<Item = (ExtConceptId, u32)> + '_ {
+        self.reached.iter().map(move |&c| (c, self.dist[c]))
+    }
+
+    /// Number of reached strict ancestors.
+    pub fn len(&self) -> usize {
+        self.reached.len()
+    }
+
+    /// Whether the source has no ancestors (i.e. it is the root).
+    pub fn is_empty(&self) -> bool {
+        self.reached.is_empty()
+    }
+}
+
+/// Reusable storage for repeated [`Ekg::upward_distances_into`] runs.
+///
+/// Entries are validated by epoch stamping: starting a new run bumps the
+/// epoch instead of clearing the distance table, so back-to-back runs cost
+/// only the ancestors they actually touch. One scratch serves one source at
+/// a time; probes refer to the most recent run.
+#[derive(Debug, Clone, Default)]
+pub struct UpwardScratch {
+    dist: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    reached: Vec<ExtConceptId>,
+    heap: std::collections::BinaryHeap<(std::cmp::Reverse<u32>, ExtConceptId)>,
+    source: Option<ExtConceptId>,
+}
+
+impl UpwardScratch {
+    /// An empty scratch; storage grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, source: ExtConceptId, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, 0);
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch counter wrapped: every stale stamp would read as valid.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.reached.clear();
+        self.heap.clear();
+        self.source = Some(source);
+    }
+
+    fn set(&mut self, c: ExtConceptId, d: u32) {
+        self.dist[c.as_usize()] = d;
+        self.stamp[c.as_usize()] = self.epoch;
+    }
+
+    /// The source of the most recent run, if any.
+    pub fn source(&self) -> Option<ExtConceptId> {
+        self.source
+    }
+
+    /// Weighted upward distance to `ancestor` per the most recent run;
+    /// `Some(0)` for the source itself, `None` when unreachable.
+    pub fn distance(&self, ancestor: ExtConceptId) -> Option<u32> {
+        let i = ancestor.as_usize();
+        if self.stamp[i] == self.epoch {
+            Some(self.dist[i])
+        } else {
+            None
+        }
+    }
+
+    /// Strict ancestors reached by the most recent run, in settle order.
+    pub fn reached(&self) -> &[ExtConceptId] {
+        &self.reached
+    }
+}
+
+/// Incremental BFS over the customized graph.
+///
+/// [`Ekg::neighborhood`] answers one radius and throws the frontier away;
+/// Algorithm 2's dynamic radius growth asks for radius `r`, then `r+1`, …
+/// until enough flagged instances are reachable, which made candidate
+/// gathering quadratic in the final radius. The scan keeps the BFS queue
+/// alive between [`NeighborhoodScan::expand_to`] calls so each increment
+/// pays only for the newly reached ring. Discovery order is identical to
+/// a fresh [`Ekg::neighborhood`] call at the same radius.
+#[derive(Debug)]
+pub struct NeighborhoodScan<'a> {
+    ekg: &'a Ekg,
+    seen: Vec<bool>,
+    frontier: VecDeque<(ExtConceptId, u32)>,
+    discovered: Vec<(ExtConceptId, u32)>,
+    radius: u32,
+}
+
+impl<'a> NeighborhoodScan<'a> {
+    /// A scan rooted at `start`, with nothing expanded yet (radius 0).
+    pub fn new(ekg: &'a Ekg, start: ExtConceptId) -> Self {
+        let mut seen = vec![false; ekg.len()];
+        seen[start.as_usize()] = true;
+        Self {
+            ekg,
+            seen,
+            frontier: VecDeque::from([(start, 0u32)]),
+            discovered: Vec::new(),
+            radius: 0,
+        }
+    }
+
+    /// Largest radius expanded so far.
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// Grow the scan until every concept within `radius` hops has been
+    /// discovered, returning the full discovery list. No-op when `radius`
+    /// does not exceed the current radius.
+    pub fn expand_to(&mut self, radius: u32) -> &[(ExtConceptId, u32)] {
+        while let Some(&(c, h)) = self.frontier.front() {
+            if h >= radius {
+                break;
+            }
+            self.frontier.pop_front();
+            for e in self.ekg.parents(c).iter().chain(self.ekg.children(c).iter()) {
+                let i = e.to.as_usize();
+                if !self.seen[i] {
+                    self.seen[i] = true;
+                    self.discovered.push((e.to, h + 1));
+                    self.frontier.push_back((e.to, h + 1));
+                }
+            }
+        }
+        self.radius = self.radius.max(radius);
+        &self.discovered
+    }
+
+    /// Everything discovered so far (start excluded), in BFS order.
+    pub fn discovered(&self) -> &[(ExtConceptId, u32)] {
+        &self.discovered
+    }
+
+    /// Consume the scan, keeping the discovery list.
+    pub fn into_discovered(self) -> Vec<(ExtConceptId, u32)> {
+        self.discovered
     }
 }
 

@@ -13,7 +13,8 @@ use std::collections::HashMap;
 
 use medkb_types::ExtConceptId;
 
-use crate::graph::Ekg;
+use crate::graph::{Ekg, UpwardDistances, UpwardScratch};
+use crate::reach::ReachabilityIndex;
 
 /// Result of a least-common-subsumer query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +85,80 @@ pub fn lcs(ekg: &Ekg, a: ExtConceptId, b: ExtConceptId) -> LcsOutcome {
     // Deterministic, direction-symmetric split: the smallest-id LCS's
     // distances (so `lcs(a, b)` and `lcs(b, a)` describe the same physical
     // path, just reversed).
+    let (_, da, db) = chosen.iter().copied().min_by_key(|&(c, _, _)| c).unwrap();
+    LcsOutcome { concepts, dist_a: da, dist_b: db }
+}
+
+/// [`lcs`] with the first concept's upward distances precomputed and the
+/// minimality pruning answered by a [`ReachabilityIndex`] bit probe.
+///
+/// This is the query-scoped fast path: the relaxation engine computes
+/// `up_q = ekg.upward_distances_from(query)` once, then scores every
+/// candidate against it — one small candidate-side Dijkstra per pair
+/// instead of two, and no per-pair ancestor BFS during pruning. Produces
+/// outcomes identical to `lcs(ekg, up_q.source(), b)`.
+pub fn lcs_with_upward(
+    ekg: &Ekg,
+    reach: &ReachabilityIndex,
+    up_q: &UpwardDistances,
+    b: ExtConceptId,
+) -> LcsOutcome {
+    let mut scratch = UpwardScratch::new();
+    lcs_with_upward_scratch(ekg, reach, up_q, b, &mut scratch)
+}
+
+/// [`lcs_with_upward`] with the candidate-side Dijkstra run in caller-owned
+/// scratch storage — the allocation-free hot path the query-scoped scorer
+/// loops over. Outcomes are identical to `lcs(ekg, up_q.source(), b)`.
+pub fn lcs_with_upward_scratch(
+    ekg: &Ekg,
+    reach: &ReachabilityIndex,
+    up_q: &UpwardDistances,
+    b: ExtConceptId,
+    scratch: &mut UpwardScratch,
+) -> LcsOutcome {
+    let a = up_q.source();
+    if a == b {
+        return LcsOutcome { concepts: vec![a], dist_a: 0, dist_b: 0 };
+    }
+    ekg.upward_distances_into(b, scratch);
+
+    // Common subsumers with their total distance: iterate the (small)
+    // candidate side — `b` itself plus its reached ancestors — and probe
+    // the dense query-side table.
+    let mut best_total = u32::MAX;
+    let mut candidates: Vec<(ExtConceptId, u32, u32)> = Vec::new();
+    let b_side =
+        std::iter::once((b, 0u32)).chain(scratch.reached().iter().map(|&c| {
+            (c, scratch.distance(c).expect("reached ancestors carry a distance"))
+        }));
+    for (c, db) in b_side {
+        if let Some(da) = up_q.get(c) {
+            let total = da + db;
+            if total < best_total {
+                best_total = total;
+                candidates.clear();
+            }
+            if total == best_total {
+                candidates.push((c, da, db));
+            }
+        }
+    }
+    debug_assert!(!candidates.is_empty(), "root must subsume everything");
+
+    // Same footnote-1 minimality pruning as `lcs`, via the bitset closure.
+    let keep: Vec<(ExtConceptId, u32, u32)> = candidates
+        .iter()
+        .filter(|(c, _, _)| {
+            !candidates.iter().any(|(d, _, _)| d != c && reach.is_ancestor(*c, *d))
+        })
+        .copied()
+        .collect();
+    let chosen = if keep.is_empty() { candidates } else { keep };
+
+    let mut concepts: Vec<ExtConceptId> = chosen.iter().map(|&(c, _, _)| c).collect();
+    concepts.sort_unstable();
+    concepts.dedup();
     let (_, da, db) = chosen.iter().copied().min_by_key(|&(c, _, _)| c).unwrap();
     LcsOutcome { concepts, dist_a: da, dist_b: db }
 }
@@ -235,6 +310,47 @@ mod tests {
         // p and q both at total distance 2, but q is a strict ancestor of p,
         // hence not least.
         assert_eq!(out.concepts, vec![p]);
+    }
+
+    #[test]
+    fn with_upward_matches_plain_lcs_on_taxonomy() {
+        let (g, ids) = taxonomy();
+        let reach = ReachabilityIndex::build(&g);
+        for &a in ids.values() {
+            let up_a = g.upward_distances_from(a);
+            for &b in ids.values() {
+                assert_eq!(
+                    lcs_with_upward(&g, &reach, &up_a, b),
+                    lcs(&g, a, b),
+                    "{:?} vs {:?}",
+                    g.name(a),
+                    g.name(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_upward_prunes_non_least_candidates() {
+        // Same construction as `non_least_candidates_are_pruned`.
+        let mut b = EkgBuilder::new();
+        let root = b.concept("root");
+        let q = b.concept("q");
+        let p = b.concept("p");
+        let c = b.concept("c");
+        let d = b.concept("d");
+        b.is_a(q, root);
+        b.is_a(p, q);
+        b.is_a(c, p);
+        b.is_a(d, p);
+        b.is_a(c, q);
+        b.is_a(d, q);
+        let g = b.build().unwrap();
+        let reach = ReachabilityIndex::build(&g);
+        let up_c = g.upward_distances_from(c);
+        let out = lcs_with_upward(&g, &reach, &up_c, d);
+        assert_eq!(out.concepts, vec![p]);
+        assert_eq!(out, lcs(&g, c, d));
     }
 
     #[test]

@@ -124,6 +124,11 @@ pub fn concrete_path(ekg: &Ekg, a: ExtConceptId, b: ExtConceptId) -> Vec<ExtConc
 /// Greedy weighted-shortest climb from `from` up to `target` (inclusive),
 /// following parents that minimize remaining distance to `target`.
 fn climb(ekg: &Ekg, from: ExtConceptId, target: ExtConceptId) -> Vec<ExtConceptId> {
+    // One reversed Dijkstra from the target answers every "how far is this
+    // parent from the target" probe of the walk (the down-graph mirrors the
+    // up-graph, so these are exactly the upward distances to `target`).
+    let mut below = crate::graph::UpwardScratch::new();
+    ekg.downward_distances_into(target, &mut below);
     let mut chain = vec![from];
     let mut cur = from;
     while cur != target {
@@ -131,11 +136,8 @@ fn climb(ekg: &Ekg, from: ExtConceptId, target: ExtConceptId) -> Vec<ExtConceptI
             .parents(cur)
             .iter()
             .filter_map(|e| {
-                let remaining = if e.to == target {
-                    Some(0)
-                } else {
-                    ekg.upward_distances(e.to).get(&target).copied()
-                }?;
+                let remaining =
+                    if e.to == target { Some(0) } else { below.distance(e.to) }?;
                 Some((e.weight + remaining, e.to))
             })
             .min_by_key(|&(d, c)| (d, c));

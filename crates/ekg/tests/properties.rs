@@ -6,9 +6,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use medkb_ekg::lcs::lcs;
+use medkb_ekg::lcs::{lcs, lcs_with_upward_scratch};
 use medkb_ekg::path::path_between;
-use medkb_ekg::{Ekg, EkgBuilder, ReachabilityIndex};
+use medkb_ekg::{Ekg, EkgBuilder, NeighborhoodScan, ReachabilityIndex, UpwardScratch};
 use medkb_types::ExtConceptId;
 use proptest::prelude::*;
 
@@ -148,6 +148,56 @@ proptest! {
                 prop_assert_ne!(n, c);
             }
             prev = cur;
+        }
+    }
+
+    #[test]
+    fn prop_lcs_with_upward_matches_lcs(parents in dag_strategy()) {
+        // The query-scoped fast path (precomputed query-side distances,
+        // bitset minimality pruning, reused candidate-side scratch) must be
+        // indistinguishable from the per-pair reference on any DAG. One
+        // scratch is deliberately reused across every pair to exercise the
+        // epoch-stamping invalidation.
+        let g = build(&parents);
+        let reach = ReachabilityIndex::build(&g);
+        let mut scratch = UpwardScratch::new();
+        let nodes: Vec<ExtConceptId> = g.concepts().collect();
+        for &a in nodes.iter().step_by(2) {
+            let up_a = g.upward_distances_from(a);
+            prop_assert_eq!(up_a.source(), a);
+            for &b in &nodes {
+                let fast = lcs_with_upward_scratch(&g, &reach, &up_a, b, &mut scratch);
+                prop_assert_eq!(fast, lcs(&g, a, b), "lcs({a:?}, {b:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn prop_upward_distances_from_matches_hashmap_dijkstra(parents in dag_strategy()) {
+        let g = build(&parents);
+        for c in g.concepts() {
+            let dense = g.upward_distances_from(c);
+            let sparse = g.upward_distances(c);
+            prop_assert_eq!(dense.len(), sparse.len());
+            prop_assert_eq!(dense.get(c), Some(0));
+            for (a, d) in dense.iter() {
+                prop_assert_eq!(sparse.get(&a).copied(), Some(d));
+            }
+        }
+    }
+
+    #[test]
+    fn prop_incremental_scan_matches_fresh_neighborhood(parents in dag_strategy()) {
+        // Growing one scan radius-by-radius must reproduce, prefix by
+        // prefix, what a fresh full scan at each radius returns — the
+        // invariant dynamic-radius growth relies on.
+        let g = build(&parents);
+        let start = g.concepts().last().unwrap();
+        let mut scan = NeighborhoodScan::new(&g, start);
+        for r in 1..=5u32 {
+            scan.expand_to(r);
+            prop_assert_eq!(scan.radius(), r);
+            prop_assert_eq!(scan.discovered(), &g.neighborhood(start, r)[..]);
         }
     }
 

@@ -123,47 +123,58 @@ pub fn evaluate_relaxation_on(
         "Embedding-trained",
     ];
 
-    // —— Run every method on every query, one thread per method ——
+    // —— Run every method on every query ——
+    // QR-family methods shard the *queries* across threads through the
+    // batch-relaxation API (queries vastly outnumber methods, so this
+    // parallelizes much better than one thread per method).
     let qr_configs = [
         base.clone(),
         base.clone().no_context(),
         base.clone().no_corpus(),
         base.clone().ic_baseline(),
     ];
-    let runs: Vec<Vec<Vec<ExtConceptId>>> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(labels.len());
-        for config in qr_configs {
-            handles.push(scope.spawn(move |_| {
-                let relaxer = stack.relaxer(config);
-                workload
-                    .queries
-                    .iter()
-                    .map(|&(q, ctx, _)| {
-                        relaxer
-                            .relax_concept(q, Some(ctx), k)
-                            .map(|res| res.concepts().into_iter().take(k).collect())
-                            .unwrap_or_default()
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for model in [stack.sif_pretrained.clone(), stack.sif_trained.clone()] {
-            handles.push(scope.spawn(move |_| {
-                let ranker = EmbeddingRanker::new(&stack.ingested.ekg, model);
-                workload
-                    .queries
-                    .iter()
-                    .map(|&(q, _, _)| {
-                        let pool: Vec<ExtConceptId> =
-                            workload.universe.iter().filter(|&&c| c != q).copied().collect();
-                        ranker.rank(q, &pool).into_iter().take(k).map(|(c, _)| c).collect()
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
+    let batch_queries: Vec<(ExtConceptId, Option<medkb_types::ContextId>)> =
+        workload.queries.iter().map(|&(q, ctx, _)| (q, Some(ctx))).collect();
+    let mut runs: Vec<Vec<Vec<ExtConceptId>>> = Vec::with_capacity(labels.len());
+    for config in qr_configs {
+        let relaxer = stack.relaxer(config);
+        runs.push(
+            relaxer
+                .relax_concepts_batch(&batch_queries, k)
+                .into_iter()
+                .map(|res| {
+                    res.map(|r| r.concepts().into_iter().take(k).collect()).unwrap_or_default()
+                })
+                .collect(),
+        );
+    }
+    // The embedding baselines keep one thread per model.
+    let embedding_runs: Vec<Vec<Vec<ExtConceptId>>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = [stack.sif_pretrained.clone(), stack.sif_trained.clone()]
+            .into_iter()
+            .map(|model| {
+                scope.spawn(move |_| {
+                    let ranker = EmbeddingRanker::new(&stack.ingested.ekg, model);
+                    workload
+                        .queries
+                        .iter()
+                        .map(|&(q, _, _)| {
+                            let pool: Vec<ExtConceptId> = workload
+                                .universe
+                                .iter()
+                                .filter(|&&c| c != q)
+                                .copied()
+                                .collect();
+                            ranker.rank(q, &pool).into_iter().take(k).map(|(c, _)| c).collect()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
         handles.into_iter().map(|h| h.join().expect("method shard")).collect()
     })
     .expect("method scope");
+    runs.extend(embedding_runs);
 
     pool_and_score(stack, workload, threshold, &labels, &runs, k)
 }
@@ -246,7 +257,7 @@ mod tests {
     use crate::pipeline::EvalConfig;
 
     fn stack() -> EvalStack {
-        EvalStack::build(EvalConfig::tiny(121)).unwrap()
+        EvalStack::build(EvalConfig::tiny(401)).unwrap()
     }
 
     #[test]

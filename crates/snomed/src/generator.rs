@@ -549,7 +549,7 @@ impl<'a> Generator<'a> {
                 } else if let Some(end) = parent_class_end {
                     if parent_name.contains(' ') {
                         // Already a specific product: add a strength.
-                        let mg = [5, 10, 20, 25, 40, 50, 100, 200][self.rng.gen_range(0..8)];
+                        let mg = [5, 10, 20, 25, 40, 50, 100, 200][self.rng.gen_range(0..8usize)];
                         (format!("{parent_name} {mg} mg"), FindingState::default(), Some(end))
                     } else if parent_name.ends_with("agent") {
                         // Product under a class, sharing the suffix.
@@ -560,7 +560,7 @@ impl<'a> Generator<'a> {
                     } else {
                         // Product form.
                         let form = ["oral tablet", "capsule", "injection", "topical cream"]
-                            [self.rng.gen_range(0..4)];
+                            [self.rng.gen_range(0..4usize)];
                         (format!("{parent_name} {form}"), FindingState::default(), Some(end))
                     }
                 } else {
@@ -571,7 +571,7 @@ impl<'a> Generator<'a> {
             Hierarchy::BodyStructure => {
                 let organ = vocab::ORGANS[self.rng.gen_range(0..vocab::ORGANS.len())];
                 let region = ["cortex", "medulla", "lobe", "segment", "wall", "membrane", "canal"]
-                    [self.rng.gen_range(0..7)];
+                    [self.rng.gen_range(0..7usize)];
                 let name = if parent_name == "body structure" {
                     format!("{} structure", organ.1)
                 } else {

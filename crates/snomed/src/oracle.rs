@@ -185,7 +185,7 @@ impl Oracle {
             let mut val = base;
             if c != term.ekg.root() && !is_head {
                 for x in val.iter_mut() {
-                    *x = (*x + rng.gen_range(-0.08..0.08)).clamp(0.02, 1.0);
+                    *x = (*x + rng.gen_range(-0.08f64..0.08)).clamp(0.02, 1.0);
                 }
             }
             affinity[c] = val;

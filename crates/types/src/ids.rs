@@ -29,8 +29,6 @@ macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-        #[derive(serde::Serialize, serde::Deserialize)]
-        #[serde(transparent)]
         pub struct $name(u32);
 
         impl $name {

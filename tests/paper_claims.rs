@@ -7,7 +7,7 @@ use medkb::prelude::*;
 use std::collections::HashMap;
 
 fn stack() -> EvalStack {
-    EvalStack::build(EvalConfig::tiny(301)).expect("stack builds")
+    EvalStack::build(EvalConfig::tiny(401)).expect("stack builds")
 }
 
 #[test]

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the small API slice the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — on a simple wall-clock protocol: calibrate
+//! the per-iteration count to a target sample duration, collect
+//! `sample_size` samples, and report min / median / mean per iteration.
+//! No statistics beyond that, no HTML reports, no comparison to saved
+//! baselines; the numbers print to stdout, one line per benchmark.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `name` plus an optional parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with an explicit function name and parameter.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(name: S, parameter: P) -> Self {
+        Self { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter (the group supplies the name).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The per-benchmark measurement driver passed to bench closures.
+pub struct Bencher {
+    samples: Vec<f64>, // ns per iteration, one entry per sample
+    sample_size: usize,
+    target_sample: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine`, running it enough times per sample to fill the
+    /// target sample duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up + calibrate: find an iteration count that takes roughly
+        // the target sample duration.
+        let mut iters = 1u64;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 4;
+        };
+        let target = self.target_sample.as_nanos() as f64;
+        let per_sample = ((target / per_iter_ns.max(1.0)).ceil() as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / per_sample as f64);
+        }
+    }
+}
+
+fn report(label: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+    let fmt = |ns: f64| -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        }
+    };
+    println!(
+        "{label:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+        fmt(min),
+        fmt(median),
+        fmt(mean),
+        samples.len()
+    );
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30, target_sample: Duration::from_millis(20) }
+    }
+}
+
+impl Criterion {
+    /// Parse harness CLI args (accepted and ignored — cargo bench passes
+    /// `--bench` and optional filters).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            target_sample: self.target_sample,
+        };
+        f(&mut b);
+        report(name, &mut b.samples);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            target_sample: self.target_sample,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    target_sample: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            target_sample: self.target_sample,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, label), &mut b.samples);
+    }
+
+    /// Run a benchmark labeled by `id` with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.to_string();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Run a benchmark labeled by a plain string.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) -> &mut Self {
+        self.run(label, f);
+        self
+    }
+
+    /// Close the group (prints nothing; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench entry point, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion { sample_size: 5, target_sample: Duration::from_micros(200) };
+        c.bench_function("fib10", |b| b.iter(|| fib(10)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(12), &12u64, |b, &n| {
+            b.iter(|| fib(n))
+        });
+        g.bench_function("plain", |b| b.iter(|| fib(8)));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,740 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the subset of the proptest 1.x API the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * range, tuple, [`Just`], and regex-pattern (`&str`) strategies,
+//! * [`collection::vec`] / [`collection::hash_set`] with size ranges,
+//! * [`sample::Index`], `any::<T>()` for primitive types,
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, and the
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
+//!
+//! Failing cases are reported with their case number and the generating
+//! seed; there is **no shrinking** — a failure prints the panic from the
+//! raw generated input. Determinism: every test function derives its seed
+//! from its own name, so runs are reproducible without a persistence file.
+
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+
+/// The deterministic RNG driving generation (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed deterministically.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix(&mut sm);
+        }
+        Self { s }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate an intermediate value, then generate from a strategy built
+    /// from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        let mid = self.inner.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy over empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy over empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy over empty range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical "arbitrary value" strategy, for [`any`].
+pub trait Arbitrary: Debug + Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy wrapper produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// Index-into-unknown-length-collection support.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// A deferred index: generated as a fraction, resolved against a
+    /// concrete length with [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a collection of `len` elements (`len > 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::fmt::Debug;
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.lo == self.hi {
+                self.lo
+            } else {
+                self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` of a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generate vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy for `HashSet<T>` of a size drawn from `size` (best-effort:
+    /// duplicates may yield a smaller set, but at least the minimum is
+    /// attempted with bounded retries).
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq + Debug,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = HashSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 16 + 64 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Generate hash sets of `element` with size in `size`.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+        HashSetStrategy { element, size: size.into() }
+    }
+}
+
+/// Regex-subset string strategy: `&str` patterns generate matching strings.
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// One parsed pattern element with its repetition bounds.
+    #[derive(Debug, Clone)]
+    enum Node {
+        /// Inclusive character ranges (a literal char is a 1-char range).
+        Class(Vec<(char, char)>),
+        /// `.` — any printable ASCII character plus a few non-ASCII probes.
+        Any,
+        /// A parenthesized subpattern.
+        Group(Vec<(Node, u32, u32)>),
+    }
+
+    /// A compiled pattern.
+    #[derive(Debug, Clone)]
+    pub struct RegexStrategy {
+        nodes: Vec<(Node, u32, u32)>,
+    }
+
+    fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars>) -> char {
+        match chars.next().expect("dangling escape") {
+            't' => '\t',
+            'n' => '\n',
+            'r' => '\r',
+            'x' => {
+                let h1 = chars.next().expect("\\x needs two hex digits");
+                let h2 = chars.next().expect("\\x needs two hex digits");
+                let v = u32::from_str_radix(&format!("{h1}{h2}"), 16).expect("hex escape");
+                char::from_u32(v).expect("valid char")
+            }
+            c => c, // \\, \., \[, \( …
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Node {
+        let mut ranges = Vec::new();
+        loop {
+            let c = chars.next().expect("unterminated character class");
+            let lo = match c {
+                ']' => break,
+                '\\' => parse_escape(chars),
+                other => other,
+            };
+            if chars.peek() == Some(&'-') {
+                let mut look = chars.clone();
+                look.next(); // consume '-'
+                if look.peek() != Some(&']') {
+                    chars.next(); // the '-'
+                    let hi = match chars.next().expect("unterminated range") {
+                        '\\' => parse_escape(chars),
+                        other => other,
+                    };
+                    ranges.push((lo, hi));
+                    continue;
+                }
+            }
+            ranges.push((lo, lo));
+        }
+        assert!(!ranges.is_empty(), "empty character class");
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (u32, u32) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                match body.split_once(',') {
+                    Some((lo, "")) => (lo.parse().expect("min"), lo.parse::<u32>().unwrap() + 8),
+                    Some((lo, hi)) => (lo.parse().expect("min"), hi.parse().expect("max")),
+                    None => {
+                        let n = body.parse().expect("count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_sequence(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+        in_group: bool,
+    ) -> Vec<(Node, u32, u32)> {
+        let mut out = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if c == ')' && in_group {
+                chars.next();
+                return out;
+            }
+            chars.next();
+            let node = match c {
+                '[' => parse_class(chars),
+                '(' => Node::Group(parse_sequence(chars, true)),
+                '.' => Node::Any,
+                '\\' => {
+                    let l = parse_escape(chars);
+                    Node::Class(vec![(l, l)])
+                }
+                other => Node::Class(vec![(other, other)]),
+            };
+            let (lo, hi) = parse_quantifier(chars);
+            out.push((node, lo, hi));
+        }
+        assert!(!in_group, "unterminated group");
+        out
+    }
+
+    /// Compile a pattern. Supported: character classes with ranges and
+    /// `\t` / `\n` / `\xNN` escapes, `.`, groups, literals, and the
+    /// quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`.
+    pub fn compile(pattern: &str) -> RegexStrategy {
+        let mut chars = pattern.chars().peekable();
+        RegexStrategy { nodes: parse_sequence(&mut chars, false) }
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Class(ranges) => {
+                let pick = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = pick.1 as u32 - pick.0 as u32 + 1;
+                let c = char::from_u32(pick.0 as u32 + rng.below(span as u64) as u32)
+                    .unwrap_or(pick.0);
+                out.push(c);
+            }
+            Node::Any => {
+                // Mostly printable ASCII, occasionally a multi-byte char to
+                // exercise UTF-8 handling.
+                if rng.below(16) == 0 {
+                    const PROBES: [char; 6] = ['é', 'ß', 'λ', '→', '中', '𝛼'];
+                    out.push(PROBES[rng.below(PROBES.len() as u64) as usize]);
+                } else {
+                    out.push(char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap());
+                }
+            }
+            Node::Group(nodes) => {
+                for (inner, lo, hi) in nodes {
+                    let reps = lo + rng.below((*hi - *lo + 1) as u64) as u32;
+                    for _ in 0..reps {
+                        emit(inner, rng, out);
+                    }
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (node, lo, hi) in &self.nodes {
+                let reps = lo + rng.below((*hi - *lo + 1) as u64) as u32;
+                for _ in 0..reps {
+                    emit(node, rng, &mut out);
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            compile(self).generate(rng)
+        }
+    }
+}
+
+/// Runner configuration, settable per `proptest!` block via
+/// `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// FNV-1a over a test name: the per-test base seed.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The commonly-imported surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Assert inside a property; failure panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+/// Define property tests. Each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::proptest!(@run config, $name, ($($pat in $strat),+), $body);
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $crate::ProptestConfig::default();
+                $crate::proptest!(@run config, $name, ($($pat in $strat),+), $body);
+            }
+        )*
+    };
+    (@run $config:ident, $name:ident, ($($pat:pat_param in $strat:expr),+), $body:block) => {
+        let base = $crate::seed_of(stringify!($name));
+        for case in 0..$config.cases as u64 {
+            let mut rng = $crate::TestRng::seed_from_u64(base ^ (case.wrapping_mul(0x9E3779B97F4A7C15)));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                $(let $pat = $crate::Strategy::generate(&$strat, &mut rng);)+
+                $body
+            }));
+            if let Err(payload) = result {
+                eprintln!(
+                    "proptest: property {} failed at case {case} (base seed {base:#x})",
+                    stringify!($name)
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn regex_strategies_match_shape() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-c]{1,4}( [a-c]{1,4}){0,2}", &mut rng);
+            assert!(!s.is_empty());
+            for w in s.split(' ') {
+                assert!((1..=4).contains(&w.len()), "{s:?}");
+                assert!(w.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+            }
+            let t = crate::Strategy::generate(&"[\\x20-\\x7e\\t\\n]{0,50}", &mut rng);
+            assert!(t.chars().all(|c| c == '\t' || c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn collection_sizes_respected() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&crate::collection::vec(0u64..10, 3..7), &mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+            let s = crate::Strategy::generate(
+                &crate::collection::hash_set(0u64..1000, 5..=5),
+                &mut rng,
+            );
+            assert!(s.len() <= 5 && !s.is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_tuples((a, b) in (0u64..10, 10u64..20), s in "[a-z]{1,3}") {
+            prop_assert!(a < 10);
+            prop_assert!((10..20).contains(&b), "{b}");
+            prop_assert!(!s.is_empty());
+            prop_assert_ne!(a, b);
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(x in 0usize..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn flat_map_and_index() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let strat = crate::collection::vec(any::<crate::sample::Index>(), 1..4)
+            .prop_flat_map(|v| (Just(v.len()), crate::collection::vec(0u64..5, 2..=2)));
+        for _ in 0..50 {
+            let (n, v) = crate::Strategy::generate(&strat, &mut rng);
+            assert!((1..4).contains(&n));
+            assert_eq!(v.len(), 2);
+        }
+        let idx = crate::Strategy::generate(&any::<crate::sample::Index>(), &mut rng);
+        assert!(idx.index(7) < 7);
+    }
+}
