@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use medkb_core::{ingest, FrequencyMode, Frequencies, MappingMethod, RelaxConfig};
+use medkb_core::{ingest, FrequencyMode, Frequencies, MappingMethod, ParallelConfig, RelaxConfig};
 use medkb_corpus::{CorpusConfig, CorpusGenerator, MentionCounts};
 use medkb_snomed::{MedWorld, SnomedConfig, WorldConfig};
 
@@ -45,6 +45,28 @@ fn bench_ingestion(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_ingest_parallel(c: &mut Criterion) {
+    let (world, counts) = world_of_size(3_000);
+    let mut group = c.benchmark_group("ingest_parallel");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        // Unclamped so the sharded code paths run at the requested width
+        // even on hosts with fewer cores than the sweep's upper end.
+        let config = RelaxConfig {
+            mapping: MappingMethod::Exact,
+            parallel: ParallelConfig { clamp_to_cores: false, ..ParallelConfig::with_threads(threads) },
+            ..RelaxConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &config)
+                    .expect("ingest succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_frequency_rollup(c: &mut Criterion) {
     let (world, counts) = world_of_size(3_000);
     let ekg = &world.terminology.ekg;
@@ -70,5 +92,11 @@ fn bench_mention_counting(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ingestion, bench_frequency_rollup, bench_mention_counting);
+criterion_group!(
+    benches,
+    bench_ingestion,
+    bench_ingest_parallel,
+    bench_frequency_rollup,
+    bench_mention_counting
+);
 criterion_main!(benches);

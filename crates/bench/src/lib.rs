@@ -59,8 +59,11 @@ pub struct RelaxBenchWorld {
     pub context: ContextId,
 }
 
-/// Build the fixed 4k-concept world the relaxation benchmarks run on.
-pub fn relaxation_bench_world(shortcuts: bool) -> RelaxBenchWorld {
+/// The raw inputs of the 4k-concept benchmark world: generated world plus
+/// curation corpus, before mention counting. The ingestion benchmark
+/// (`bench_json --ingest`) times counting and ingestion itself, so it needs
+/// the pieces; `relaxation_bench_world` assembles them.
+pub fn bench_world_and_corpus() -> (MedWorld, medkb_corpus::Corpus) {
     let config = WorldConfig {
         snomed: SnomedConfig { concepts: 4_000, seed: 52, ..SnomedConfig::default() },
         seed: 53,
@@ -74,6 +77,12 @@ pub fn relaxation_bench_world(shortcuts: bool) -> RelaxBenchWorld {
         docs: 250,
         ..CorpusConfig::default()
     });
+    (world, corpus)
+}
+
+/// Build the fixed 4k-concept world the relaxation benchmarks run on.
+pub fn relaxation_bench_world(shortcuts: bool) -> RelaxBenchWorld {
+    let (world, corpus) = bench_world_and_corpus();
     let counts = MentionCounts::count(&corpus, &world.terminology.ekg);
     let relax_config = RelaxConfig {
         mapping: MappingMethod::Exact,

@@ -44,6 +44,50 @@ impl MappingMethod {
     }
 }
 
+/// Thread budget for the offline ingestion pipeline (Algorithm 1).
+///
+/// Every parallel stage keeps a bit-identical sequential twin, so this is
+/// purely a wall-clock knob: outputs are independent of the thread count
+/// (DESIGN.md §9). `threads: 1` (the default) runs fully sequentially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads for sharded ingestion stages (values below 1 are
+    /// treated as 1).
+    pub threads: usize,
+    /// Cap workers at the machine's available parallelism. Oversubscribing
+    /// a core only adds scheduling overhead, and the sharded merges are
+    /// deterministic in shard order, so the clamp never changes outputs —
+    /// tests that must exercise real multi-way sharding regardless of the
+    /// host set this to `false`.
+    pub clamp_to_cores: bool,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self { threads: 1, clamp_to_cores: true }
+    }
+}
+
+impl ParallelConfig {
+    /// A configuration with the given thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: threads.max(1), ..Self::default() }
+    }
+
+    /// The effective worker count: at least 1, and capped at the host's
+    /// available parallelism unless `clamp_to_cores` is off.
+    pub fn effective_threads(&self) -> usize {
+        let t = self.threads.max(1);
+        if self.clamp_to_cores {
+            let cores =
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            t.min(cores)
+        } else {
+            t
+        }
+    }
+}
+
 /// Full configuration of the relaxation method. The flags double as the
 /// Table 2 ablation switches.
 #[derive(Debug, Clone)]
@@ -81,6 +125,9 @@ pub struct RelaxConfig {
     /// behaviour §3 alludes to. Off by default so Table 1's matcher
     /// comparison stays pure.
     pub strip_modifiers: bool,
+    /// Thread budget for offline ingestion (outputs are thread-count
+    /// independent).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for RelaxConfig {
@@ -99,6 +146,7 @@ impl Default for RelaxConfig {
             add_shortcuts: true,
             mapping: MappingMethod::embedding_default(),
             strip_modifiers: false,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -144,6 +192,24 @@ mod tests {
         assert!(!RelaxConfig::default().no_corpus().use_corpus);
         let ic = RelaxConfig::default().ic_baseline();
         assert!(!ic.use_context && !ic.use_path_weight && ic.use_corpus);
+    }
+
+    #[test]
+    fn parallel_config_clamps_to_one() {
+        assert_eq!(ParallelConfig::default().effective_threads(), 1);
+        assert_eq!(ParallelConfig::with_threads(0).threads, 1);
+        assert_eq!(
+            ParallelConfig { threads: 0, clamp_to_cores: false }.effective_threads(),
+            1
+        );
+        // Unclamped, the requested count passes through unchanged; clamped,
+        // it is capped at the host's available parallelism.
+        assert_eq!(
+            ParallelConfig { threads: 4, clamp_to_cores: false }.effective_threads(),
+            4
+        );
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(ParallelConfig::with_threads(4).effective_threads(), 4.min(cores));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! impossibility.
 
 use medkb_corpus::MentionCounts;
-use medkb_ekg::Ekg;
+use medkb_ekg::{Ekg, ReachabilityIndex};
 use medkb_snomed::oracle::N_TAGS;
 use medkb_snomed::ContextTag;
 use medkb_types::{ExtConceptId, IdVec};
@@ -22,7 +22,7 @@ use medkb_types::{ExtConceptId, IdVec};
 use crate::config::FrequencyMode;
 
 /// Per-context (tag) normalized frequencies, corpus IC, and intrinsic IC.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Frequencies {
     /// Normalized rolled-up frequency per tag, `[0, 1]`.
     per_tag: Vec<IdVec<ExtConceptId, f64>>,
@@ -64,23 +64,72 @@ impl Frequencies {
         mode: FrequencyMode,
         use_tfidf: bool,
     ) -> Self {
+        Self::compute_with(ekg, counts, mode, use_tfidf, None, 1)
+    }
+
+    /// [`Frequencies::compute`] with optional accelerators: a prebuilt
+    /// reachability index (intrinsic IC from its exact descendant counts
+    /// instead of one BFS per concept) and a thread budget for the
+    /// per-tag rollups.
+    ///
+    /// Bit-identical to the plain form: each tag's rollup is an
+    /// independent computation, partial results are merged in tag order
+    /// (the only f64 summation whose order matters), and the
+    /// reachability-backed descendant counts are exact integers equal to
+    /// what the BFS walk produces.
+    pub fn compute_with(
+        ekg: &Ekg,
+        counts: &MentionCounts,
+        mode: FrequencyMode,
+        use_tfidf: bool,
+        reach: Option<&ReachabilityIndex>,
+        threads: usize,
+    ) -> Self {
         let n = ekg.len();
-        let direct = |c: ExtConceptId, tag: usize| -> f64 {
-            if use_tfidf {
-                counts.tfidf(c, tag)
-            } else {
-                counts.direct(c, tag) as f64
+        // Dense direct-weight table: one hash probe and one idf `ln` per
+        // mentioned concept instead of one per (concept, tag) rollup read.
+        // `tf * idf` multiplies the same operands as `MentionCounts::tfidf`,
+        // so the values are bit-identical to probing per read.
+        let mut dense: Vec<[f64; N_TAGS]> = vec![[0.0; N_TAGS]; n];
+        for c in counts.mentioned_concepts() {
+            let idf = counts.idf(c);
+            let row = &mut dense[medkb_types::Id::as_usize(c)];
+            for (tag, slot) in row.iter_mut().enumerate() {
+                let tf = counts.direct(c, tag) as f64;
+                *slot = if !use_tfidf {
+                    tf
+                } else if tf == 0.0 {
+                    0.0
+                } else {
+                    tf * idf
+                };
             }
+        }
+        let direct =
+            |c: ExtConceptId, tag: usize| -> f64 { dense[medkb_types::Id::as_usize(c)][tag] };
+        let rollup = |tag: usize| match mode {
+            FrequencyMode::PaperRecursive => rollup_recursive(ekg, |c| direct(c, tag)),
+            FrequencyMode::DescendantSet => rollup_descendant_set(ekg, |c| direct(c, tag)),
+        };
+
+        // Raw rollups per tag, computed independently (in parallel when
+        // allowed) and then merged in fixed tag order.
+        let raws: Vec<IdVec<ExtConceptId, f64>> = if threads <= 1 {
+            (0..N_TAGS).map(rollup).collect()
+        } else {
+            crossbeam::thread::scope(|s| {
+                let rollup = &rollup;
+                let handles: Vec<_> =
+                    (0..N_TAGS).map(|tag| s.spawn(move |_| rollup(tag))).collect();
+                handles.into_iter().map(|h| h.join().expect("rollup worker")).collect()
+            })
+            .expect("rollup scope")
         };
 
         let mut per_tag: Vec<IdVec<ExtConceptId, f64>> = Vec::with_capacity(N_TAGS);
         let mut per_tag_total = [0.0; N_TAGS];
         let mut aggregate_raw: IdVec<ExtConceptId, f64> = IdVec::filled(0.0, n);
-        for tag in 0..N_TAGS {
-            let raw = match mode {
-                FrequencyMode::PaperRecursive => rollup_recursive(ekg, |c| direct(c, tag)),
-                FrequencyMode::DescendantSet => rollup_descendant_set(ekg, |c| direct(c, tag)),
-            };
+        for (tag, raw) in raws.into_iter().enumerate() {
             let total = raw[ekg.root()];
             per_tag_total[tag] = total;
             for (c, &v) in raw.iter() {
@@ -98,14 +147,18 @@ impl Frequencies {
             .map(|(_, &v)| if aggregate_total > 0.0 { v / aggregate_total } else { 0.0 })
             .collect();
 
-        // Intrinsic IC.
+        // Intrinsic IC: exact descendant counts either from the closure
+        // index (one bitset scan) or from a BFS per concept.
         let ln_n = (n as f64).ln().max(f64::MIN_POSITIVE);
-        let intrinsic: IdVec<ExtConceptId, f64> = (0..n)
-            .map(|i| {
-                let c = medkb_types::Id::from_usize(i);
-                let desc = ekg.descendants(c).len() as f64;
-                (1.0 - (1.0 + desc).ln() / ln_n).max(0.0)
-            })
+        let desc_count: Vec<u64> = match reach {
+            Some(r) => r.descendant_counts(),
+            None => (0..n)
+                .map(|i| ekg.descendants(medkb_types::Id::from_usize(i)).len() as u64)
+                .collect(),
+        };
+        let intrinsic: IdVec<ExtConceptId, f64> = desc_count
+            .iter()
+            .map(|&d| (1.0 - (1.0 + d as f64).ln() / ln_n).max(0.0))
             .collect();
 
         let ic_per_tag: Vec<IdVec<ExtConceptId, f64>> = per_tag
@@ -317,6 +370,28 @@ mod tests {
         assert!(freqs.intrinsic_ic(leaf) > freqs.intrinsic_ic(mid));
         assert!(freqs.intrinsic_ic(ekg.root()) < 0.2);
         assert!((freqs.intrinsic_ic(leaf) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_with_accelerators_is_bit_identical() {
+        let (ekg, counts) = fig4_counts();
+        let reach = ReachabilityIndex::build(&ekg);
+        for mode in [FrequencyMode::PaperRecursive, FrequencyMode::DescendantSet] {
+            for tfidf in [false, true] {
+                let plain = Frequencies::compute(&ekg, &counts, mode, tfidf);
+                for threads in [1, 2, 4, 8] {
+                    let fast = Frequencies::compute_with(
+                        &ekg,
+                        &counts,
+                        mode,
+                        tfidf,
+                        Some(&reach),
+                        threads,
+                    );
+                    assert_eq!(fast, plain, "mode={mode:?} tfidf={tfidf} threads={threads}");
+                }
+            }
+        }
     }
 
     #[test]

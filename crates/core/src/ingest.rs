@@ -1,16 +1,24 @@
 //! Offline external knowledge source ingestion (Algorithm 1, §5.1).
+//!
+//! [`ingest`] runs a staged pipeline whose expensive stages — instance
+//! mapping, the reachability closure, per-tag frequency rollups, and
+//! shortcut discovery — shard over `config.parallel.threads` scoped
+//! workers with bit-identical outputs for every thread count.
+//! [`ingest_reference`] preserves the original single-pass sequential
+//! implementation as the exactness oracle (DESIGN.md §9).
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 use medkb_corpus::MentionCounts;
-use medkb_ekg::{Ekg, ReachabilityIndex};
+use medkb_ekg::{Ekg, ReachabilityIndex, UpwardScratch};
 use medkb_embed::SifModel;
 use medkb_kb::Kb;
 use medkb_ontology::context::generate_contexts;
 use medkb_ontology::ContextSpec;
 use medkb_snomed::ContextTag;
-use medkb_types::{ContextId, ExtConceptId, InstanceId, Result};
+use medkb_types::{ContextId, ExtConceptId, Id, InstanceId, Result};
 
 use crate::config::RelaxConfig;
 use crate::frequency::Frequencies;
@@ -58,12 +66,239 @@ pub struct IngestOutput {
 /// constant's effect aside by raising `radius`).
 pub const SHORTCUT_MIN_ANCESTOR_DEPTH: u32 = 2;
 
+/// Wall-clock breakdown of one [`ingest_with_stats`] run (seconds).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestStats {
+    /// Context generation (Algorithm 1 lines 1–4).
+    pub contexts_s: f64,
+    /// Mapper construction plus instance mapping (lines 5–11).
+    pub mapping_s: f64,
+    /// Reachability closure build.
+    pub reach_s: f64,
+    /// Frequency and IC table computation (lines 12–18).
+    pub freqs_s: f64,
+    /// Shortcut discovery and application (lines 19–23).
+    pub shortcuts_s: f64,
+    /// End-to-end wall time of the ingest call.
+    pub total_s: f64,
+    /// Worker threads the run was configured with.
+    pub threads: usize,
+}
+
 /// Run Algorithm 1: ingest the external knowledge source `ekg` (consumed
 /// and customized) against the knowledge base `kb` with corpus statistics
 /// `counts`.
 ///
 /// `sif` is required when `config.mapping` is the embedding flavour.
+/// Sharded stages honour `config.parallel.threads`; outputs are identical
+/// for every thread count.
 pub fn ingest(
+    kb: &Kb,
+    ekg: Ekg,
+    counts: &MentionCounts,
+    sif: Option<Arc<SifModel>>,
+    config: &RelaxConfig,
+) -> Result<IngestOutput> {
+    ingest_with_stats(kb, ekg, counts, sif, config).map(|(out, _)| out)
+}
+
+/// [`ingest`] plus a per-stage wall-clock breakdown (for `bench_json
+/// --ingest` and the criterion groups).
+pub fn ingest_with_stats(
+    kb: &Kb,
+    mut ekg: Ekg,
+    counts: &MentionCounts,
+    sif: Option<Arc<SifModel>>,
+    config: &RelaxConfig,
+) -> Result<(IngestOutput, IngestStats)> {
+    let threads = config.parallel.effective_threads();
+    let mut stats = IngestStats { threads, ..IngestStats::default() };
+    let t_total = Instant::now();
+
+    // —— Context generation (lines 1–4) ——
+    let t = Instant::now();
+    let ontology = kb.ontology();
+    let contexts = generate_contexts(ontology);
+    let tag_of: HashMap<ContextId, ContextTag> = contexts
+        .iter()
+        .map(|c| {
+            let rel = ontology.relationship(c.relationship);
+            (c.id, ContextTag::from_relationship(ontology.concept_name(rel.domain), &rel.name))
+        })
+        .collect();
+    stats.contexts_s = t.elapsed().as_secs_f64();
+
+    // —— Mappings (lines 5–11) ——
+    // The mapper probes are read-only and independent per instance, so the
+    // instance list fans out over contiguous shards; merging the per-shard
+    // hits back in shard order replays the sequential insertion order
+    // exactly (`instances_of` vectors keep the KB iteration order).
+    let t = Instant::now();
+    let mapper = ConceptMapper::build(&ekg, config.mapping, sif)?;
+    let instances: Vec<(InstanceId, &str)> =
+        kb.instances().map(|(id, inst)| (id, &*inst.name)).collect();
+    let shard = instances.len().div_ceil(threads).max(1);
+    let mapped: Vec<Vec<(InstanceId, ExtConceptId)>> = if threads <= 1 {
+        vec![map_shard(&mapper, &ekg, &instances)]
+    } else {
+        crossbeam::thread::scope(|s| {
+            let (mapper, ekg) = (&mapper, &ekg);
+            let handles: Vec<_> = instances
+                .chunks(shard)
+                .map(|chunk| s.spawn(move |_| map_shard(mapper, ekg, chunk)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("mapping worker")).collect()
+        })
+        .expect("mapping scope")
+    };
+    let mut mappings: HashMap<InstanceId, ExtConceptId> = HashMap::new();
+    let mut instances_of: HashMap<ExtConceptId, Vec<InstanceId>> = HashMap::new();
+    let mut flagged: HashSet<ExtConceptId> = HashSet::new();
+    for (id, concept) in mapped.into_iter().flatten() {
+        mappings.insert(id, concept);
+        instances_of.entry(concept).or_default().push(id);
+        flagged.insert(concept);
+    }
+    stats.mapping_s = t.elapsed().as_secs_f64();
+
+    // —— Reachability closure ——
+    // Built before the frequency tables so the intrinsic-IC descendant
+    // counts can come from the closure instead of a BFS per concept;
+    // shortcuts never change the closure, so building on the native graph
+    // up front is equivalent to the reference order.
+    let t = Instant::now();
+    let reach = ReachabilityIndex::build_with_threads(&ekg, threads);
+    stats.reach_s = t.elapsed().as_secs_f64();
+
+    // —— Concept frequencies (lines 12–18) ——
+    // Computed on the native graph; shortcut edges never contribute to the
+    // Eq. 2 rollup (they duplicate paths that are already counted).
+    let t = Instant::now();
+    let freqs = Frequencies::compute_with(
+        &ekg,
+        counts,
+        config.frequency_mode,
+        config.use_tfidf,
+        Some(&reach),
+        threads,
+    );
+    stats.freqs_s = t.elapsed().as_secs_f64();
+
+    // —— Sparsity customization (lines 19–23, Figure 5) ——
+    // Two phases: read-only candidate discovery over the native graph
+    // (sharded, with one reusable Dijkstra scratch per worker), then
+    // sequential application in topo order. Shortcut edges carry their
+    // original weight, so they never change upward distances, reached
+    // sets, or Dijkstra settle order — which is what makes the split
+    // equivalent to the reference's interleaved discover-and-apply loop.
+    let t = Instant::now();
+    let mut shortcuts_added = 0usize;
+    if config.add_shortcuts {
+        let order: Vec<ExtConceptId> = ekg.topo_children_first().to_vec();
+        // Dense flag table: discovery probes the flag of every reached
+        // ancestor, and a direct index beats a hash probe in that loop.
+        let mut flag_table = vec![false; ekg.len()];
+        for &c in &flagged {
+            flag_table[Id::as_usize(c)] = true;
+        }
+        let shard = order.len().div_ceil(threads).max(1);
+        let discovered: Vec<Vec<(ExtConceptId, ExtConceptId, u32)>> = if threads <= 1 {
+            vec![discover_shortcuts(&ekg, &flag_table, &order)]
+        } else {
+            crossbeam::thread::scope(|s| {
+                let (ekg, flagged) = (&ekg, &flag_table);
+                let handles: Vec<_> = order
+                    .chunks(shard)
+                    .map(|chunk| s.spawn(move |_| discover_shortcuts(ekg, flagged, chunk)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shortcut worker")).collect()
+            })
+            .expect("shortcut scope")
+        };
+        for (a, b, dist) in discovered.into_iter().flatten() {
+            ekg.add_shortcut_with(a, b, dist, &reach)?;
+            shortcuts_added += 1;
+        }
+    }
+    stats.shortcuts_s = t.elapsed().as_secs_f64();
+    stats.total_s = t_total.elapsed().as_secs_f64();
+
+    Ok((
+        IngestOutput {
+            ekg,
+            contexts,
+            tag_of,
+            freqs,
+            mappings,
+            instances_of,
+            flagged,
+            mapper,
+            reach,
+            shortcuts_added,
+        },
+        stats,
+    ))
+}
+
+/// Map one contiguous shard of KB instances (read-only).
+fn map_shard(
+    mapper: &ConceptMapper,
+    ekg: &Ekg,
+    instances: &[(InstanceId, &str)],
+) -> Vec<(InstanceId, ExtConceptId)> {
+    instances
+        .iter()
+        .filter_map(|&(id, name)| mapper.map(ekg, name).map(|c| (id, c)))
+        .collect()
+}
+
+/// Discover the shortcut candidates of one contiguous run of source
+/// concepts, in the exact order the reference loop would add them.
+///
+/// One epoch-stamped [`UpwardScratch`] is reused across the whole run
+/// (the satellite fix for the per-concept dense-table allocation the old
+/// loop paid). `reached()` yields ancestors in Dijkstra settle order —
+/// ascending distance, descending id on ties — which is fully determined
+/// by the final distances and therefore matches the dense reference
+/// traversal.
+fn discover_shortcuts(
+    ekg: &Ekg,
+    flagged: &[bool],
+    sources: &[ExtConceptId],
+) -> Vec<(ExtConceptId, ExtConceptId, u32)> {
+    let mut scratch = UpwardScratch::new();
+    let mut parents: Vec<ExtConceptId> = Vec::new();
+    let mut out = Vec::new();
+    for &a in sources {
+        let a_flagged = flagged[Id::as_usize(a)];
+        parents.clear();
+        parents.extend(ekg.parents(a).iter().map(|e| e.to));
+        // Upward distances double as |shortestPath(A, B)|. Discovery runs
+        // before any shortcut is applied, so the graph is all-native
+        // (unit weights) and the level-BFS specialization applies.
+        ekg.upward_unit_distances_into(a, &mut scratch);
+        for &b in scratch.reached() {
+            let dist = scratch.distance(b).unwrap_or(u32::MAX);
+            // Direct parents are rare (usually 1–2), so a linear scan of
+            // the small vec beats a hash probe here.
+            if parents.contains(&b)
+                || dist < 2
+                || ekg.depth(b) < SHORTCUT_MIN_ANCESTOR_DEPTH
+                || !(a_flagged || flagged[Id::as_usize(b)])
+            {
+                continue;
+            }
+            out.push((a, b, dist));
+        }
+    }
+    out
+}
+
+/// The original sequential Algorithm 1 implementation, preserved verbatim
+/// as the pre-optimization oracle: the staged [`ingest`] pipeline is
+/// pinned bit-identical to this by the `crates/core/tests` property tests
+/// (the `relax_concept_reference` discipline).
+pub fn ingest_reference(
     kb: &Kb,
     mut ekg: Ekg,
     counts: &MentionCounts,

@@ -27,8 +27,10 @@ pub struct ConceptMapper {
 #[derive(Debug, Clone)]
 struct EditTables {
     index: NgramIndex,
-    /// Position-aligned with the index: `(normalized name, concept)`.
-    entries: Vec<(String, ExtConceptId)>,
+    /// Position-aligned with the index: `(normalized name, char length,
+    /// concept)`. The length lets lookups discard candidates that cannot
+    /// be within `tau` edits before running the DP.
+    entries: Vec<(String, u32, ExtConceptId)>,
 }
 
 #[derive(Debug, Clone)]
@@ -84,8 +86,9 @@ impl ConceptMapper {
                 for c in ekg.concepts() {
                     for name in std::iter::once(ekg.name(c)).chain(ekg.synonyms(c)) {
                         let norm = normalize(name);
+                        let chars = norm.chars().count() as u32;
                         index.insert(&norm);
-                        entries.push((norm, c));
+                        entries.push((norm, chars, c));
                     }
                 }
                 mapper.edit = Some(EditTables { index, entries });
@@ -154,9 +157,15 @@ impl ConceptMapper {
     fn map_edit(&self, name: &str, tau: u32) -> Option<(ExtConceptId, usize)> {
         let tables = self.edit.as_ref()?;
         let norm = normalize(name);
+        let norm_chars = norm.chars().count() as u32;
         let mut best: Option<(usize, ExtConceptId)> = None;
         for pos in tables.index.candidates(&norm, tau as usize) {
-            let (entry, concept) = &tables.entries[pos];
+            let (entry, chars, concept) = &tables.entries[pos];
+            // A length gap beyond tau already needs more than tau edits;
+            // skip the DP entirely.
+            if norm_chars.abs_diff(*chars) > tau {
+                continue;
+            }
             if let Some(d) = levenshtein_within(&norm, entry, tau as usize) {
                 let better = match best {
                     None => true,
@@ -173,44 +182,64 @@ impl ConceptMapper {
     fn map_embedding(&self, name: &str) -> Option<(ExtConceptId, f64)> {
         let tables = self.embed.as_ref()?;
         // Repair out-of-vocabulary words (typos) to their nearest
-        // vocabulary word within 2 edits before embedding.
-        let repaired: String = medkb_text::tokenize(name)
-            .into_iter()
-            .map(|w| {
+        // vocabulary word within 2 edits before embedding. The phrase and
+        // per-token buffers are thread-local scratch reused across calls,
+        // so mapping allocates no per-call token vector or join.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<(String, String)> =
+                std::cell::RefCell::new((String::new(), String::new()));
+        }
+        SCRATCH.with(|cell| {
+            let (phrase, tok) = &mut *cell.borrow_mut();
+            phrase.clear();
+            for (lo, hi) in medkb_text::token_spans(name) {
+                tok.clear();
+                let frag = &name[lo..hi];
+                if frag.is_ascii() {
+                    tok.push_str(frag);
+                    tok.make_ascii_lowercase();
+                } else {
+                    for ch in frag.chars() {
+                        tok.extend(ch.to_lowercase());
+                    }
+                }
+                if !phrase.is_empty() {
+                    phrase.push(' ');
+                }
                 // Only repair alphabetic words of meaningful length:
                 // "repairing" a number or a short code to whatever is two
                 // edits away fabricates similarity.
-                if tables.model.vectors().get(&w).is_some()
-                    || w.len() < 4
-                    || !w.chars().all(|c| c.is_alphabetic())
+                if tables.model.vectors().get(tok).is_some()
+                    || tok.len() < 4
+                    || !tok.chars().all(|c| c.is_alphabetic())
                 {
-                    return w;
+                    phrase.push_str(tok);
+                    continue;
                 }
                 let mut best: Option<(usize, &str)> = None;
-                for pos in tables.vocab_index.candidates(&w, 2) {
+                for pos in tables.vocab_index.candidates(tok, 2) {
                     let cand = &tables.vocab_words[pos];
-                    if let Some(d) = levenshtein_within(&w, cand, 2) {
+                    if let Some(d) = levenshtein_within(tok, cand, 2) {
                         if best.map_or(true, |(bd, _)| d < bd) {
                             best = Some((d, cand));
                         }
                     }
                 }
-                best.map(|(_, c)| c.to_string()).unwrap_or(w)
-            })
-            .collect::<Vec<_>>()
-            .join(" ");
-        // A phrase whose tokens are mostly outside the corpus vocabulary
-        // even after repair has no reliable embedding: refuse to map (the
-        // paper's out-of-vocabulary diagnosis, applied as a precision
-        // guard).
-        if tables.model.coverage(&repaired) < 0.5 {
-            return None;
-        }
-        let v = tables.model.embed(&repaired)?;
-        tables
-            .index
-            .nearest_above(&v, tables.threshold)
-            .map(|hit| (ExtConceptId::new(hit.payload), hit.score))
+                phrase.push_str(best.map(|(_, c)| c).unwrap_or(tok));
+            }
+            // A phrase whose tokens are mostly outside the corpus
+            // vocabulary even after repair has no reliable embedding:
+            // refuse to map (the paper's out-of-vocabulary diagnosis,
+            // applied as a precision guard).
+            if tables.model.coverage(phrase) < 0.5 {
+                return None;
+            }
+            let v = tables.model.embed(phrase)?;
+            tables
+                .index
+                .nearest_above(&v, tables.threshold)
+                .map(|hit| (ExtConceptId::new(hit.payload), hit.score))
+        })
     }
 }
 

@@ -18,7 +18,7 @@ use crate::model::Corpus;
 
 /// Direct (non-recursive) mention statistics of a corpus against a
 /// terminology.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MentionCounts {
     /// Direct mention count per concept per context tag.
     direct: HashMap<ExtConceptId, [u64; N_TAGS]>,
@@ -38,17 +38,53 @@ impl MentionCounts {
         let trie = TokenTrie::build(ekg, &corpus.vocab);
         let mut direct: HashMap<ExtConceptId, [u64; N_TAGS]> = HashMap::new();
         let mut doc_freq: HashMap<ExtConceptId, u32> = HashMap::new();
-        for doc in &corpus.docs {
-            let mut seen_in_doc: std::collections::HashSet<ExtConceptId> =
-                std::collections::HashSet::new();
-            for sentence in &doc.sentences {
-                for concept in trie.scan(&sentence.tokens) {
-                    direct.entry(concept).or_insert([0; N_TAGS])[sentence.tag.index()] += 1;
-                    seen_in_doc.insert(concept);
+        count_docs(&trie, &corpus.docs, &mut direct, &mut doc_freq);
+        Self { direct, doc_freq, n_docs: corpus.len() }
+    }
+
+    /// Parallel [`MentionCounts::count`]: the document list is split into
+    /// contiguous shards, each worker counts its shard into a private
+    /// partial table, and the partials are merged in shard order.
+    ///
+    /// Counts are integer sums per (concept, tag) slot and documents are
+    /// independent, so the merged totals equal the sequential totals
+    /// exactly for any shard count ([`MentionCounts`] equality is
+    /// value-based, so hash-map iteration order cannot leak through).
+    pub fn count_with_threads(corpus: &Corpus, ekg: &Ekg, threads: usize) -> Self {
+        if threads <= 1 || corpus.docs.len() < 2 {
+            return Self::count(corpus, ekg);
+        }
+        let trie = TokenTrie::build(ekg, &corpus.vocab);
+        let shard = corpus.docs.len().div_ceil(threads).max(1);
+        let partials: Vec<(HashMap<ExtConceptId, [u64; N_TAGS]>, HashMap<ExtConceptId, u32>)> =
+            crossbeam::thread::scope(|s| {
+                let trie = &trie;
+                let handles: Vec<_> = corpus
+                    .docs
+                    .chunks(shard)
+                    .map(|docs| {
+                        s.spawn(move |_| {
+                            let mut direct = HashMap::new();
+                            let mut doc_freq = HashMap::new();
+                            count_docs(trie, docs, &mut direct, &mut doc_freq);
+                            (direct, doc_freq)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("count worker")).collect()
+            })
+            .expect("count scope");
+        let mut direct: HashMap<ExtConceptId, [u64; N_TAGS]> = HashMap::new();
+        let mut doc_freq: HashMap<ExtConceptId, u32> = HashMap::new();
+        for (part_direct, part_df) in partials {
+            for (c, tags) in part_direct {
+                let slot = direct.entry(c).or_insert([0; N_TAGS]);
+                for (acc, add) in slot.iter_mut().zip(tags) {
+                    *acc += add;
                 }
             }
-            for c in seen_in_doc {
-                *doc_freq.entry(c).or_insert(0) += 1;
+            for (c, df) in part_df {
+                *doc_freq.entry(c).or_insert(0) += df;
             }
         }
         Self { direct, doc_freq, n_docs: corpus.len() }
@@ -106,22 +142,215 @@ impl MentionCounts {
     ) -> Self {
         Self { direct, doc_freq, n_docs }
     }
+
+    /// The pre-optimization counting path, preserved verbatim for the
+    /// ingestion benchmark baseline (and the equality pin below): a
+    /// hash-map trie scanned with a per-sentence allocation. Produces
+    /// exactly the same counts as [`MentionCounts::count`].
+    pub fn count_reference(corpus: &Corpus, ekg: &Ekg) -> Self {
+        let trie = ReferenceTrie::build(ekg, &corpus.vocab);
+        let mut direct: HashMap<ExtConceptId, [u64; N_TAGS]> = HashMap::new();
+        let mut doc_freq: HashMap<ExtConceptId, u32> = HashMap::new();
+        for doc in &corpus.docs {
+            let mut seen_in_doc: std::collections::HashSet<ExtConceptId> =
+                std::collections::HashSet::new();
+            for sentence in &doc.sentences {
+                for concept in trie.scan(&sentence.tokens) {
+                    direct.entry(concept).or_insert([0; N_TAGS])[sentence.tag.index()] += 1;
+                    seen_in_doc.insert(concept);
+                }
+            }
+            for c in seen_in_doc {
+                *doc_freq.entry(c).or_insert(0) += 1;
+            }
+        }
+        Self { direct, doc_freq, n_docs: corpus.len() }
+    }
 }
 
-/// Longest-match trie over token-id sequences.
+/// Count one run of documents into the given partial tables.
+fn count_docs(
+    trie: &TokenTrie,
+    docs: &[crate::model::Document],
+    direct: &mut HashMap<ExtConceptId, [u64; N_TAGS]>,
+    doc_freq: &mut HashMap<ExtConceptId, u32>,
+) {
+    let mut seen_in_doc: std::collections::HashSet<ExtConceptId> =
+        std::collections::HashSet::new();
+    for doc in docs {
+        seen_in_doc.clear();
+        for sentence in &doc.sentences {
+            trie.scan_into(&sentence.tokens, |concept| {
+                direct.entry(concept).or_insert([0; N_TAGS])[sentence.tag.index()] += 1;
+                seen_in_doc.insert(concept);
+            });
+        }
+        for &c in &seen_in_doc {
+            *doc_freq.entry(c).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Sentinel for "no transition" in the root array.
+const NO_NODE: u32 = u32::MAX;
+
+/// Longest-match trie over token-id sequences, laid out for scanning: the
+/// root level (hit once per sentence position) is a direct-indexed array
+/// over the corpus vocabulary, deeper levels are token-sorted slices
+/// searched by binary search. Matching semantics are identical to
+/// [`ReferenceTrie`] — same longest match, same first-writer-wins terminal.
 struct TokenTrie {
+    /// Vocab token id → first-level node, or [`NO_NODE`].
+    root: Vec<u32>,
     nodes: Vec<TrieNode>,
 }
 
 #[derive(Default)]
 struct TrieNode {
+    /// Sorted by token id.
+    children: Vec<(TokenId, u32)>,
+    terminal: Option<ExtConceptId>,
+}
+
+/// FNV-1a — a fast, deterministic hasher for the short token keys of the
+/// build-time vocabulary lookup (SipHash dominates the probe cost there).
+#[derive(Default)]
+struct Fnv(u64);
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvMap<'a> = HashMap<&'a str, TokenId, std::hash::BuildHasherDefault<Fnv>>;
+
+impl TokenTrie {
+    fn build(ekg: &Ekg, vocab: &StringInterner<TokenId>) -> Self {
+        let mut trie = Self { root: vec![NO_NODE; vocab.len()], nodes: Vec::new() };
+        let lookup: FnvMap<'_> = vocab.iter().map(|(id, s)| (s, id)).collect();
+        let mut buf = String::new();
+        for c in ekg.concepts() {
+            trie.insert(&lookup, ekg.name(c), c, &mut buf);
+            for syn in ekg.synonyms(c) {
+                trie.insert(&lookup, syn, c, &mut buf);
+            }
+        }
+        trie
+    }
+
+    /// Insert `phrase` token by token. Tokens are lowercased into the
+    /// reused `buf` (matching [`tokenize`] exactly) instead of allocating a
+    /// token vector per phrase — building the trie over every name and
+    /// synonym of a large terminology is the hot path of counting.
+    fn insert(
+        &mut self,
+        vocab: &FnvMap<'_>,
+        phrase: &str,
+        concept: ExtConceptId,
+        buf: &mut String,
+    ) {
+        let mut node: Option<usize> = None;
+        for (lo, hi) in medkb_text::token_spans(phrase) {
+            buf.clear();
+            let frag = &phrase[lo..hi];
+            if frag.is_ascii() {
+                buf.push_str(frag);
+                buf.make_ascii_lowercase();
+            } else {
+                for ch in frag.chars() {
+                    buf.extend(ch.to_lowercase());
+                }
+            }
+            // A phrase containing a token absent from the corpus vocabulary
+            // can never match; skip it entirely.
+            let Some(&tok) = vocab.get(buf.as_str()) else { return };
+            let next = match node {
+                None => {
+                    let slot = &mut self.root[tok.raw() as usize];
+                    if *slot == NO_NODE {
+                        *slot = self.nodes.len() as u32;
+                        self.nodes.push(TrieNode::default());
+                    }
+                    *slot as usize
+                }
+                Some(n) => {
+                    match self.nodes[n].children.binary_search_by_key(&tok, |&(t, _)| t) {
+                        Ok(pos) => self.nodes[n].children[pos].1 as usize,
+                        Err(pos) => {
+                            let idx = self.nodes.len() as u32;
+                            self.nodes.push(TrieNode::default());
+                            self.nodes[n].children.insert(pos, (tok, idx));
+                            idx as usize
+                        }
+                    }
+                }
+            };
+            node = Some(next);
+        }
+        if let Some(n) = node {
+            // First writer wins: primary names are inserted before synonyms,
+            // and ambiguous synonyms should not steal mentions.
+            self.nodes[n].terminal.get_or_insert(concept);
+        }
+    }
+
+    fn scan_into(&self, tokens: &[TokenId], mut hit: impl FnMut(ExtConceptId)) {
+        let mut i = 0;
+        while i < tokens.len() {
+            let first = self.root[tokens[i].raw() as usize];
+            if first == NO_NODE {
+                i += 1;
+                continue;
+            }
+            let mut node = first as usize;
+            let mut best = self.nodes[node].terminal.map(|c| (1usize, c));
+            for (offset, tok) in tokens[i + 1..].iter().enumerate() {
+                match self.nodes[node].children.binary_search_by_key(tok, |&(t, _)| t) {
+                    Ok(pos) => {
+                        node = self.nodes[node].children[pos].1 as usize;
+                        if let Some(c) = self.nodes[node].terminal {
+                            best = Some((offset + 2, c));
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            match best {
+                Some((len, c)) => {
+                    hit(c);
+                    i += len;
+                }
+                None => i += 1,
+            }
+        }
+    }
+}
+
+/// The pre-optimization trie (hash-map children at every level), kept as
+/// the benchmark baseline behind [`MentionCounts::count_reference`].
+struct ReferenceTrie {
+    nodes: Vec<ReferenceNode>,
+}
+
+#[derive(Default)]
+struct ReferenceNode {
     children: HashMap<TokenId, usize>,
     terminal: Option<ExtConceptId>,
 }
 
-impl TokenTrie {
+impl ReferenceTrie {
     fn build(ekg: &Ekg, vocab: &StringInterner<TokenId>) -> Self {
-        let mut trie = Self { nodes: vec![TrieNode::default()] };
+        let mut trie = Self { nodes: vec![ReferenceNode::default()] };
         for c in ekg.concepts() {
             trie.insert(vocab, ekg.name(c), c);
             for syn in ekg.synonyms(c) {
@@ -134,14 +363,12 @@ impl TokenTrie {
     fn insert(&mut self, vocab: &StringInterner<TokenId>, phrase: &str, concept: ExtConceptId) {
         let mut node = 0usize;
         for word in tokenize(phrase) {
-            // A phrase containing a token absent from the corpus vocabulary
-            // can never match; skip it entirely.
             let Some(tok) = vocab.get(&word) else { return };
             let next = match self.nodes[node].children.get(&tok) {
                 Some(&n) => n,
                 None => {
                     let n = self.nodes.len();
-                    self.nodes.push(TrieNode::default());
+                    self.nodes.push(ReferenceNode::default());
                     self.nodes[node].children.insert(tok, n);
                     n
                 }
@@ -149,8 +376,6 @@ impl TokenTrie {
             node = next;
         }
         if node != 0 {
-            // First writer wins: primary names are inserted before synonyms,
-            // and ambiguous synonyms should not steal mentions.
             self.nodes[node].terminal.get_or_insert(concept);
         }
     }
@@ -282,6 +507,80 @@ mod tests {
             counts.tfidf(a, 0) > counts.tfidf(bb, 0),
             "rarely-documented concept should carry higher idf weight"
         );
+    }
+
+    #[test]
+    fn parallel_count_matches_sequential() {
+        let (corpus, ekg, _, _) = fixture();
+        let seq = MentionCounts::count(&corpus, &ekg);
+        for threads in [1, 2, 4, 8] {
+            let par = MentionCounts::count_with_threads(&corpus, &ekg, threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_count_matches_on_many_docs() {
+        // More documents than threads, multiple concepts per shard.
+        let mut b = EkgBuilder::new();
+        let root = b.concept("root");
+        let names = ["alpha finding", "beta finding", "gamma syndrome", "delta pain"];
+        for (i, name) in names.iter().enumerate() {
+            let c = b.concept(name);
+            b.is_a(c, root);
+            if i == 0 {
+                b.synonym(c, "alpha condition");
+            }
+        }
+        let ekg = b.build().unwrap();
+        let mut corpus = Corpus::new();
+        for i in 0..23usize {
+            let text = format!(
+                "{} seen with {}",
+                names[i % names.len()],
+                names[(i * 3 + 1) % names.len()]
+            );
+            let s = Sentence {
+                tag: ContextTag::Treatment,
+                tokens: tokenize(&text).into_iter().map(|t| corpus.vocab.intern(&t)).collect(),
+            };
+            corpus.docs.push(Document { sentences: vec![s] });
+        }
+        let seq = MentionCounts::count(&corpus, &ekg);
+        for threads in [2, 4, 8] {
+            assert_eq!(MentionCounts::count_with_threads(&corpus, &ekg, threads), seq);
+        }
+    }
+
+    #[test]
+    fn optimized_count_matches_reference() {
+        let (corpus, ekg, _, _) = fixture();
+        assert_eq!(MentionCounts::count(&corpus, &ekg), MentionCounts::count_reference(&corpus, &ekg));
+        // And on a larger fixture with overlaps and synonyms.
+        let mut b = EkgBuilder::new();
+        let root = b.concept("root");
+        let kd = b.concept("kidney disease");
+        let ckd = b.concept("chronic kidney disease");
+        b.synonym(kd, "nephropathy");
+        b.synonym(ckd, "ckd nephropathy");
+        b.is_a(kd, root);
+        b.is_a(ckd, kd);
+        let ekg = b.build().unwrap();
+        let mut corpus = Corpus::new();
+        for i in 0..17usize {
+            let text = match i % 4 {
+                0 => "chronic kidney disease and kidney disease seen",
+                1 => "nephropathy with ckd nephropathy noted",
+                2 => "kidney kidney disease chronic",
+                _ => "no mention at all here",
+            };
+            let s = Sentence {
+                tag: if i % 2 == 0 { ContextTag::Treatment } else { ContextTag::Risk },
+                tokens: tokenize(text).into_iter().map(|t| corpus.vocab.intern(&t)).collect(),
+            };
+            corpus.docs.push(Document { sentences: vec![s] });
+        }
+        assert_eq!(MentionCounts::count(&corpus, &ekg), MentionCounts::count_reference(&corpus, &ekg));
     }
 
     #[test]

@@ -409,6 +409,43 @@ impl Ekg {
         }
     }
 
+    /// [`Ekg::upward_distances_into`] specialized for a graph whose upward
+    /// edges all carry weight 1 (the native graph before customization
+    /// adds shortcuts): a frontier BFS that settles whole distance levels
+    /// at once instead of paying heap traffic per node.
+    ///
+    /// Settle order is identical to the Dijkstra form — ascending
+    /// distance, descending id within a distance — because that order is
+    /// fully determined by the final distances; each level is sorted
+    /// descending before being appended to `reached`.
+    ///
+    /// # Panics
+    /// Debug-asserts that every upward edge it crosses has weight 1.
+    pub fn upward_unit_distances_into(&self, concept: ExtConceptId, scratch: &mut UpwardScratch) {
+        scratch.begin(concept, self.len());
+        scratch.set(concept, 0);
+        let mut frontier: Vec<ExtConceptId> = vec![concept];
+        let mut next: Vec<ExtConceptId> = Vec::new();
+        let mut d = 0u32;
+        while !frontier.is_empty() {
+            let nd = d + 1;
+            for &c in &frontier {
+                for e in &self.up[c] {
+                    debug_assert_eq!(e.weight, 1, "unit-distance BFS on a weighted graph");
+                    if scratch.distance(e.to).is_none() {
+                        scratch.set(e.to, nd);
+                        next.push(e.to);
+                    }
+                }
+            }
+            next.sort_unstable_by(|a, b| b.cmp(a));
+            scratch.reached.extend(next.iter().copied());
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
+            d = nd;
+        }
+    }
+
     /// Weighted shortest *downward* distances from `concept` to every
     /// descendant, into caller-owned scratch. Since the down-graph mirrors
     /// the up-graph edge for edge (same weights), `scratch.distance(d)`
@@ -735,6 +772,37 @@ mod tests {
 
     fn id_of(g: &Ekg, name: &str) -> ExtConceptId {
         g.lookup_name(name)[0]
+    }
+
+    #[test]
+    fn unit_bfs_matches_dijkstra_scratch() {
+        // Same distances AND the same settle order, on a multi-parent
+        // graph large enough to produce distance ties.
+        let mut b = EkgBuilder::new();
+        let mut ids = vec![b.concept("c0")];
+        for i in 1..120usize {
+            let c = b.concept(&format!("c{i}"));
+            let p1 = ids[(i * 7 + 3) % i];
+            b.is_a(c, p1);
+            if i > 2 {
+                let p2 = ids[(i * 13 + 1) % (i - 2)];
+                if p2 != p1 {
+                    b.is_a(c, p2);
+                }
+            }
+            ids.push(c);
+        }
+        let g = b.build().expect("valid");
+        let mut dij = UpwardScratch::new();
+        let mut bfs = UpwardScratch::new();
+        for &c in &ids {
+            g.upward_distances_into(c, &mut dij);
+            g.upward_unit_distances_into(c, &mut bfs);
+            assert_eq!(dij.reached(), bfs.reached(), "settle order for {c:?}");
+            for &r in dij.reached() {
+                assert_eq!(dij.distance(r), bfs.distance(r), "distance to {r:?} from {c:?}");
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use medkb_types::{ExtConceptId, Id};
 use crate::graph::Ekg;
 
 /// Materialized ancestor bitsets.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReachabilityIndex {
     /// `words_per_row` u64 words per concept; bit `d` of row `a` set iff
     /// `a` is a strict ancestor of... see [`ReachabilityIndex::is_ancestor`]
@@ -51,6 +51,98 @@ impl ReachabilityIndex {
         Self { bits, words_per_row, n }
     }
 
+    /// Parallel [`ReachabilityIndex::build`]: bit-identical output, row
+    /// computation sharded over `threads` scoped workers.
+    ///
+    /// The build is level-scheduled: `level(c) = 1 + max level over native
+    /// parents` (0 for the root), so every row in a level depends only on
+    /// rows from strictly lower levels. Each level's rows are computed in
+    /// parallel against the frozen lower-level rows and then copied into
+    /// the shared table; rows are disjoint, and each row's value is a pure
+    /// function of its parents' rows, so the result cannot depend on the
+    /// shard count or on thread scheduling.
+    pub fn build_with_threads(ekg: &Ekg, threads: usize) -> Self {
+        if threads <= 1 {
+            return Self::build(ekg);
+        }
+        let n = ekg.len();
+        let words_per_row = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words_per_row];
+
+        let parents_first: Vec<ExtConceptId> =
+            ekg.topo_children_first().iter().rev().copied().collect();
+        let mut level = vec![0u32; n];
+        let mut max_level = 0u32;
+        for &c in &parents_first {
+            let mut l = 0u32;
+            for p in ekg.native_parents(c) {
+                l = l.max(level[p.as_usize()] + 1);
+            }
+            level[c.as_usize()] = l;
+            max_level = max_level.max(l);
+        }
+        let mut by_level: Vec<Vec<ExtConceptId>> = vec![Vec::new(); max_level as usize + 1];
+        for &c in &parents_first {
+            by_level[level[c.as_usize()] as usize].push(c);
+        }
+
+        for concepts in &by_level {
+            // Spawning costs more than computing a small level: stay
+            // sequential unless each worker gets a meaningful chunk.
+            if concepts.len() < threads * 16 {
+                let mut acc = vec![0u64; words_per_row];
+                for &c in concepts {
+                    acc.fill(0);
+                    for parent in ekg.native_parents(c) {
+                        let p = parent.as_usize();
+                        let src = &bits[p * words_per_row..(p + 1) * words_per_row];
+                        for (a, &s) in acc.iter_mut().zip(src) {
+                            *a |= s;
+                        }
+                        acc[p / 64] |= 1 << (p % 64);
+                    }
+                    let row = c.as_usize();
+                    bits[row * words_per_row..(row + 1) * words_per_row].copy_from_slice(&acc);
+                }
+                continue;
+            }
+            let shard = concepts.len().div_ceil(threads).max(1);
+            let computed: Vec<Vec<(usize, Vec<u64>)>> = crossbeam::thread::scope(|s| {
+                let bits_ref = &bits;
+                let handles: Vec<_> = concepts
+                    .chunks(shard)
+                    .map(|chunk| {
+                        s.spawn(move |_| {
+                            let mut out = Vec::with_capacity(chunk.len());
+                            for &c in chunk {
+                                let mut acc = vec![0u64; words_per_row];
+                                for parent in ekg.native_parents(c) {
+                                    let p = parent.as_usize();
+                                    let src =
+                                        &bits_ref[p * words_per_row..(p + 1) * words_per_row];
+                                    for (a, &s) in acc.iter_mut().zip(src) {
+                                        *a |= s;
+                                    }
+                                    acc[p / 64] |= 1 << (p % 64);
+                                }
+                                out.push((c.as_usize(), acc));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("reach worker")).collect()
+            })
+            .expect("reach scope");
+            for shard_rows in computed {
+                for (row, acc) in shard_rows {
+                    bits[row * words_per_row..(row + 1) * words_per_row].copy_from_slice(&acc);
+                }
+            }
+        }
+        Self { bits, words_per_row, n }
+    }
+
     /// Whether `anc` is a strict ancestor of `desc`.
     pub fn is_ancestor(&self, anc: ExtConceptId, desc: ExtConceptId) -> bool {
         if anc == desc {
@@ -69,6 +161,28 @@ impl ReachabilityIndex {
             .iter()
             .map(|w| w.count_ones() as usize)
             .sum()
+    }
+
+    /// Strict-descendant count for every concept (indexed by concept id).
+    ///
+    /// One scan over all ancestor rows — `O(|V|²/64)` word probes plus one
+    /// increment per (ancestor, descendant) pair — replacing the per-concept
+    /// BFS the intrinsic-IC table used to run. Counts are exact integers, so
+    /// any IC derived from them is bit-identical to the BFS-based value.
+    pub fn descendant_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.n];
+        for row in 0..self.n {
+            let words = &self.bits[row * self.words_per_row..(row + 1) * self.words_per_row];
+            for (wi, &word) in words.iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let b = w.trailing_zeros() as usize;
+                    counts[wi * 64 + b] += 1;
+                    w &= w - 1;
+                }
+            }
+        }
+        counts
     }
 
     /// Approximate memory footprint in bytes.
@@ -144,6 +258,54 @@ mod tests {
                 assert_eq!(before.is_ancestor(anc, desc), after.is_ancestor(anc, desc));
             }
         }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        for g in [diamond(), wide_random()] {
+            let seq = ReachabilityIndex::build(&g);
+            for threads in [1, 2, 4, 8] {
+                let par = ReachabilityIndex::build_with_threads(&g, threads);
+                assert_eq!(par, seq, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_counts_match_graph_walk() {
+        for g in [diamond(), wide_random()] {
+            let idx = ReachabilityIndex::build(&g);
+            let counts = idx.descendant_counts();
+            for c in g.concepts() {
+                assert_eq!(
+                    counts[c.as_usize()],
+                    g.descendants(c).len() as u64,
+                    "{:?}",
+                    g.name(c)
+                );
+            }
+        }
+    }
+
+    /// A 150-concept multi-parent DAG (crosses word boundaries, has deep
+    /// and wide levels) built from a deterministic recurrence.
+    fn wide_random() -> Ekg {
+        let mut b = EkgBuilder::new();
+        let mut ids = vec![b.concept("c0")];
+        for i in 1..150usize {
+            let c = b.concept(&format!("c{i}"));
+            // One guaranteed parent plus a distinct pseudo-random second one.
+            let p1 = (i * 7 + 3) % i;
+            b.is_a(c, ids[p1]);
+            if i > 4 {
+                let p2 = (i * 13 + 1) % (i - 2);
+                if p2 != p1 {
+                    b.is_a(c, ids[p2]);
+                }
+            }
+            ids.push(c);
+        }
+        b.build().unwrap()
     }
 
     #[test]

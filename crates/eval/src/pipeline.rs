@@ -107,19 +107,24 @@ impl EvalStack {
     }
 
     fn build_with_cache(config: EvalConfig, cache_dir: Option<&std::path::Path>) -> Result<Self> {
+        let threads = config.relax.parallel.effective_threads();
         let world = MedWorld::generate(&config.world);
         let generator = CorpusGenerator::new(&world.terminology, &world.oracle);
         let corpus = generator.generate(&config.corpus);
-        let counts = MentionCounts::count(&corpus, &world.terminology.ekg);
+        let counts = MentionCounts::count_with_threads(&corpus, &world.terminology.ekg, threads);
 
+        // "v2": the minibatch trainer produces different (still
+        // deterministic) vectors than the v1 online trainer; the batch size
+        // is part of the key because it changes the result.
         let key = format!(
-            "w{}-s{}-c{}-d{}-e{}-g{}",
+            "v2-w{}-s{}-c{}-d{}-e{}-g{}-b{}",
             config.world.seed,
             config.world.snomed.seed,
             config.corpus.seed,
             config.corpus.docs,
             config.sgns.seed,
             config.sgns.epochs,
+            config.sgns.batch_sentences,
         );
         let cached = |name: &str| cache_dir.map(|d| d.join(format!("{key}-{name}.tsv")));
         let load_or =
@@ -140,12 +145,12 @@ impl EvalStack {
             };
 
         let sif_trained = Arc::new(load_or(cached("trained"), &|| {
-            let wv = WordVectors::train(&corpus, &config.sgns);
+            let wv = WordVectors::train_with_threads(&corpus, &config.sgns, threads);
             SifModel::fit(wv, &corpus, 1e-3)
         }));
         let sif_pretrained = Arc::new(load_or(cached("pretrained"), &|| {
             let ood = CorpusGenerator::out_of_domain(config.sgns.seed ^ 0x77, config.ood_docs);
-            let wv_ood = WordVectors::train(&ood, &config.sgns);
+            let wv_ood = WordVectors::train_with_threads(&ood, &config.sgns, threads);
             SifModel::fit(wv_ood, &ood, 1e-3)
         }));
 

@@ -32,4 +32,4 @@ pub use gazetteer::{Gazetteer, PhraseMatch};
 pub use ngram::NgramIndex;
 pub use normalize::normalize;
 pub use phonetic::{phrase_key, soundex};
-pub use token::tokenize;
+pub use token::{token_spans, tokenize};

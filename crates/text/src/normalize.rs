@@ -22,8 +22,12 @@ pub fn normalize(s: &str) -> String {
                 out.push(' ');
             }
             pending_space = false;
-            for lower in ch.to_lowercase() {
-                out.push(lower);
+            if ch.is_ascii() {
+                out.push(ch.to_ascii_lowercase());
+            } else {
+                for lower in ch.to_lowercase() {
+                    out.push(lower);
+                }
             }
         } else {
             // Whitespace and punctuation both act as (collapsed) separators.

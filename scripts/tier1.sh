@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md): release build + root test suite,
+# plus a smoke pass of the ingestion benchmark. The smoke pass runs the
+# full staged-vs-reference bit-identity asserts but (--quick) never
+# rewrites the committed BENCH_ingest.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo run --release -p medkb-bench --bin bench_json -- --ingest --quick >/dev/null
+
+echo "tier-1 OK"
