@@ -165,4 +165,5 @@ fn main() {
         learned.w_gen,
         learned.w_spec
     );
+    medkb_bench::print_metrics_section(&stack);
 }

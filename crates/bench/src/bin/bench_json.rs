@@ -17,16 +17,25 @@
 //! cargo run --release -p medkb-bench --bin bench_json -- --ingest
 //! ```
 //!
-//! `--quick` reduces repetitions and, for `--ingest`, skips the file write
+//! `--quick` reduces repetitions and skips the file write in both modes
 //! (so a smoke run cannot clobber committed full-run numbers).
+//!
+//! Both modes also run an instrumented pass against a fresh
+//! `medkb_obs::Registry` and embed its snapshot under `"metrics"` in the
+//! JSON output, asserting along the way that the snapshot parses as JSON
+//! and contains every registered stage timer / engine counter — the tier-1
+//! smoke contract (scripts/tier1.sh).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use medkb_bench::{bench_world_and_corpus, relaxation_bench_world, RelaxBenchWorld};
 use medkb_core::{
-    ingest_reference, ingest_with_stats, IngestStats, ParallelConfig, QueryRelaxer, RelaxConfig,
+    ingest_reference, ingest_with_stats, IngestStats, ObsConfig, ParallelConfig, QueryRelaxer,
+    RelaxConfig,
 };
 use medkb_corpus::MentionCounts;
+use medkb_obs::{validate_json, Registry};
 use medkb_types::ExtConceptId;
 
 /// Median of a sample set (averages the middle pair for even sizes).
@@ -160,6 +169,27 @@ fn run_ingest_bench(quick: bool) {
     let clamped_rows = sweep("clamped", true, &[1, 2, 4, 8]);
     let oversubscribed_rows = sweep("unclamped", false, &[2, 4, 8]);
 
+    // Smoke contract: an instrumented run must register every ingestion
+    // stage timer plus the counting stage, still reproduce the reference
+    // bit for bit, and snapshot to valid JSON.
+    let registry = Registry::shared();
+    let cfg_obs =
+        RelaxConfig { obs: ObsConfig::with_registry(Arc::clone(&registry)), ..base.clone() };
+    let counts =
+        MentionCounts::count_with_threads_obs(&corpus, ekg, 1, Some(&registry));
+    let (out, _) = ingest_with_stats(&world.kb, ekg.clone(), &counts, None, &cfg_obs)
+        .expect("instrumented ingest");
+    assert_eq!(out.mappings, reference.mappings, "instrumented mappings diverged");
+    assert_eq!(out.freqs, reference.freqs, "instrumented frequency tables diverged");
+    let snap = registry.snapshot();
+    for &timer in medkb_core::ingest::obs_names::STAGE_TIMERS {
+        assert_eq!(snap.histogram_count(timer), 1, "stage timer missing: {timer}");
+    }
+    assert_eq!(snap.histogram_count(medkb_corpus::counts::obs_names::COUNT_US), 1);
+    let metrics_json = snap.to_json();
+    assert!(validate_json(&metrics_json), "metrics snapshot must be valid JSON");
+    eprintln!("[bench_json] metrics snapshot OK ({} stage timers)", snap.histograms.len());
+
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let json = format!(
         "{{\n  \"reference_end_to_end_s\": {reference_median:.4},\n  \
@@ -167,7 +197,8 @@ fn run_ingest_bench(quick: bool) {
          \"oversubscribed\": [\n{oversubscribed_rows}\n  ],\n  \
          \"reps\": {reps},\n  \"world_concepts\": 4000,\n  \
          \"instances\": {},\n  \"docs\": 250,\n  \
-         \"machine_cores\": {cores}\n}}\n",
+         \"machine_cores\": {cores},\n  \
+         \"metrics\": {metrics_json}\n}}\n",
         world.kb.instance_count(),
     );
     if quick {
@@ -212,11 +243,23 @@ fn main() {
     let candidates_mean =
         candidates.iter().sum::<usize>() as f64 / candidates.len().max(1) as f64;
 
+    // An instrumented twin of the engine over the same ingestion: used to
+    // measure the cost of metrics recording and to snapshot the engine
+    // counters for the JSON output.
+    let registry = Registry::shared();
+    let cfg_obs = RelaxConfig {
+        obs: ObsConfig::with_registry(Arc::clone(&registry)),
+        ..relaxer.config().clone()
+    };
+    let relaxer_obs = QueryRelaxer::new(relaxer.ingested().clone(), cfg_obs);
+
     // Warm up both paths once, then interleave full measurement passes.
     time_queries(&relaxer, &queries, context, k, 1, true);
     time_queries(&relaxer, &queries, context, k, 1, false);
+    time_queries(&relaxer_obs, &queries, context, k, 1, false);
     let mut reference_us = time_queries(&relaxer, &queries, context, k, reps, true);
     let mut scoped_us = time_queries(&relaxer, &queries, context, k, reps, false);
+    let mut obs_us = time_queries(&relaxer_obs, &queries, context, k, reps, false);
 
     let t_batch = Instant::now();
     let batch: Vec<(ExtConceptId, Option<medkb_types::ContextId>)> =
@@ -228,24 +271,62 @@ fn main() {
     }
     let batch_us_per_query =
         t_batch.elapsed().as_secs_f64() * 1e6 / (queries.len() * reps) as f64;
+    // One instrumented batch pass so shard-utilization metrics land in the
+    // snapshot (results must match the plain engine's).
+    for (res, plain) in relaxer_obs
+        .relax_concepts_batch(&batch, k)
+        .into_iter()
+        .zip(relaxer.relax_concepts_batch(&batch, k))
+    {
+        assert_eq!(
+            res.expect("instrumented batch"),
+            plain.expect("plain batch"),
+            "instrumentation changed a result"
+        );
+    }
 
     let reference_median = median(&mut reference_us);
     let scoped_median = median(&mut scoped_us);
+    let obs_median = median(&mut obs_us);
     let speedup = reference_median / scoped_median;
+    let obs_overhead_pct = (obs_median / scoped_median - 1.0) * 100.0;
+    eprintln!(
+        "[bench_json] scoped {scoped_median:.1}µs, instrumented {obs_median:.1}µs \
+         ({obs_overhead_pct:+.2}% overhead)"
+    );
+
+    // Smoke contract: the snapshot parses as JSON and every engine metric
+    // is present with plausible totals.
+    let snap = registry.snapshot();
+    let metrics_json = snap.to_json();
+    assert!(validate_json(&metrics_json), "metrics snapshot must be valid JSON");
+    use medkb_core::relax::obs_names as rn;
+    for name in [rn::QUERIES, rn::CANDIDATES_SCANNED, rn::CANDIDATES_KEPT, rn::LCS_EVALS] {
+        assert!(snap.counter(name) > 0, "engine counter missing or zero: {name}");
+    }
+    assert!(snap.histogram_count(rn::LATENCY_US) > 0, "latency histogram empty");
+    assert!(snap.counter(rn::BATCH_SHARDS) > 0, "batch shard counter empty");
 
     let json = format!(
         "{{\n  \"median_us_per_query\": {scoped_median:.2},\n  \
          \"reference_median_us_per_query\": {reference_median:.2},\n  \
          \"speedup_vs_reference\": {speedup:.2},\n  \
          \"batch_us_per_query\": {batch_us_per_query:.2},\n  \
+         \"obs_median_us_per_query\": {obs_median:.2},\n  \
+         \"obs_overhead_pct\": {obs_overhead_pct:.2},\n  \
          \"queries\": {},\n  \"reps\": {reps},\n  \
          \"candidates_mean\": {candidates_mean:.2},\n  \
          \"radius\": {radius},\n  \"k\": {k},\n  \
-         \"world_concepts\": 4000\n}}\n",
+         \"world_concepts\": 4000,\n  \
+         \"metrics\": {metrics_json}\n}}\n",
         queries.len()
     );
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_relax.json");
-    std::fs::write(out, &json).expect("write BENCH_relax.json");
-    eprintln!("[bench_json] wrote {out}");
+    if quick {
+        eprintln!("[bench_json] --quick: skipping BENCH_relax.json write");
+    } else {
+        let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_relax.json");
+        std::fs::write(out, &json).expect("write BENCH_relax.json");
+        eprintln!("[bench_json] wrote {out}");
+    }
     println!("{json}");
 }

@@ -17,4 +17,5 @@ fn main() {
          EDIT 96.36/88.33/92.17, EMBEDDING 96.49/91.67/94.02)",
         rows[0].mappable
     );
+    medkb_bench::print_metrics_section(&stack);
 }

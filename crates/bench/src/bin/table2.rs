@@ -36,4 +36,5 @@ fn main() {
         println!("\n## {tag:?}-context queries only ({})\n", sub.queries.len());
         println!("{}", render_table2(&rows));
     }
+    medkb_bench::print_metrics_section(&stack);
 }

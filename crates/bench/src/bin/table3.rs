@@ -39,4 +39,5 @@ fn main() {
     println!(
         "\n(paper reference averages: QR T1 3.73, QR T2 3.31, no-QR T1 3.06, no-QR T2 2.67)"
     );
+    medkb_bench::print_metrics_section(&stack);
 }

@@ -14,7 +14,7 @@
 
 #![warn(missing_docs)]
 
-use medkb_core::{ingest, MappingMethod, QueryRelaxer, RelaxConfig};
+use medkb_core::{ingest, MappingMethod, ObsConfig, QueryRelaxer, RelaxConfig};
 use medkb_corpus::{CorpusConfig, CorpusGenerator, MentionCounts};
 use medkb_eval::pipeline::{EvalConfig, EvalStack};
 use medkb_snomed::{Hierarchy, MedWorld, SnomedConfig, WorldConfig};
@@ -36,14 +36,40 @@ pub fn quick_stack() -> EvalStack {
     EvalStack::build(EvalConfig::tiny(EXPERIMENT_SEED)).expect("stack builds")
 }
 
-/// Parse the common `--quick` flag.
+/// Parse the common flags of the table binaries: `--quick` selects the
+/// reduced world, `--metrics` attaches a shared metrics registry to the
+/// stack so [`print_metrics_section`] can report it after the tables.
 pub fn stack_from_args() -> EvalStack {
-    if std::env::args().any(|a| a == "--quick") {
+    let metrics = std::env::args().any(|a| a == "--metrics");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut config = if quick {
         eprintln!("[medkb-bench] --quick: reduced world (shapes only)");
-        quick_stack()
+        EvalConfig::tiny(EXPERIMENT_SEED)
     } else {
         eprintln!("[medkb-bench] building paper-scale stack (seed {EXPERIMENT_SEED})…");
-        paper_stack()
+        EvalConfig::paper(EXPERIMENT_SEED)
+    };
+    if metrics {
+        config.relax.obs = ObsConfig::enabled();
+        // The model cache would skip the SGNS epochs the registry is
+        // meant to observe; a metrics run pays for a cold build.
+        return EvalStack::build(config).expect("stack builds");
+    }
+    if quick {
+        EvalStack::build(config).expect("stack builds")
+    } else {
+        let cache = std::path::Path::new("target/medkb-cache");
+        EvalStack::build_cached(config, cache).expect("stack builds")
+    }
+}
+
+/// Append the eval report's pipeline-metrics section when `--metrics`
+/// attached a registry to the stack ([`stack_from_args`]); off by default
+/// so the table outputs stay byte-reproducible run to run (the full
+/// snapshot carries wall-clock timer values).
+pub fn print_metrics_section(stack: &EvalStack) {
+    if let Some(registry) = stack.config.relax.obs.registry() {
+        println!("\n{}", medkb_eval::report::render_metrics(&registry.snapshot()));
     }
 }
 

@@ -1,5 +1,9 @@
 //! Configuration of the relaxation method and its ablations.
 
+use std::sync::Arc;
+
+use medkb_obs::Registry;
+
 /// How Eq. 2 frequencies are rolled up the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrequencyMode {
@@ -88,6 +92,44 @@ impl ParallelConfig {
     }
 }
 
+/// Observability switches (DESIGN.md §10).
+///
+/// `metrics: None` (the default) disables instrumentation entirely: the
+/// hot paths skip every record call behind one pointer-null check — no
+/// atomics, no allocation, no timer reads. With a registry attached, the
+/// relaxation engine and ingestion pipeline record counters and latency
+/// histograms into it; instrumentation never changes any ranking, score,
+/// or ingestion artifact (the reference-twin tests run both ways).
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Metrics sink. Engines resolve their handles once at construction,
+    /// so recording is lock-free; share one registry across components to
+    /// get a single unified snapshot.
+    pub metrics: Option<Arc<Registry>>,
+    /// Attach the per-candidate Eq. 1–5 score breakdown to every returned
+    /// answer ([`crate::relax::RelaxedAnswer::explain`]). Off by default:
+    /// the breakdown re-derives each surviving answer's LCS and ICs, which
+    /// is measurable work and only wanted on debugging/conformance paths.
+    pub explain: bool,
+}
+
+impl ObsConfig {
+    /// Instrumentation on (a fresh shared registry), explain off.
+    pub fn enabled() -> Self {
+        Self { metrics: Some(Registry::shared()), explain: false }
+    }
+
+    /// Instrumentation recording into an existing registry.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        Self { metrics: Some(registry), explain: false }
+    }
+
+    /// The registry, if instrumentation is enabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.metrics.as_deref()
+    }
+}
+
 /// Full configuration of the relaxation method. The flags double as the
 /// Table 2 ablation switches.
 #[derive(Debug, Clone)]
@@ -128,6 +170,9 @@ pub struct RelaxConfig {
     /// Thread budget for offline ingestion (outputs are thread-count
     /// independent).
     pub parallel: ParallelConfig,
+    /// Observability: metrics sink and the opt-in per-answer score
+    /// breakdown. Disabled by default and free when disabled.
+    pub obs: ObsConfig,
 }
 
 impl Default for RelaxConfig {
@@ -147,6 +192,7 @@ impl Default for RelaxConfig {
             mapping: MappingMethod::embedding_default(),
             strip_modifiers: false,
             parallel: ParallelConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 }

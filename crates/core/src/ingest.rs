@@ -55,6 +55,47 @@ pub struct IngestOutput {
     pub shortcuts_added: usize,
 }
 
+/// Metric names the ingestion pipeline records (DESIGN.md §10). Stage
+/// timers are µs histograms (one observation per ingest run), volumes are
+/// counters, and the thread budget is a gauge.
+pub mod obs_names {
+    /// Context generation (Algorithm 1 lines 1–4).
+    pub const STAGE_CONTEXTS_US: &str = "ingest.stage.contexts_us";
+    /// Mapper construction plus instance mapping (lines 5–11).
+    pub const STAGE_MAPPING_US: &str = "ingest.stage.mapping_us";
+    /// Reachability closure build.
+    pub const STAGE_REACH_US: &str = "ingest.stage.reach_us";
+    /// Frequency and IC table computation (lines 12–18).
+    pub const STAGE_FREQS_US: &str = "ingest.stage.freqs_us";
+    /// Shortcut discovery and application (lines 19–23).
+    pub const STAGE_SHORTCUTS_US: &str = "ingest.stage.shortcuts_us";
+    /// End-to-end ingest wall time.
+    pub const STAGE_TOTAL_US: &str = "ingest.stage.total_us";
+    /// KB instances examined by the mapping stage (counter).
+    pub const INSTANCES_SCANNED: &str = "ingest.instances.scanned";
+    /// Instances that mapped to an external concept (counter).
+    pub const INSTANCES_MAPPED: &str = "ingest.instances.mapped";
+    /// Distinct flagged external concepts (counter).
+    pub const CONCEPTS_FLAGGED: &str = "ingest.concepts.flagged";
+    /// Contexts generated from the ontology (counter).
+    pub const CONTEXTS_GENERATED: &str = "ingest.contexts.generated";
+    /// Shortcut edges the customization added (counter).
+    pub const SHORTCUTS_ADDED: &str = "ingest.shortcuts.added";
+    /// Worker threads the run was configured with (gauge).
+    pub const THREADS: &str = "ingest.threads";
+
+    /// Every stage-timer histogram ingestion registers. The `bench_json`
+    /// smoke assertion checks each one is present in the snapshot.
+    pub const STAGE_TIMERS: &[&str] = &[
+        STAGE_CONTEXTS_US,
+        STAGE_MAPPING_US,
+        STAGE_REACH_US,
+        STAGE_FREQS_US,
+        STAGE_SHORTCUTS_US,
+        STAGE_TOTAL_US,
+    ];
+}
+
 /// Minimum depth an ancestor must have to receive a shortcut edge.
 ///
 /// Algorithm 1 read literally connects every flagged concept to *all* of
@@ -222,6 +263,30 @@ pub fn ingest_with_stats(
     }
     stats.shortcuts_s = t.elapsed().as_secs_f64();
     stats.total_s = t_total.elapsed().as_secs_f64();
+
+    // Ingest runs once per build, so recording goes straight through the
+    // registry (no pre-resolved handles needed). Stage timers land one
+    // observation each; `to_json_stable` keeps only their counts, so the
+    // stable snapshot stays deterministic despite wall-clock values.
+    if let Some(reg) = config.obs.registry() {
+        let us = |s: f64| (s * 1e6) as u64;
+        for (name, secs) in [
+            (obs_names::STAGE_CONTEXTS_US, stats.contexts_s),
+            (obs_names::STAGE_MAPPING_US, stats.mapping_s),
+            (obs_names::STAGE_REACH_US, stats.reach_s),
+            (obs_names::STAGE_FREQS_US, stats.freqs_s),
+            (obs_names::STAGE_SHORTCUTS_US, stats.shortcuts_s),
+            (obs_names::STAGE_TOTAL_US, stats.total_s),
+        ] {
+            reg.latency(name).record(us(secs));
+        }
+        reg.counter(obs_names::INSTANCES_SCANNED).add(instances.len() as u64);
+        reg.counter(obs_names::INSTANCES_MAPPED).add(mappings.len() as u64);
+        reg.counter(obs_names::CONCEPTS_FLAGGED).add(flagged.len() as u64);
+        reg.counter(obs_names::CONTEXTS_GENERATED).add(contexts.len() as u64);
+        reg.counter(obs_names::SHORTCUTS_ADDED).add(shortcuts_added as u64);
+        reg.gauge(obs_names::THREADS).set(threads as u64);
+    }
 
     Ok((
         IngestOutput {
@@ -496,6 +561,37 @@ mod tests {
         assert_eq!(edge.weight, 3, "original distance preserved on the edge");
         // One-hop now.
         assert!(out.ekg.neighborhood(deep, 1).iter().any(|&(c, _)| c == kd));
+    }
+
+    #[test]
+    fn metrics_record_stage_timers_and_volumes() {
+        let (world, _, counts) = setup();
+        let registry = medkb_obs::Registry::shared();
+        let config = RelaxConfig {
+            obs: crate::config::ObsConfig::with_registry(Arc::clone(&registry)),
+            ..exact_config()
+        };
+        let out =
+            ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &config).unwrap();
+        let snap = registry.snapshot();
+        for &timer in obs_names::STAGE_TIMERS {
+            assert_eq!(snap.histogram_count(timer), 1, "{timer}");
+        }
+        assert_eq!(snap.counter(obs_names::INSTANCES_MAPPED), out.mappings.len() as u64);
+        assert_eq!(snap.counter(obs_names::CONCEPTS_FLAGGED), out.flagged.len() as u64);
+        assert_eq!(snap.counter(obs_names::CONTEXTS_GENERATED), out.contexts.len() as u64);
+        assert_eq!(snap.counter(obs_names::SHORTCUTS_ADDED), out.shortcuts_added as u64);
+        assert!(
+            snap.counter(obs_names::INSTANCES_SCANNED)
+                >= snap.counter(obs_names::INSTANCES_MAPPED)
+        );
+        // Instrumentation changes no artifact: rerun without obs.
+        let plain =
+            ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &exact_config())
+                .unwrap();
+        assert_eq!(out.mappings, plain.mappings);
+        assert_eq!(out.freqs, plain.freqs);
+        assert_eq!(out.shortcuts_added, plain.shortcuts_added);
     }
 
     #[test]

@@ -34,11 +34,11 @@ pub mod relax;
 pub mod similarity;
 pub mod weights;
 
-pub use config::{FrequencyMode, MappingMethod, ParallelConfig, RelaxConfig};
+pub use config::{FrequencyMode, MappingMethod, ObsConfig, ParallelConfig, RelaxConfig};
 pub use feedback::{Feedback, FeedbackStore};
 pub use frequency::Frequencies;
 pub use ingest::{ingest, ingest_reference, ingest_with_stats, IngestOutput, IngestStats};
 pub use mapping::ConceptMapper;
 pub use pipeline::RelaxationPipeline;
-pub use relax::{QueryRelaxer, RelaxedAnswer, RelaxationResult};
+pub use relax::{QueryRelaxer, RelaxationResult, RelaxedAnswer, ScoreExplain};
 pub use similarity::QrScorer;

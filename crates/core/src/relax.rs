@@ -1,12 +1,124 @@
 //! Online query relaxation (Algorithm 2, §5.2).
 
+use std::sync::Arc;
+
 use medkb_ekg::NeighborhoodScan;
+use medkb_obs::{Counter, Histogram, Registry};
 use medkb_snomed::ContextTag;
 use medkb_types::{ContextId, ExtConceptId, InstanceId, MedKbError, Result};
 
 use crate::config::RelaxConfig;
 use crate::ingest::IngestOutput;
 use crate::similarity::QrScorer;
+
+/// Metric names the relaxation engine registers (DESIGN.md §10). The
+/// `bench_json` smoke assertions and the conformance tests reference these
+/// rather than repeating string literals.
+pub mod obs_names {
+    /// Relaxation calls served (counter).
+    pub const QUERIES: &str = "relax.queries";
+    /// Concepts examined by the neighborhood scan (counter).
+    pub const CANDIDATES_SCANNED: &str = "relax.candidates.scanned";
+    /// Scanned concepts kept as flagged candidates (counter).
+    pub const CANDIDATES_KEPT: &str = "relax.candidates.kept";
+    /// Scanned concepts pruned for not being flagged (counter).
+    pub const CANDIDATES_PRUNED: &str = "relax.candidates.pruned";
+    /// Dynamic radius increments beyond the configured radius (counter).
+    pub const RADIUS_GROWTHS: &str = "relax.radius.growths";
+    /// Candidate-side LCS evaluations (counter).
+    pub const LCS_EVALS: &str = "relax.lcs.evals";
+    /// LCS evaluations that hit the amortized query-side upward-distance
+    /// table instead of re-running the query-side Dijkstra — every scoped
+    /// evaluation after the first per query (counter).
+    pub const LCS_QUERY_REUSE: &str = "relax.lcs.query_side_reuse";
+    /// Query terms that resolved to no external concept (counter).
+    pub const RESOLVE_NOT_FOUND: &str = "relax.resolve.not_found";
+    /// Per-query end-to-end latency (µs histogram).
+    pub const LATENCY_US: &str = "relax.latency_us";
+    /// Batch entry-point invocations (counter).
+    pub const BATCH_CALLS: &str = "relax.batch.calls";
+    /// Queries submitted through the batch entry points (counter).
+    pub const BATCH_QUERIES: &str = "relax.batch.queries";
+    /// Shards the batch entry points spawned (counter).
+    pub const BATCH_SHARDS: &str = "relax.batch.shards";
+    /// Queries per spawned shard (histogram — shard utilization).
+    pub const BATCH_SHARD_SIZE: &str = "relax.batch.shard_size";
+}
+
+/// Bucket bounds for the shard-size histogram: shard sizes are small
+/// integers, so a fine linear-ish ladder reads better than the latency
+/// decades.
+const SHARD_SIZE_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// Pre-resolved metric handles — one mutex-guarded registry lookup per
+/// name at engine construction, lock-free atomic recording afterwards.
+#[derive(Debug, Clone)]
+struct RelaxMetrics {
+    queries: Arc<Counter>,
+    candidates_scanned: Arc<Counter>,
+    candidates_kept: Arc<Counter>,
+    candidates_pruned: Arc<Counter>,
+    radius_growths: Arc<Counter>,
+    lcs_evals: Arc<Counter>,
+    lcs_query_reuse: Arc<Counter>,
+    resolve_not_found: Arc<Counter>,
+    latency: Arc<Histogram>,
+    batch_calls: Arc<Counter>,
+    batch_queries: Arc<Counter>,
+    batch_shards: Arc<Counter>,
+    batch_shard_size: Arc<Histogram>,
+}
+
+impl RelaxMetrics {
+    fn resolve(registry: &Registry) -> Self {
+        Self {
+            queries: registry.counter(obs_names::QUERIES),
+            candidates_scanned: registry.counter(obs_names::CANDIDATES_SCANNED),
+            candidates_kept: registry.counter(obs_names::CANDIDATES_KEPT),
+            candidates_pruned: registry.counter(obs_names::CANDIDATES_PRUNED),
+            radius_growths: registry.counter(obs_names::RADIUS_GROWTHS),
+            lcs_evals: registry.counter(obs_names::LCS_EVALS),
+            lcs_query_reuse: registry.counter(obs_names::LCS_QUERY_REUSE),
+            resolve_not_found: registry.counter(obs_names::RESOLVE_NOT_FOUND),
+            latency: registry.latency(obs_names::LATENCY_US),
+            batch_calls: registry.counter(obs_names::BATCH_CALLS),
+            batch_queries: registry.counter(obs_names::BATCH_QUERIES),
+            batch_shards: registry.counter(obs_names::BATCH_SHARDS),
+            batch_shard_size: registry.histogram(obs_names::BATCH_SHARD_SIZE, SHARD_SIZE_BOUNDS),
+        }
+    }
+}
+
+/// The full Eq. 1–5 derivation of one answer's score, attached to
+/// [`RelaxedAnswer`] when [`crate::config::ObsConfig::explain`] is on.
+/// This is what the golden-trace conformance suite snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreExplain {
+    /// Eq. 1 IC of the query concept under the active context/config.
+    pub ic_query: f64,
+    /// Eq. 1 IC of the candidate concept.
+    pub ic_candidate: f64,
+    /// Average Eq. 1 IC over the LCS set (footnote 1).
+    pub ic_lcs: f64,
+    /// Eq. 2 normalized context frequency of the query concept (the
+    /// aggregate over contexts when no context applies).
+    pub freq_query: f64,
+    /// Eq. 2 normalized context frequency of the candidate concept.
+    pub freq_candidate: f64,
+    /// The least common subsumers the score routed through.
+    pub lcs: Vec<ExtConceptId>,
+    /// Eq. 4 generalization steps (query concept up to the LCS level).
+    pub generalizations: u32,
+    /// Eq. 4 specialization steps (LCS level down to the candidate).
+    pub specializations: u32,
+    /// Eq. 3 context-aware IC similarity.
+    pub sim_ic: f64,
+    /// Eq. 4 direction-weighted path factor.
+    pub path_weight: f64,
+    /// Eq. 5 product — the answer's score before any relevance-feedback
+    /// adjustment ([`RelaxedAnswer::score`] may additionally carry one).
+    pub score: f64,
+}
 
 /// One relaxed answer: a flagged external concept with its score and the
 /// KB instances it maps to.
@@ -20,6 +132,9 @@ pub struct RelaxedAnswer {
     pub hops: u32,
     /// The KB instances mapped to the concept.
     pub instances: Vec<InstanceId>,
+    /// The Eq. 1–5 derivation — populated only when
+    /// [`crate::config::ObsConfig::explain`] is enabled.
+    pub explain: Option<ScoreExplain>,
 }
 
 /// The outcome of one relaxation call.
@@ -53,12 +168,16 @@ impl RelaxationResult {
 pub struct QueryRelaxer {
     ingested: IngestOutput,
     config: RelaxConfig,
+    /// Pre-resolved handles when `config.obs.metrics` is set; `None` makes
+    /// every record site one never-taken branch (no atomics, no timers).
+    metrics: Option<RelaxMetrics>,
 }
 
 impl QueryRelaxer {
     /// Wrap an ingestion output with the runtime configuration.
     pub fn new(ingested: IngestOutput, config: RelaxConfig) -> Self {
-        Self { ingested, config }
+        let metrics = config.obs.registry().map(RelaxMetrics::resolve);
+        Self { ingested, config, metrics }
     }
 
     /// The ingestion artifacts (read access for integrations).
@@ -89,6 +208,9 @@ impl QueryRelaxer {
                     return Ok(c);
                 }
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.resolve_not_found.inc();
         }
         Err(MedKbError::not_found("external concept", term))
     }
@@ -127,19 +249,25 @@ impl QueryRelaxer {
         if k == 0 {
             return Err(MedKbError::invalid("k must be positive"));
         }
+        // The RAII span records the full call into `relax.latency_us` when
+        // instrumentation is on; `None` otherwise — no timer read at all.
+        let _span = self.metrics.as_ref().map(|m| m.latency.time());
         let tag: Option<ContextTag> = context.map(|c| self.ingested.tag(c));
 
         // Candidate gathering (line 2), with dynamic radius growth. The
         // scan keeps its BFS frontier alive across radius increments, so
         // growth pays only for each newly reached ring instead of
         // re-walking the whole neighborhood per radius.
-        let mut radius = self.config.radius.max(1);
+        let initial_radius = self.config.radius.max(1);
+        let mut radius = initial_radius;
         let mut scan = NeighborhoodScan::new(&self.ingested.ekg, query);
         let mut candidates: Vec<(ExtConceptId, u32)> = Vec::new();
         let mut reachable_instances = 0usize;
+        let mut scanned = 0usize;
         loop {
             let processed = scan.discovered().len();
             scan.expand_to(radius);
+            scanned += scan.discovered().len() - processed;
             for &(c, h) in &scan.discovered()[processed..] {
                 if self.ingested.flagged.contains(&c) {
                     reachable_instances += self.ingested.instances(c).len();
@@ -153,6 +281,17 @@ impl QueryRelaxer {
                 break;
             }
             radius += 1;
+        }
+        if let Some(m) = &self.metrics {
+            m.queries.inc();
+            m.candidates_scanned.add(scanned as u64);
+            m.candidates_kept.add(candidates.len() as u64);
+            m.candidates_pruned.add((scanned - candidates.len()) as u64);
+            m.radius_growths.add(u64::from(radius - initial_radius));
+            // Query-scoped scoring runs the query-side Dijkstra once; every
+            // candidate after the first reuses it.
+            m.lcs_evals.add(candidates.len() as u64);
+            m.lcs_query_reuse.add(candidates.len().saturating_sub(1) as u64);
         }
 
         // Scoring and ranking (line 3): the query-scoped scorer amortizes
@@ -183,10 +322,58 @@ impl QueryRelaxer {
             }
             let instances = self.ingested.instances(concept);
             returned += instances.len();
-            answers.push(RelaxedAnswer { concept, score, hops, instances: instances.to_vec() });
+            let explain = self
+                .config
+                .obs
+                .explain
+                .then(|| self.explain_answer(&scorer, &mut scoped, query, concept, tag));
+            answers.push(RelaxedAnswer {
+                concept,
+                score,
+                hops,
+                instances: instances.to_vec(),
+                explain,
+            });
         }
 
         Ok(RelaxationResult { query_concept: query, radius_used: radius, answers })
+    }
+
+    /// Build the [`ScoreExplain`] derivation for one surviving answer.
+    /// Re-derives the breakdown for answers only (not every scanned
+    /// candidate), so the explain path costs O(answers), and the scoring
+    /// loop above stays identical whether or not explain is on.
+    fn explain_answer(
+        &self,
+        scorer: &QrScorer<'_>,
+        scoped: &mut crate::similarity::QueryScorer<'_>,
+        query: ExtConceptId,
+        candidate: ExtConceptId,
+        tag: Option<ContextTag>,
+    ) -> ScoreExplain {
+        let b = scoped.breakdown(candidate);
+        // Eq. 2 frequencies mirror the IC's context selection: the tag when
+        // context use is on, the aggregate rollup otherwise.
+        let effective = if self.config.use_context { tag } else { None };
+        let freq_of = |c: ExtConceptId| match effective {
+            Some(t) => self.ingested.freqs.freq(c, t),
+            None => self.ingested.freqs.freq_aggregate(c),
+        };
+        let ic_lcs: f64 = b.lcs.concepts.iter().map(|&c| scorer.ic(c, tag)).sum::<f64>()
+            / b.lcs.concepts.len() as f64;
+        ScoreExplain {
+            ic_query: scorer.ic(query, tag),
+            ic_candidate: scorer.ic(candidate, tag),
+            ic_lcs,
+            freq_query: freq_of(query),
+            freq_candidate: freq_of(candidate),
+            lcs: b.lcs.concepts.clone(),
+            generalizations: b.lcs.dist_a,
+            specializations: b.lcs.dist_b,
+            sim_ic: b.sim_ic,
+            path_weight: b.path_weight,
+            score: b.score,
+        }
     }
 
     /// The pre-optimization Algorithm 2: re-runs the neighborhood BFS at
@@ -237,6 +424,7 @@ impl QueryRelaxer {
                 score: scorer.score(query, concept, tag),
                 hops,
                 instances: self.ingested.instances(concept).to_vec(),
+                explain: None,
             })
             .collect();
         scored.sort_by(|a, b| {
@@ -310,10 +498,18 @@ impl QueryRelaxer {
             return Vec::new();
         }
         let threads = threads.max(1).min(queries.len());
+        let chunk = queries.len().div_ceil(threads);
+        if let Some(m) = &self.metrics {
+            m.batch_calls.inc();
+            m.batch_queries.add(queries.len() as u64);
+            m.batch_shards.add(queries.len().div_ceil(chunk) as u64);
+            for shard in queries.chunks(chunk) {
+                m.batch_shard_size.record(shard.len() as u64);
+            }
+        }
         if threads == 1 {
             return queries.iter().map(&f).collect();
         }
-        let chunk = queries.len().div_ceil(threads);
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = queries
                 .chunks(chunk)
@@ -626,6 +822,81 @@ mod tests {
             assert_eq!(res.as_ref().unwrap(), expect);
         }
         assert!(batch.last().unwrap().is_err());
+    }
+
+    #[test]
+    fn metrics_observe_relaxation_and_batches() {
+        let base = relaxer();
+        let registry = medkb_obs::Registry::shared();
+        let config = RelaxConfig {
+            obs: crate::config::ObsConfig::with_registry(Arc::clone(&registry)),
+            ..base.config().clone()
+        };
+        let r = QueryRelaxer::new(base.ingested().clone(), config);
+        let ctx = treatment_ctx(&r);
+        let res = r.relax("fever", Some(ctx), 5).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(obs_names::QUERIES), 1);
+        assert!(snap.counter(obs_names::CANDIDATES_KEPT) as usize >= res.answers.len());
+        assert_eq!(
+            snap.counter(obs_names::CANDIDATES_SCANNED),
+            snap.counter(obs_names::CANDIDATES_KEPT)
+                + snap.counter(obs_names::CANDIDATES_PRUNED)
+        );
+        assert_eq!(snap.histogram_count(obs_names::LATENCY_US), 1);
+        // The scoped scorer reuses the query-side Dijkstra for every
+        // candidate after the first.
+        assert_eq!(
+            snap.counter(obs_names::LCS_QUERY_REUSE),
+            snap.counter(obs_names::LCS_EVALS).saturating_sub(1)
+        );
+
+        // Batch entry points record shard utilization on top.
+        let q = r.resolve_term("fever").unwrap();
+        let queries = vec![(q, Some(ctx)); 4];
+        for out in r.relax_concepts_batch_with_threads(&queries, 5, 2) {
+            out.unwrap();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(obs_names::BATCH_CALLS), 1);
+        assert_eq!(snap.counter(obs_names::BATCH_QUERIES), 4);
+        assert_eq!(snap.counter(obs_names::BATCH_SHARDS), 2);
+        assert_eq!(snap.histogram_count(obs_names::BATCH_SHARD_SIZE), 2);
+        assert_eq!(snap.counter(obs_names::QUERIES), 5);
+
+        assert!(r.relax("no such term", None, 3).is_err());
+        assert_eq!(registry.snapshot().counter(obs_names::RESOLVE_NOT_FOUND), 1);
+        // The un-instrumented relaxer never touched the registry.
+        let _ = base.relax("fever", Some(ctx), 5).unwrap();
+        assert_eq!(registry.snapshot().counter(obs_names::QUERIES), 5);
+    }
+
+    #[test]
+    fn explain_attaches_derivation_without_changing_results() {
+        let base = relaxer();
+        let mut config = base.config().clone();
+        config.obs.explain = true;
+        let r = QueryRelaxer::new(base.ingested().clone(), config);
+        let ctx = treatment_ctx(&base);
+        let plain = base.relax("headache", Some(ctx), 10).unwrap();
+        let explained = r.relax("headache", Some(ctx), 10).unwrap();
+        assert_eq!(plain.answers.len(), explained.answers.len());
+        assert_eq!(plain.radius_used, explained.radius_used);
+        for (p, e) in plain.answers.iter().zip(&explained.answers) {
+            assert_eq!(p.concept, e.concept);
+            assert_eq!(p.score, e.score);
+            assert_eq!(p.instances, e.instances);
+            assert!(p.explain.is_none());
+            let ex = e.explain.as_ref().expect("explain attached");
+            // The derivation reproduces the ranked score exactly and is
+            // internally consistent (Eq. 5 = Eq. 3 × Eq. 4).
+            assert_eq!(ex.score, e.score);
+            assert_eq!(ex.sim_ic * ex.path_weight, ex.score);
+            assert!(!ex.lcs.is_empty());
+            assert!((0.0..=1.0).contains(&ex.freq_query));
+            assert!((0.0..=1.0).contains(&ex.freq_candidate));
+            assert!(ex.ic_query >= 0.0 && ex.ic_candidate >= 0.0);
+        }
     }
 
     #[test]

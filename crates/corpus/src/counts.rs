@@ -16,6 +16,16 @@ use medkb_types::{ExtConceptId, StringInterner, TokenId};
 
 use crate::model::Corpus;
 
+/// Metric names the mention-counting stage records (DESIGN.md §10).
+pub mod obs_names {
+    /// Wall time of one counting run (µs histogram).
+    pub const COUNT_US: &str = "corpus.count_us";
+    /// Documents scanned (counter).
+    pub const DOCS_SCANNED: &str = "corpus.docs.scanned";
+    /// Distinct concepts with at least one mention (counter).
+    pub const CONCEPTS_MENTIONED: &str = "corpus.concepts.mentioned";
+}
+
 /// Direct (non-recursive) mention statistics of a corpus against a
 /// terminology.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +61,31 @@ impl MentionCounts {
     /// exactly for any shard count ([`MentionCounts`] equality is
     /// value-based, so hash-map iteration order cannot leak through).
     pub fn count_with_threads(corpus: &Corpus, ekg: &Ekg, threads: usize) -> Self {
+        Self::count_with_threads_obs(corpus, ekg, threads, None)
+    }
+
+    /// [`MentionCounts::count_with_threads`] with optional instrumentation:
+    /// records the counting stage's wall time and volumes into `obs`
+    /// (metric names in [`obs_names`]). `None` is exactly the plain call.
+    pub fn count_with_threads_obs(
+        corpus: &Corpus,
+        ekg: &Ekg,
+        threads: usize,
+        obs: Option<&medkb_obs::Registry>,
+    ) -> Self {
+        let timer = obs.map(|reg| reg.latency(obs_names::COUNT_US));
+        let out = {
+            let _span = timer.as_deref().map(|h| h.time());
+            Self::count_with_threads_inner(corpus, ekg, threads)
+        };
+        if let Some(reg) = obs {
+            reg.counter(obs_names::DOCS_SCANNED).add(corpus.len() as u64);
+            reg.counter(obs_names::CONCEPTS_MENTIONED).add(out.direct.len() as u64);
+        }
+        out
+    }
+
+    fn count_with_threads_inner(corpus: &Corpus, ekg: &Ekg, threads: usize) -> Self {
         if threads <= 1 || corpus.docs.len() < 2 {
             return Self::count(corpus, ekg);
         }

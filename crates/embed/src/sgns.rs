@@ -13,6 +13,14 @@ use rand::{Rng, SeedableRng};
 use medkb_corpus::Corpus;
 use medkb_types::{Id, IdVec, StringInterner, TokenId};
 
+/// Metric names the SGNS trainer records (DESIGN.md §10).
+pub mod obs_names {
+    /// Wall time per training epoch (µs histogram).
+    pub const EPOCH_US: &str = "embed.sgns.epoch_us";
+    /// Training epochs completed (counter).
+    pub const EPOCHS: &str = "embed.sgns.epochs";
+}
+
 /// Training hyperparameters.
 #[derive(Debug, Clone)]
 pub struct SgnsConfig {
@@ -92,6 +100,18 @@ impl WordVectors {
     /// were sharded, so the output is bit-identical for every `threads`
     /// value (see DESIGN.md §9).
     pub fn train_with_threads(corpus: &Corpus, config: &SgnsConfig, threads: usize) -> Self {
+        Self::train_with_threads_obs(corpus, config, threads, None)
+    }
+
+    /// [`WordVectors::train_with_threads`] with optional instrumentation:
+    /// records per-epoch wall time and the epoch count into `obs` (metric
+    /// names in [`obs_names`]). `None` is exactly the plain call.
+    pub fn train_with_threads_obs(
+        corpus: &Corpus,
+        config: &SgnsConfig,
+        threads: usize,
+        obs: Option<&medkb_obs::Registry>,
+    ) -> Self {
         let (vocab, counts, total, table, mut w_in, mut w_out) = init_state(corpus, config);
         let n = vocab.len();
         let dim = config.dim;
@@ -104,7 +124,13 @@ impl WordVectors {
         let mut snap_out = RowSnapshot::new(n);
         let mut step_base = 0usize;
 
+        let epoch_timer = obs.map(|reg| reg.latency(obs_names::EPOCH_US));
+        let epoch_counter = obs.map(|reg| reg.counter(obs_names::EPOCHS));
         for epoch in 0..config.epochs {
+            let _span = epoch_timer.as_deref().map(|h| h.time());
+            if let Some(c) = &epoch_counter {
+                c.inc();
+            }
             let mut s0 = 0usize;
             while s0 < sentences.len() {
                 let s1 = (s0 + batch).min(sentences.len());

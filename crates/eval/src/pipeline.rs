@@ -108,10 +108,19 @@ impl EvalStack {
 
     fn build_with_cache(config: EvalConfig, cache_dir: Option<&std::path::Path>) -> Result<Self> {
         let threads = config.relax.parallel.effective_threads();
+        // One registry (when configured) observes every stage of the build:
+        // mention counting, SGNS training, and ingestion all record into
+        // `config.relax.obs`.
+        let obs = config.relax.obs.registry();
         let world = MedWorld::generate(&config.world);
         let generator = CorpusGenerator::new(&world.terminology, &world.oracle);
         let corpus = generator.generate(&config.corpus);
-        let counts = MentionCounts::count_with_threads(&corpus, &world.terminology.ekg, threads);
+        let counts = MentionCounts::count_with_threads_obs(
+            &corpus,
+            &world.terminology.ekg,
+            threads,
+            obs,
+        );
 
         // "v2": the minibatch trainer produces different (still
         // deterministic) vectors than the v1 online trainer; the batch size
@@ -145,12 +154,12 @@ impl EvalStack {
             };
 
         let sif_trained = Arc::new(load_or(cached("trained"), &|| {
-            let wv = WordVectors::train_with_threads(&corpus, &config.sgns, threads);
+            let wv = WordVectors::train_with_threads_obs(&corpus, &config.sgns, threads, obs);
             SifModel::fit(wv, &corpus, 1e-3)
         }));
         let sif_pretrained = Arc::new(load_or(cached("pretrained"), &|| {
             let ood = CorpusGenerator::out_of_domain(config.sgns.seed ^ 0x77, config.ood_docs);
-            let wv_ood = WordVectors::train_with_threads(&ood, &config.sgns, threads);
+            let wv_ood = WordVectors::train_with_threads_obs(&ood, &config.sgns, threads, obs);
             SifModel::fit(wv_ood, &ood, 1e-3)
         }));
 

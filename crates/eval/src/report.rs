@@ -1,5 +1,7 @@
 //! Markdown rendering of experiment tables.
 
+use medkb_obs::MetricsSnapshot;
+
 use crate::mapping_eval::MappingRow;
 use crate::relax_eval::RelaxRow;
 use crate::study::StudyReport;
@@ -58,6 +60,48 @@ pub fn render_table3(report: &StudyReport) -> String {
     out
 }
 
+/// Render a pipeline metrics snapshot as a Markdown report section:
+/// one table for counters and gauges, one for histograms (count, mean,
+/// max-bucket). Empty sections are omitted; an empty snapshot renders a
+/// placeholder line so callers can always append the section.
+pub fn render_metrics(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("### Pipeline metrics\n\n");
+    if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+        out.push_str("_no metrics recorded_\n");
+        return out;
+    }
+    if !snap.counters.is_empty() || !snap.gauges.is_empty() {
+        out.push_str("| Metric | Kind | Value |\n|---|---|---|\n");
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("| {name} | counter | {v} |\n"));
+        }
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("| {name} | gauge | {v} |\n"));
+        }
+        out.push('\n');
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("| Histogram | Count | Mean | p-max bucket |\n|---|---|---|---|\n");
+        for (name, h) in &snap.histograms {
+            let mean =
+                if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 };
+            // The highest non-empty bucket's upper bound — a cheap tail
+            // indicator ("overflow" past the last bound).
+            let tail = h
+                .buckets
+                .iter()
+                .rposition(|&b| b > 0)
+                .map(|i| match h.bounds.get(i) {
+                    Some(b) => format!("<= {b}"),
+                    None => "overflow".to_string(),
+                })
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!("| {name} | {} | {mean:.1} | {tail} |\n", h.count));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +132,23 @@ mod tests {
         }];
         let md = render_table2(&rows);
         assert!(md.contains("| QR | 90.00 | 80.00 |"));
+    }
+
+    #[test]
+    fn metrics_section_renders_counters_and_histograms() {
+        let registry = medkb_obs::Registry::new();
+        registry.counter("relax.queries").add(32);
+        registry.gauge("ingest.threads").set(4);
+        let h = registry.histogram("relax.latency_us", &[100, 1_000]);
+        h.record(40);
+        h.record(5_000);
+        let md = render_metrics(&registry.snapshot());
+        assert!(md.contains("| relax.queries | counter | 32 |"), "{md}");
+        assert!(md.contains("| ingest.threads | gauge | 4 |"), "{md}");
+        assert!(md.contains("| relax.latency_us | 2 |"), "{md}");
+        assert!(md.contains("overflow"), "{md}");
+        // Empty snapshots still render a section.
+        let empty = render_metrics(&medkb_obs::MetricsSnapshot::default());
+        assert!(empty.contains("no metrics recorded"));
     }
 }

@@ -1,0 +1,211 @@
+//! A minimal JSON validator, so smoke tests can assert that emitted
+//! snapshots parse without pulling in a serialization dependency.
+
+/// Validate that `input` is one well-formed JSON value (object, array,
+/// string, number, boolean, or null) with nothing but whitespace after it.
+pub fn validate_json(input: &str) -> bool {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    if !value(bytes, &mut pos) {
+        return false;
+    }
+    skip_ws(bytes, &mut pos);
+    pos == bytes.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> bool {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        _ => false,
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') || !string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        if !value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if !value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                // Escape: accept any single escaped byte (plus \uXXXX).
+                match b.get(*pos + 1) {
+                    Some(b'u') => {
+                        if b.len() < *pos + 6
+                            || !b[*pos + 2..*pos + 6].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return false;
+                        }
+                        *pos += 6;
+                    }
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                    _ => return false,
+                }
+            }
+            0x00..=0x1f => return false,
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn number(b: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return false;
+    }
+    // Leading zeros are invalid JSON ("01"), a lone zero is fine.
+    if b[int_start] == b'0' && *pos - int_start > 1 {
+        return false;
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return false;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return false;
+        }
+    }
+    *pos > start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_values() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e3",
+            "0",
+            "\"a b\\n\\u00ff\"",
+            r#"{"a": [1, 2, {"b": null}], "c": "x"}"#,
+            "  { \"k\" : 1 }  ",
+        ] {
+            assert!(validate_json(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "nulll",
+            "\"unterminated",
+            "{} trailing",
+            "{'a': 1}",
+        ] {
+            assert!(!validate_json(bad), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The metric primitives and the registry that interns them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+/// Default bucket upper bounds for latency histograms, in microseconds:
+/// a 1–2–5 decade ladder from 1 µs to 10 s. Values above the last bound
+/// land in the overflow bucket.
+pub const LATENCY_BOUNDS_US: &[u64] = &[
+    1,
+    2,
+    5,
+    10,
+    20,
+    50,
+    100,
+    200,
+    500,
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+];
+
+/// A monotonic counter. All operations are relaxed atomic adds — safe to
+/// share across worker threads; increments from N threads sum exactly.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram: one atomic slot per bound (observations `<=`
+/// the bound), one overflow slot, plus total count and sum. Bounds are
+/// fixed at registration, so recording is a binary search plus three
+/// relaxed adds — no allocation, no lock.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[u64]>,
+    /// `bounds.len() + 1` slots; the last is the overflow bucket.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be sorted");
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self { bounds: bounds.into(), buckets, count: AtomicU64::new(0), sum: AtomicU64::new(0) }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The configured bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Start a scoped timer that records elapsed microseconds into this
+    /// histogram when dropped.
+    pub fn time(&self) -> SpanTimer<'_> {
+        SpanTimer { histogram: self, start: Instant::now() }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// RAII span: records the elapsed wall time (µs) into its histogram on
+/// drop. Obtain via [`Histogram::time`]; wrap in an `Option` to make a
+/// span free when instrumentation is disabled.
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.histogram.record(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, Arc<Counter>>,
+    gauges: BTreeMap<&'static str, Arc<Gauge>>,
+    histograms: BTreeMap<&'static str, Arc<Histogram>>,
+}
+
+/// The metrics registry: interns metric handles by static name and
+/// snapshots them all at once.
+///
+/// Registration (`counter` / `gauge` / `histogram`) takes a mutex and
+/// should happen once per component at construction; the returned `Arc`
+/// handles are lock-free to record through. Re-registering a name returns
+/// the existing handle (histogram bounds are fixed by the first
+/// registration).
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty registry behind an `Arc`, ready to share.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Resolve (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        inner.counters.entry(name).or_default().clone()
+    }
+
+    /// Resolve (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        inner.gauges.entry(name).or_default().clone()
+    }
+
+    /// Resolve (registering on first use) the histogram `name` with the
+    /// given bucket bounds. Bounds are fixed at first registration.
+    pub fn histogram(&self, name: &'static str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        inner.histograms.entry(name).or_insert_with(|| Arc::new(Histogram::new(bounds))).clone()
+    }
+
+    /// Resolve a latency histogram (µs) with the default
+    /// [`LATENCY_BOUNDS_US`] decade ladder.
+    pub fn latency(&self, name: &'static str) -> Arc<Histogram> {
+        self.histogram(name, LATENCY_BOUNDS_US)
+    }
+
+    /// Freeze every registered metric into a point-in-time snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("obs registry poisoned");
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(&k, v)| (k.to_string(), v.get())).collect(),
+            gauges: inner.gauges.iter().map(|(&k, v)| (k.to_string(), v.get())).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("a.b");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name resolves to the same underlying counter.
+        assert_eq!(r.counter("a.b").get(), 5);
+        let g = r.gauge("a.g");
+        g.set(7);
+        g.set(3);
+        assert_eq!(r.gauge("a.g").get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let r = Registry::new();
+        let h = r.histogram("h", &[10, 100]);
+        for v in [0, 10, 11, 100, 101, 5_000] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let hs = &snap.histograms["h"];
+        assert_eq!(hs.buckets, vec![2, 2, 2]); // <=10, <=100, overflow
+        assert_eq!(hs.count, 6);
+        assert_eq!(hs.sum, 5_222);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let r = Registry::new();
+        let h = r.latency("t");
+        {
+            let _span = h.time();
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn latency_bounds_are_sorted() {
+        assert!(LATENCY_BOUNDS_US.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,169 @@
+//! Point-in-time snapshots and their JSON serializations.
+
+use std::collections::BTreeMap;
+
+/// A frozen histogram: bounds, per-bucket counts (last slot = overflow),
+/// total count, and value sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (inclusive).
+    pub bounds: Vec<u64>,
+    /// Observation counts per bucket; `bounds.len() + 1` entries, the last
+    /// being the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// Everything a [`crate::Registry`] held at snapshot time. `BTreeMap`s keep
+/// serialization order independent of registration order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+fn push_map<V>(
+    out: &mut String,
+    key: &str,
+    map: &BTreeMap<String, V>,
+    mut render: impl FnMut(&mut String, &V),
+) {
+    out.push_str(&format!("\"{key}\": {{"));
+    for (i, (name, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{name}\": "));
+        render(out, v);
+    }
+    out.push('}');
+}
+
+impl MetricsSnapshot {
+    /// Full deterministic-order JSON: counters, gauges, and complete
+    /// histograms (bounds, buckets, count, sum). Values that measure wall
+    /// time vary run to run; for a byte-reproducible serialization use
+    /// [`MetricsSnapshot::to_json_stable`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        push_map(&mut out, "counters", &self.counters, |o, v| o.push_str(&v.to_string()));
+        out.push_str(", ");
+        push_map(&mut out, "gauges", &self.gauges, |o, v| o.push_str(&v.to_string()));
+        out.push_str(", ");
+        push_map(&mut out, "histograms", &self.histograms, |o, h| {
+            let join = |xs: &[u64]| {
+                xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+            };
+            o.push_str(&format!(
+                "{{\"count\": {}, \"sum\": {}, \"bounds\": [{}], \"buckets\": [{}]}}",
+                h.count,
+                h.sum,
+                join(&h.bounds),
+                join(&h.buckets),
+            ));
+        });
+        out.push('}');
+        out
+    }
+
+    /// The run-deterministic subset as JSON: counters, gauges, and
+    /// histogram observation *counts* (wall-clock-valued buckets and sums
+    /// are dropped). For a deterministic workload this serialization is
+    /// byte-identical across runs and thread counts — the conformance
+    /// suite pins it.
+    pub fn to_json_stable(&self) -> String {
+        let mut out = String::from("{");
+        push_map(&mut out, "counters", &self.counters, |o, v| o.push_str(&v.to_string()));
+        out.push_str(", ");
+        push_map(&mut out, "gauges", &self.gauges, |o, v| o.push_str(&v.to_string()));
+        out.push_str(", ");
+        let counts: BTreeMap<String, u64> =
+            self.histograms.iter().map(|(k, h)| (k.clone(), h.count)).collect();
+        push_map(&mut out, "histogram_counts", &counts, |o, v| o.push_str(&v.to_string()));
+        out.push('}');
+        out
+    }
+
+    /// Whether a counter with this name was registered.
+    pub fn has_counter(&self, name: &str) -> bool {
+        self.counters.contains_key(name)
+    }
+
+    /// Whether a histogram with this name was registered.
+    pub fn has_histogram(&self, name: &str) -> bool {
+        self.histograms.contains_key(name)
+    }
+
+    /// Counter value, or 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram observation count, or 0 when absent.
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.histograms.get(name).map(|h| h.count).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> MetricsSnapshot {
+        let r = Registry::new();
+        r.counter("z.last").add(2);
+        r.counter("a.first").add(1);
+        r.gauge("m.threads").set(4);
+        let h = r.histogram("lat", &[10, 100]);
+        h.record(7);
+        h.record(700);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_is_sorted_and_complete() {
+        let s = sample();
+        let json = s.to_json();
+        assert!(crate::validate_json(&json), "{json}");
+        let a = json.find("a.first").unwrap();
+        let z = json.find("z.last").unwrap();
+        assert!(a < z, "keys must serialize sorted: {json}");
+        assert!(json.contains("\"bounds\": [10, 100]"));
+        assert!(json.contains("\"buckets\": [1, 0, 1]"));
+    }
+
+    #[test]
+    fn stable_json_drops_wall_clock_values() {
+        let s = sample();
+        let json = s.to_json_stable();
+        assert!(crate::validate_json(&json), "{json}");
+        assert!(json.contains("\"lat\": 2"));
+        assert!(!json.contains("sum"));
+        assert!(!json.contains("buckets"));
+    }
+
+    #[test]
+    fn accessors() {
+        let s = sample();
+        assert!(s.has_counter("a.first") && !s.has_counter("nope"));
+        assert!(s.has_histogram("lat"));
+        assert_eq!(s.counter("z.last"), 2);
+        assert_eq!(s.histogram_count("lat"), 2);
+        assert_eq!(s.histogram_count("nope"), 0);
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let s = MetricsSnapshot::default();
+        assert!(crate::validate_json(&s.to_json()));
+        assert!(crate::validate_json(&s.to_json_stable()));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the metrics registry (ISSUE 3 satellite):
+//! concurrent counter increments sum exactly, histogram bucket counts
+//! equal total observations, and snapshot JSON is byte-stable.
+
+use std::sync::Arc;
+
+use medkb_obs::{validate_json, Registry, LATENCY_BOUNDS_US};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// N threads × M increments of K each sum to exactly N·M·K.
+    #[test]
+    fn concurrent_counter_increments_sum_exactly(
+        (threads, per_thread) in (2usize..8, 1u64..400),
+        step in 1u64..5,
+    ) {
+        let registry = Registry::shared();
+        let counter = registry.counter("prop.counter");
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.add(step);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("incrementing thread");
+        }
+        prop_assert_eq!(counter.get(), threads as u64 * per_thread * step);
+        prop_assert_eq!(registry.snapshot().counter("prop.counter"), counter.get());
+    }
+
+    /// Every observation lands in exactly one bucket: Σ buckets == count,
+    /// even under concurrent recording, and the sum matches.
+    #[test]
+    fn histogram_bucket_counts_equal_total_observations(
+        values in proptest::collection::vec(0u64..50_000, 1..400),
+        threads in 1usize..6,
+    ) {
+        let registry = Registry::shared();
+        let hist = registry.histogram("prop.hist", &[10, 100, 1_000, 10_000]);
+        let chunk = values.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for shard in values.chunks(chunk) {
+                let h = Arc::clone(&hist);
+                scope.spawn(move || {
+                    for &v in shard {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        let hs = &snap.histograms["prop.hist"];
+        prop_assert_eq!(hs.buckets.iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(hs.count, values.len() as u64);
+        prop_assert_eq!(hs.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(hs.buckets.len(), hs.bounds.len() + 1);
+        // Bucketing is exact: recompute each bucket sequentially.
+        for (i, &bound) in hs.bounds.iter().enumerate() {
+            let lower = if i == 0 { 0 } else { hs.bounds[i - 1] + 1 };
+            let expect = values.iter().filter(|&&v| v >= lower && v <= bound).count() as u64;
+            prop_assert_eq!(hs.buckets[i], expect, "bucket <= {}", bound);
+        }
+    }
+
+    /// Re-recording the same workload into a fresh registry produces
+    /// byte-identical snapshot JSON, in both serializations, regardless of
+    /// the (shuffled) registration order.
+    #[test]
+    fn snapshot_json_is_byte_stable(
+        counts in proptest::collection::vec(0u64..1_000, 1..8),
+        latencies in proptest::collection::vec(0u64..100_000, 0..50),
+        rotate in 0usize..8,
+    ) {
+        let names: [&'static str; 8] = [
+            "s.a", "s.b", "s.c", "s.d", "s.e", "s.f", "s.g", "s.h",
+        ];
+        let build = |rotation: usize| {
+            let registry = Registry::new();
+            // Register in a rotated order: serialization must not care.
+            for i in 0..counts.len() {
+                let slot = (i + rotation) % counts.len();
+                registry.counter(names[slot]).add(counts[slot]);
+            }
+            let h = registry.histogram("s.lat", LATENCY_BOUNDS_US);
+            for &v in &latencies {
+                h.record(v);
+            }
+            registry.gauge("s.threads").set(4);
+            registry.snapshot()
+        };
+        let (a, b) = (build(0), build(rotate));
+        prop_assert_eq!(a.to_json(), b.to_json());
+        prop_assert_eq!(a.to_json_stable(), b.to_json_stable());
+        prop_assert!(validate_json(&a.to_json()));
+        prop_assert!(validate_json(&a.to_json_stable()));
+    }
+}

@@ -1,13 +1,38 @@
 #!/usr/bin/env bash
 # Tier-1 verification (ROADMAP.md): release build + root test suite,
-# plus a smoke pass of the ingestion benchmark. The smoke pass runs the
-# full staged-vs-reference bit-identity asserts but (--quick) never
-# rewrites the committed BENCH_ingest.json.
+# plus smoke passes of both benchmark binaries. The smoke passes run the
+# full staged-vs-reference and instrumented-vs-plain bit-identity asserts
+# but (--quick) never rewrite the committed BENCH_*.json files.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+# The conformance suites are part of the root test run above, but name them
+# explicitly so a filtered/partial invocation can't silently skip them.
+cargo test -q --test golden_traces --test obs_conformance
+
+# No test may be #[ignore]d without a tracking comment on the same line
+# (e.g. `#[ignore] // tracked: <reason/issue>`). Silent skips rot.
+if grep -rn '#\[ignore\]' --include='*.rs' tests/ crates/ src/ 2>/dev/null \
+    | grep -v 'tracked:'; then
+  echo "tier-1 FAIL: #[ignore] without a 'tracked:' comment (see above)" >&2
+  exit 1
+fi
+
+# Ingest smoke: staged pipeline bit-identical to the reference, metrics
+# snapshot valid JSON with every stage timer recorded exactly once.
 cargo run --release -p medkb-bench --bin bench_json -- --ingest --quick >/dev/null
+
+# Relax smoke: instrumented engine bit-identical to the plain engine, and
+# the emitted document (including the embedded metrics snapshot) parses.
+out=$(cargo run --release -p medkb-bench --bin bench_json -- --quick)
+for key in '"metrics"' '"obs_overhead_pct"' 'relax.latency_us' 'relax.queries'; do
+  if ! grep -qF "$key" <<<"$out"; then
+    echo "tier-1 FAIL: bench_json --quick output missing $key" >&2
+    exit 1
+  fi
+done
 
 echo "tier-1 OK"

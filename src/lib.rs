@@ -13,6 +13,7 @@
 //! | module | crate | role |
 //! |---|---|---|
 //! | [`types`] | `medkb-types` | ids, interning, errors |
+//! | [`obs`] | `medkb-obs` | metrics registry, spans, snapshot JSON |
 //! | [`text`] | `medkb-text` | normalization, edit distance, n-grams, gazetteer |
 //! | [`ekg`] | `medkb-ekg` | the external knowledge source DAG |
 //! | [`ontology`] | `medkb-ontology` | domain ontology (TBox) + contexts |
@@ -69,6 +70,7 @@
 
 pub use medkb_core as core;
 pub use medkb_corpus as corpus;
+pub use medkb_obs as obs;
 pub use medkb_ekg as ekg;
 pub use medkb_embed as embed;
 pub use medkb_eval as eval;
@@ -83,8 +85,9 @@ pub use medkb_types as types;
 pub mod prelude {
     pub use medkb_core::{
         ingest, ConceptMapper, FrequencyMode, Frequencies, IngestOutput, MappingMethod,
-        QueryRelaxer, RelaxConfig, RelaxationResult, RelaxedAnswer,
+        ObsConfig, QueryRelaxer, RelaxConfig, RelaxationResult, RelaxedAnswer, ScoreExplain,
     };
+    pub use medkb_obs::{MetricsSnapshot, Registry};
     pub use medkb_corpus::{Corpus, CorpusConfig, CorpusGenerator, MentionCounts};
     pub use medkb_ekg::{Ekg, EkgBuilder, EkgStats};
     pub use medkb_embed::{SgnsConfig, SifModel, WordVectors};

@@ -1,0 +1,103 @@
+//! Shared fixture world for the conformance suites: the paper fragment as
+//! the external knowledge source, a miniature KB flagging the fragment's
+//! instance-backed concepts, and mention counts read from the committed
+//! `tests/fixtures/fragment_mentions.tsv` — everything pinned so traces
+//! and metric totals are reproducible byte for byte.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use medkb::prelude::*;
+use medkb::snomed::figures::paper_fragment;
+use medkb::snomed::oracle::N_TAGS;
+
+/// Repo-relative path into `tests/fixtures/`.
+pub fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+/// Parse `fragment_mentions.tsv` into per-tag direct counts.
+pub fn fixture_mentions() -> MentionCounts {
+    let f = paper_fragment();
+    let doc = std::fs::read_to_string(fixture_path("fragment_mentions.tsv"))
+        .expect("read fragment_mentions.tsv");
+    let mut direct: HashMap<ExtConceptId, [u64; N_TAGS]> = HashMap::new();
+    for line in doc.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let name = cols.next().expect("concept column");
+        let treat: u64 = cols.next().expect("treatment column").parse().expect("treatment count");
+        let risk: u64 = cols.next().expect("risk column").parse().expect("risk count");
+        let mut row = [0u64; N_TAGS];
+        row[ContextTag::Treatment.index()] = treat;
+        row[ContextTag::Risk.index()] = risk;
+        assert!(
+            direct.insert(f.concept(name), row).is_none(),
+            "duplicate fixture row for {name:?}"
+        );
+    }
+    MentionCounts::from_direct(direct, HashMap::new(), 200)
+}
+
+/// Build the fixture relaxer. `config` lets callers toggle observability
+/// (metrics registry, explain) on an otherwise-fixed world.
+pub fn fixture_relaxer(config: RelaxConfig) -> QueryRelaxer {
+    let f = paper_fragment();
+    let mut ob = OntologyBuilder::new();
+    let finding = ob.concept("Finding");
+    let indication = ob.concept("Indication");
+    let risk = ob.concept("Risk");
+    let drug = ob.concept("Drug");
+    ob.relationship("treat", drug, indication);
+    ob.relationship("cause", drug, risk);
+    ob.relationship("hasFinding", indication, finding);
+    ob.relationship("hasFinding", risk, finding);
+    let onto = ob.build().unwrap();
+    let mut kb = KbBuilder::new(onto);
+    let fc = kb.ontology().lookup_concept("Finding").unwrap();
+    for name in &f.flagged {
+        kb.instance(name, fc);
+    }
+    let kb = kb.build().unwrap();
+    let counts = fixture_mentions();
+    let out = ingest(&kb, f.ekg.clone(), &counts, None, &config).unwrap();
+    QueryRelaxer::new(out, config)
+}
+
+/// The fixture configuration: exact mapping (the fixture KB names match the
+/// fragment verbatim), everything else at paper defaults.
+pub fn fixture_config() -> RelaxConfig {
+    RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() }
+}
+
+/// Resolve a generated context by its label (e.g.
+/// `"Indication-hasFinding-Finding"`).
+pub fn context_labeled(r: &QueryRelaxer, label: &str) -> ContextId {
+    r.ingested()
+        .contexts
+        .iter()
+        .find(|c| c.label == label)
+        .unwrap_or_else(|| panic!("fixture context {label:?} missing"))
+        .id
+}
+
+/// The pinned conformance queries: term, context label (None = no context).
+/// Chosen to cover both Figure 4 contexts, the no-context fallback, the
+/// dynamic-radius growth path (pertussis), modifier-free resolution of a
+/// term absent from the KB (pyelectasia), and the hypothermia context trap.
+pub const GOLDEN_QUERIES: &[(&str, Option<&str>)] = &[
+    ("pyelectasia", Some("Indication-hasFinding-Finding")),
+    ("fever", Some("Indication-hasFinding-Finding")),
+    ("fever", Some("Risk-hasFinding-Finding")),
+    ("headache", Some("Indication-hasFinding-Finding")),
+    ("headache", None),
+    ("psychogenic fever", Some("Indication-hasFinding-Finding")),
+    ("psychogenic fever", Some("Risk-hasFinding-Finding")),
+    ("pneumonia", Some("Indication-hasFinding-Finding")),
+    ("pertussis", None),
+    ("kidney disease", Some("Risk-hasFinding-Finding")),
+    ("bronchitis", None),
+];
