@@ -1,0 +1,41 @@
+//! Adversarial-world fuzz smoke as a benchmark: how expensive is one
+//! seeded world (generation alone, and generation + the full differential
+//! oracle stack)? Tracks the fixed per-world cost that bounds how many
+//! worlds the exhaustive sweep (`cargo test -p medkb-fuzz --test
+//! differential`) can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use medkb_fuzz::{check_world, AdversarialWorld};
+
+/// One seed per DAG shape (the same set the `smoke` test pins), so the
+/// measurement covers singleton through shortcut-lattice worlds.
+const SHAPE_SEEDS: [u64; 5] = [0, 1, 2, 3, 4];
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz_world_generate");
+    group.bench_function("one_seed_per_shape", |b| {
+        b.iter(|| {
+            SHAPE_SEEDS.map(|seed| AdversarialWorld::generate(seed).ekg.len() as u64)
+        })
+    });
+    group.finish();
+}
+
+fn bench_check(c: &mut Criterion) {
+    let worlds: Vec<AdversarialWorld> =
+        SHAPE_SEEDS.iter().map(|&s| AdversarialWorld::generate(s)).collect();
+    let mut group = c.benchmark_group("fuzz_world_check");
+    group.sample_size(10);
+    group.bench_function("oracle_stack_per_shape", |b| {
+        b.iter(|| {
+            for w in &worlds {
+                check_world(w);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_check);
+criterion_main!(benches);

@@ -217,6 +217,44 @@ impl RelaxConfig {
         self.use_path_weight = false;
         self
     }
+
+    /// Reject configurations that would poison scoring with NaN/∞ or can
+    /// never produce results. Relaxation entry points call this up front so
+    /// a bad config fails loudly instead of silently ranking by NaN
+    /// (`NaN.total_cmp` orders, so broken scores would *look* plausible).
+    ///
+    /// # Errors
+    /// [`medkb_types::MedKbError::InvalidArgument`] describing the first
+    /// offending field.
+    pub fn validate(&self) -> medkb_types::Result<()> {
+        use medkb_types::MedKbError;
+        if !self.w_gen.is_finite() || self.w_gen < 0.0 {
+            return Err(MedKbError::invalid(format!(
+                "w_gen must be finite and >= 0, got {}",
+                self.w_gen
+            )));
+        }
+        if !self.w_spec.is_finite() || self.w_spec < 0.0 {
+            return Err(MedKbError::invalid(format!(
+                "w_spec must be finite and >= 0, got {}",
+                self.w_spec
+            )));
+        }
+        if self.dynamic_radius && self.max_radius < self.radius {
+            return Err(MedKbError::invalid(format!(
+                "max_radius {} must be >= radius {} when dynamic_radius is on",
+                self.max_radius, self.radius
+            )));
+        }
+        if let MappingMethod::Embedding { threshold } = self.mapping {
+            if !threshold.is_finite() {
+                return Err(MedKbError::invalid(format!(
+                    "embedding threshold must be finite, got {threshold}"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +294,32 @@ mod tests {
         );
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         assert_eq!(ParallelConfig::with_threads(4).effective_threads(), 4.min(cores));
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_ablations() {
+        assert!(RelaxConfig::default().validate().is_ok());
+        assert!(RelaxConfig::default().no_context().validate().is_ok());
+        assert!(RelaxConfig::default().no_corpus().validate().is_ok());
+        assert!(RelaxConfig::default().ic_baseline().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_nan_producing_configs() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.5] {
+            assert!(RelaxConfig { w_gen: bad, ..Default::default() }.validate().is_err());
+            assert!(RelaxConfig { w_spec: bad, ..Default::default() }.validate().is_err());
+        }
+        assert!(RelaxConfig {
+            mapping: MappingMethod::Embedding { threshold: f64::NAN },
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        let shrunk = RelaxConfig { radius: 8, max_radius: 4, ..Default::default() };
+        assert!(shrunk.validate().is_err());
+        // With dynamic growth off, max_radius is inert and may be anything.
+        assert!(RelaxConfig { dynamic_radius: false, ..shrunk }.validate().is_ok());
     }
 
     #[test]

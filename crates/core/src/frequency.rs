@@ -148,18 +148,25 @@ impl Frequencies {
             .collect();
 
         // Intrinsic IC: exact descendant counts either from the closure
-        // index (one bitset scan) or from a BFS per concept.
-        let ln_n = (n as f64).ln().max(f64::MIN_POSITIVE);
-        let desc_count: Vec<u64> = match reach {
-            Some(r) => r.descendant_counts(),
-            None => (0..n)
-                .map(|i| ekg.descendants(medkb_types::Id::from_usize(i)).len() as u64)
-                .collect(),
+        // index (one bitset scan) or from a BFS per concept. A graph with
+        // n ≤ 1 concepts has ln n ≤ 0, which would turn the Seco formula
+        // into ±∞/NaN; a singleton concept carries no discriminating
+        // structure, so its intrinsic IC is defined as 0.
+        let intrinsic: IdVec<ExtConceptId, f64> = if n <= 1 {
+            IdVec::filled(0.0, n)
+        } else {
+            let ln_n = (n as f64).ln();
+            let desc_count: Vec<u64> = match reach {
+                Some(r) => r.descendant_counts(),
+                None => (0..n)
+                    .map(|i| ekg.descendants(medkb_types::Id::from_usize(i)).len() as u64)
+                    .collect(),
+            };
+            desc_count
+                .iter()
+                .map(|&d| (1.0 - (1.0 + d as f64).ln() / ln_n).max(0.0))
+                .collect()
         };
-        let intrinsic: IdVec<ExtConceptId, f64> = desc_count
-            .iter()
-            .map(|&d| (1.0 - (1.0 + d as f64).ln() / ln_n).max(0.0))
-            .collect();
 
         let ic_per_tag: Vec<IdVec<ExtConceptId, f64>> = per_tag
             .iter()
@@ -312,6 +319,57 @@ mod tests {
         // Smoothed IC exceeds any mentioned concept's IC.
         let leaf = ekg.lookup_name("pain in throat")[0];
         assert!(ic > freqs.ic(leaf, Some(ContextTag::Treatment)));
+    }
+
+    #[test]
+    fn singleton_graph_has_finite_documented_ic() {
+        // n = 1 makes ln n = 0; the old clamp (`ln_n.max(f64::MIN_POSITIVE)`)
+        // happened to yield 1.0, masking the degenerate case. The documented
+        // value is 0: a singleton concept discriminates nothing.
+        let mut b = medkb_ekg::EkgBuilder::new();
+        let root = b.concept("only");
+        let ekg = b.build().unwrap();
+        let counts = MentionCounts::from_direct(HashMap::new(), HashMap::new(), 0);
+        for mode in [FrequencyMode::PaperRecursive, FrequencyMode::DescendantSet] {
+            let freqs = Frequencies::compute(&ekg, &counts, mode, false);
+            assert_eq!(freqs.intrinsic_ic(root), 0.0);
+            for tag in [None, Some(ContextTag::Treatment), Some(ContextTag::Risk)] {
+                let ic = freqs.ic(root, tag);
+                assert!(ic.is_finite(), "{mode:?} {tag:?}: {ic}");
+                assert_eq!(ic, 0.0);
+            }
+            assert_eq!(freqs.freq(root, ContextTag::Treatment), 0.0);
+            assert_eq!(freqs.freq_aggregate(root), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_yields_finite_ic_everywhere() {
+        // An empty corpus means every per-tag total is 0, which must
+        // degrade to IC 0 (no signal), never to -inf from `ln 0`.
+        let ekg = paper_fragment().ekg;
+        let counts = MentionCounts::from_direct(HashMap::new(), HashMap::new(), 0);
+        let freqs = Frequencies::compute(&ekg, &counts, FrequencyMode::PaperRecursive, false);
+        for c in ekg.concepts() {
+            for tag in [None, Some(ContextTag::Treatment), Some(ContextTag::Risk)] {
+                let ic = freqs.ic(c, tag);
+                assert!(ic.is_finite() && ic == 0.0, "{c:?} {tag:?}: {ic}");
+            }
+            let intrinsic = freqs.intrinsic_ic(c);
+            assert!(intrinsic.is_finite() && (0.0..=1.0).contains(&intrinsic));
+        }
+    }
+
+    #[test]
+    fn two_concept_graph_intrinsic_ic_is_exact() {
+        // Smallest non-degenerate case: root IC 0, leaf IC 1.
+        let mut b = medkb_ekg::EkgBuilder::new();
+        let (leaf, root) = b.is_a_named("leaf", "root");
+        let ekg = b.build().unwrap();
+        let counts = MentionCounts::from_direct(HashMap::new(), HashMap::new(), 0);
+        let freqs = Frequencies::compute(&ekg, &counts, FrequencyMode::PaperRecursive, false);
+        assert_eq!(freqs.intrinsic_ic(root), 0.0);
+        assert_eq!(freqs.intrinsic_ic(leaf), 1.0);
     }
 
     #[test]

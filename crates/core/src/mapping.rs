@@ -187,7 +187,7 @@ impl ConceptMapper {
         // so mapping allocates no per-call token vector or join.
         thread_local! {
             static SCRATCH: std::cell::RefCell<(String, String)> =
-                std::cell::RefCell::new((String::new(), String::new()));
+                const { std::cell::RefCell::new((String::new(), String::new())) };
         }
         SCRATCH.with(|cell| {
             let (phrase, tok) = &mut *cell.borrow_mut();
@@ -220,7 +220,7 @@ impl ConceptMapper {
                 for pos in tables.vocab_index.candidates(tok, 2) {
                     let cand = &tables.vocab_words[pos];
                     if let Some(d) = levenshtein_within(tok, cand, 2) {
-                        if best.map_or(true, |(bd, _)| d < bd) {
+                        if best.is_none_or(|(bd, _)| d < bd) {
                             best = Some((d, cand));
                         }
                     }
@@ -279,6 +279,23 @@ mod tests {
         let m = ConceptMapper::build(&ekg, MappingMethod::edit_tau2(), None).unwrap();
         // "headach" is 1 edit from "headache" and 2+ from everything else.
         assert_eq!(m.map(&ekg, "headach"), Some(ekg.lookup_name("headache")[0]));
+    }
+
+    #[test]
+    fn edit_prefilter_handles_multibyte_names() {
+        // The length prefilter must count chars, not bytes: "naïve fever"
+        // is 12 bytes for 11 chars, so a byte-based gap would wrongly
+        // prune the 1-edit query "naive fever" at τ = 2.
+        let mut b = medkb_ekg::EkgBuilder::new();
+        let root = b.concept("root");
+        let naive = b.concept("naïve fever");
+        let micro = b.concept("µg overdose");
+        b.is_a(naive, root);
+        b.is_a(micro, root);
+        let ekg = b.build().unwrap();
+        let m = ConceptMapper::build(&ekg, MappingMethod::edit_tau2(), None).unwrap();
+        assert_eq!(m.map(&ekg, "naive fever"), Some(naive));
+        assert_eq!(m.map(&ekg, "µg overdse"), Some(micro));
     }
 
     #[test]

@@ -246,6 +246,9 @@ impl QueryRelaxer {
         k: usize,
         feedback: Option<&crate::feedback::FeedbackStore>,
     ) -> Result<RelaxationResult> {
+        // NaN weights would rank by NaN without failing (total_cmp is a
+        // total order), so reject broken configs before any scoring.
+        self.config.validate()?;
         if k == 0 {
             return Err(MedKbError::invalid("k must be positive"));
         }
@@ -390,6 +393,7 @@ impl QueryRelaxer {
         context: Option<ContextId>,
         k: usize,
     ) -> Result<RelaxationResult> {
+        self.config.validate()?;
         if k == 0 {
             return Err(MedKbError::invalid("k must be positive"));
         }
@@ -896,6 +900,84 @@ mod tests {
             assert!((0.0..=1.0).contains(&ex.freq_query));
             assert!((0.0..=1.0).contains(&ex.freq_candidate));
             assert!(ex.ic_query >= 0.0 && ex.ic_candidate >= 0.0);
+        }
+    }
+
+    #[test]
+    fn nan_config_rejected_at_every_entry_point() {
+        let mut r = relaxer();
+        let q = r.resolve_term("fever").unwrap();
+        r.config.w_gen = f64::NAN;
+        assert!(matches!(r.relax("fever", None, 3), Err(MedKbError::InvalidArgument { .. })));
+        assert!(matches!(r.relax_concept(q, None, 3), Err(MedKbError::InvalidArgument { .. })));
+        assert!(matches!(
+            r.relax_concept_reference(q, None, 3),
+            Err(MedKbError::InvalidArgument { .. })
+        ));
+        for out in r.relax_concepts_batch(&[(q, None), (q, None)], 3) {
+            assert!(matches!(out, Err(MedKbError::InvalidArgument { .. })));
+        }
+    }
+
+    #[test]
+    fn exact_score_ties_break_by_concept_id_across_thread_counts() {
+        // A perfectly symmetric star: every twin child of the root has the
+        // same depth, descendant count, and mention counts, so all scores
+        // tie exactly and only the concept-id key can order them. The
+        // names are deliberately inserted out of alphabetical order so an
+        // accidental name sort would fail the assertion.
+        let twin_names = ["twin d", "twin b", "twin c", "twin a"];
+        let mut eb = medkb_ekg::EkgBuilder::new();
+        let root = eb.concept("root finding");
+        let twins: Vec<ExtConceptId> = twin_names
+            .iter()
+            .map(|n| {
+                let c = eb.concept(n);
+                eb.is_a(c, root);
+                c
+            })
+            .collect();
+        let ekg = eb.build().unwrap();
+
+        let mut ob = medkb_ontology::OntologyBuilder::new();
+        let finding = ob.concept("Finding");
+        let onto = ob.build().unwrap();
+        let mut kb = medkb_kb::KbBuilder::new(onto);
+        for name in twin_names {
+            kb.instance(name, finding);
+        }
+        let kb = kb.build().unwrap();
+
+        let mut direct: HashMap<medkb_types::ExtConceptId, [u64; N_TAGS]> = HashMap::new();
+        for &c in &twins {
+            direct.insert(c, [7u64; N_TAGS]);
+        }
+        let counts = MentionCounts::from_direct(direct, HashMap::new(), 10);
+        let config = RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() };
+        let out = ingest(&kb, ekg, &counts, None, &config).unwrap();
+        let r = QueryRelaxer::new(out, config);
+
+        let q = r.resolve_term("root finding").unwrap();
+        let res = r.relax_concept(q, None, 50).unwrap();
+        assert_eq!(res.answers.len(), twins.len());
+        let first = res.answers[0].score;
+        assert!(
+            res.answers.iter().all(|a| a.score == first && a.hops == 1),
+            "world is not symmetric: {:?}",
+            res.answers.iter().map(|a| (a.concept, a.score, a.hops)).collect::<Vec<_>>()
+        );
+        let ids: Vec<ExtConceptId> = res.answers.iter().map(|a| a.concept).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "exact ties must order by concept id");
+
+        // Reference path and every batch thread count agree bit-identically.
+        assert_eq!(r.relax_concept_reference(q, None, 50).unwrap(), res);
+        let queries = vec![(q, None); 8];
+        for threads in [1, 2, 4, 8] {
+            for out in r.relax_concepts_batch_with_threads(&queries, 50, threads) {
+                assert_eq!(out.unwrap(), res, "threads={threads}");
+            }
         }
     }
 

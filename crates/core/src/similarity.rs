@@ -49,12 +49,16 @@ impl<'a> QrScorer<'a> {
 
     /// The IC of a concept under the active configuration and context.
     pub fn ic(&self, c: ExtConceptId, tag: Option<ContextTag>) -> f64 {
-        if self.config.use_corpus {
+        let ic = if self.config.use_corpus {
             let effective = if self.config.use_context { tag } else { None };
             self.freqs.ic(c, effective)
         } else {
             self.freqs.intrinsic_ic(c)
-        }
+        };
+        // Degenerate corpora/graphs are mapped to finite ICs upstream
+        // (frequency.rs); a NaN/∞ here would silently poison Eq. 3–5.
+        debug_assert!(ic.is_finite(), "non-finite IC {ic} for {c:?} (tag {tag:?})");
+        ic
     }
 
     /// Eq. 5 for `(query, candidate)` in the given context.
@@ -77,6 +81,10 @@ impl<'a> QrScorer<'a> {
         } else {
             1.0
         };
+        debug_assert!(
+            (sim_ic * path_weight).is_finite(),
+            "non-finite score: sim_ic {sim_ic}, path_weight {path_weight}"
+        );
         ScoreBreakdown { sim_ic, path_weight, score: sim_ic * path_weight, lcs: out }
     }
 
@@ -164,6 +172,10 @@ impl<'a> QueryScorer<'a> {
         } else {
             1.0
         };
+        debug_assert!(
+            (sim_ic * path_weight).is_finite(),
+            "non-finite score: sim_ic {sim_ic}, path_weight {path_weight}"
+        );
         ScoreBreakdown { sim_ic, path_weight, score: sim_ic * path_weight, lcs: out }
     }
 

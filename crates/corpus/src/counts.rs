@@ -89,9 +89,11 @@ impl MentionCounts {
         if threads <= 1 || corpus.docs.len() < 2 {
             return Self::count(corpus, ekg);
         }
+        // One worker's partial result: (per-tag direct counts, doc counts).
+        type Partial = (HashMap<ExtConceptId, [u64; N_TAGS]>, HashMap<ExtConceptId, u32>);
         let trie = TokenTrie::build(ekg, &corpus.vocab);
         let shard = corpus.docs.len().div_ceil(threads).max(1);
-        let partials: Vec<(HashMap<ExtConceptId, [u64; N_TAGS]>, HashMap<ExtConceptId, u32>)> =
+        let partials: Vec<Partial> =
             crossbeam::thread::scope(|s| {
                 let trie = &trie;
                 let handles: Vec<_> = corpus
@@ -302,8 +304,16 @@ impl TokenTrie {
                 buf.push_str(frag);
                 buf.make_ascii_lowercase();
             } else {
+                // Mirror `tokenize` exactly: `to_lowercase` can expand into
+                // non-alphanumeric chars (`İ` → `i` + combining dot above),
+                // which tokenize drops — keeping them here would produce a
+                // token absent from the corpus vocabulary and silently
+                // lose every mention of the phrase.
                 for ch in frag.chars() {
-                    buf.extend(ch.to_lowercase());
+                    buf.extend(ch.to_lowercase().filter(|c| c.is_alphanumeric()));
+                }
+                if buf.is_empty() {
+                    continue;
                 }
             }
             // A phrase containing a token absent from the corpus vocabulary
@@ -462,7 +472,7 @@ mod tests {
         let ekg = b.build().unwrap();
 
         let mut corpus = Corpus::new();
-        let mut sent = |text: &str, tag: ContextTag, corpus: &mut Corpus| Sentence {
+        let sent = |text: &str, tag: ContextTag, corpus: &mut Corpus| Sentence {
             tag,
             tokens: tokenize(text).into_iter().map(|t| corpus.vocab.intern(&t)).collect(),
         };
@@ -542,6 +552,27 @@ mod tests {
             counts.tfidf(a, 0) > counts.tfidf(bb, 0),
             "rarely-documented concept should carry higher idf weight"
         );
+    }
+
+    #[test]
+    fn multichar_lowercase_names_count_like_the_reference() {
+        // Fuzz regression (differential harness, seed 33): `İ` lowercases
+        // to `i` + combining dot above; the optimized trie's inline
+        // lowering kept the mark, produced a token absent from the corpus
+        // vocabulary, and silently dropped every mention of the name.
+        let mut b = EkgBuilder::new();
+        let root = b.concept("root");
+        let ist = b.concept("İstanbul fever");
+        b.is_a(ist, root);
+        let ekg = b.build().unwrap();
+        let mut corpus = Corpus::new();
+        let tokens =
+            tokenize("İstanbul fever reported").into_iter().map(|t| corpus.vocab.intern(&t));
+        let s = Sentence { tag: ContextTag::Treatment, tokens: tokens.collect() };
+        corpus.docs.push(Document { sentences: vec![s] });
+        let fast = MentionCounts::count(&corpus, &ekg);
+        assert_eq!(fast, MentionCounts::count_reference(&corpus, &ekg));
+        assert_eq!(fast.direct_total(ist), 1);
     }
 
     #[test]

@@ -339,7 +339,7 @@ impl Ekg {
             }
             for e in &self.up[c] {
                 let nd = d + e.weight;
-                if dist.get(&e.to).map_or(true, |&old| nd < old) {
+                if dist.get(&e.to).is_none_or(|&old| nd < old) {
                     dist.insert(e.to, nd);
                     heap.push((Reverse(nd), e.to));
                 }
@@ -401,7 +401,7 @@ impl Ekg {
             }
             for e in &self.up[c] {
                 let nd = d + e.weight;
-                if scratch.distance(e.to).map_or(true, |old| nd < old) {
+                if scratch.distance(e.to).is_none_or(|old| nd < old) {
                     scratch.set(e.to, nd);
                     scratch.heap.push((Reverse(nd), e.to));
                 }
@@ -466,7 +466,7 @@ impl Ekg {
             }
             for e in &self.down[c] {
                 let nd = d + e.weight;
-                if scratch.distance(e.to).map_or(true, |old| nd < old) {
+                if scratch.distance(e.to).is_none_or(|old| nd < old) {
                     scratch.set(e.to, nd);
                     scratch.heap.push((Reverse(nd), e.to));
                 }

@@ -59,9 +59,8 @@ impl PathSummary {
 
     /// The unit step directions from source to target.
     pub fn directions(&self) -> impl Iterator<Item = Direction> {
-        std::iter::repeat(Direction::Generalization)
-            .take(self.ups as usize)
-            .chain(std::iter::repeat(Direction::Specialization).take(self.downs as usize))
+        std::iter::repeat_n(Direction::Generalization, self.ups as usize)
+            .chain(std::iter::repeat_n(Direction::Specialization, self.downs as usize))
     }
 
     /// Eq. 4 path weight under the given direction weights.

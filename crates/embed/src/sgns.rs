@@ -313,23 +313,28 @@ impl WordVectors {
     /// Parse a document produced by [`WordVectors::write_tsv`].
     ///
     /// # Errors
-    /// [`medkb_types::MedKbError::Corrupt`] on malformed input.
+    /// [`medkb_types::MedKbError::Validation`] listing **every** malformed
+    /// row (bad field count, bad count, non-finite or wrong-arity vector,
+    /// duplicate word) with line numbers; a broken header is reported
+    /// immediately since nothing after it can be interpreted.
     pub fn read_tsv(doc: &str) -> medkb_types::Result<Self> {
-        use medkb_types::MedKbError;
-        let corrupt = |line: usize, what: &str| MedKbError::Corrupt {
-            detail: format!("word vectors line {line}: {what}"),
-        };
+        use medkb_types::ValidationReport;
+        let mut report = ValidationReport::new();
         let mut lines = doc.lines().enumerate();
-        let (_, header) = lines.next().ok_or_else(|| corrupt(1, "missing header"))?;
+        let header = match lines.next() {
+            Some((_, h)) => h,
+            None => {
+                report.defect("word vectors", Some(1), "missing header");
+                return report.into_result().map(|()| unreachable!());
+            }
+        };
         let mut hp = header.split('\t');
-        let dim: usize = hp
-            .next()
-            .and_then(|x| x.parse().ok())
-            .ok_or_else(|| corrupt(1, "bad dim"))?;
-        let total: u64 = hp
-            .next()
-            .and_then(|x| x.parse().ok())
-            .ok_or_else(|| corrupt(1, "bad total"))?;
+        let dim: Option<usize> = hp.next().and_then(|x| x.parse().ok());
+        let total: Option<u64> = hp.next().and_then(|x| x.parse().ok());
+        let (Some(dim), Some(total)) = (dim, total) else {
+            report.defect("word vectors", Some(1), "bad header (want `dim <TAB> total`)");
+            return report.into_result().map(|()| unreachable!());
+        };
         let mut vocab: StringInterner<TokenId> = StringInterner::new();
         let mut vecs: IdVec<TokenId, Vec<f32>> = IdVec::new();
         let mut counts: IdVec<TokenId, u64> = IdVec::new();
@@ -340,25 +345,48 @@ impl WordVectors {
             let mut parts = line.splitn(3, '\t');
             let (word, count, values) = match (parts.next(), parts.next(), parts.next()) {
                 (Some(w), Some(c), Some(v)) if !w.is_empty() => (w, c, v),
-                _ => return Err(corrupt(i + 1, "expected 3 tab fields")),
+                _ => {
+                    report.defect("word vectors", Some(i + 1), "expected 3 tab fields");
+                    continue;
+                }
             };
-            let count: u64 = count.parse().map_err(|_| corrupt(i + 1, "bad count"))?;
-            let vec: Vec<f32> = values
+            let count: u64 = match count.parse() {
+                Ok(c) => c,
+                Err(_) => {
+                    report.defect("word vectors", Some(i + 1), "bad count");
+                    continue;
+                }
+            };
+            let vec: Vec<f32> = match values
                 .split(' ')
                 .map(|x| x.parse::<f32>())
                 .collect::<std::result::Result<_, _>>()
-                .map_err(|_| corrupt(i + 1, "bad vector component"))?;
+            {
+                Ok(v) => v,
+                Err(_) => {
+                    report.defect("word vectors", Some(i + 1), "bad vector component");
+                    continue;
+                }
+            };
+            if vec.iter().any(|x| !x.is_finite()) {
+                // A NaN/∞ component would silently poison every cosine
+                // similarity computed downstream.
+                report.defect("word vectors", Some(i + 1), "non-finite vector component");
+                continue;
+            }
             if vec.len() != dim {
-                return Err(corrupt(i + 1, "vector dimensionality mismatch"));
+                report.defect("word vectors", Some(i + 1), "vector dimensionality mismatch");
+                continue;
             }
             if vocab.get(word).is_some() {
-                return Err(corrupt(i + 1, "duplicate word"));
+                report.defect("word vectors", Some(i + 1), "duplicate word");
+                continue;
             }
             vocab.intern(word);
             vecs.push(vec);
             counts.push(count);
         }
-        Ok(Self { vocab, vecs, counts, total_tokens: total, dim })
+        report.into_result_with(Self { vocab, vecs, counts, total_tokens: total, dim })
     }
 
     /// The `k` vocabulary words most cosine-similar to `word` (excluding
@@ -398,20 +426,15 @@ fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
+/// Everything [`init_state`] hands to a trainer: `(vocab, counts,
+/// total_tokens, negative_table, w_in, w_out)`.
+type TrainerState =
+    (StringInterner<TokenId>, IdVec<TokenId, u64>, u64, NegativeTable, Vec<f32>, Vec<f32>);
+
 /// Unigram counts, negative table, and word2vec-initialized matrices
 /// (input rows uniform in `±0.5/dim`, output rows zero) shared by every
 /// trainer variant.
-fn init_state(
-    corpus: &Corpus,
-    config: &SgnsConfig,
-) -> (
-    StringInterner<TokenId>,
-    IdVec<TokenId, u64>,
-    u64,
-    NegativeTable,
-    Vec<f32>,
-    Vec<f32>,
-) {
+fn init_state(corpus: &Corpus, config: &SgnsConfig) -> TrainerState {
     let vocab = corpus.vocab.clone();
     let n = vocab.len();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -665,7 +688,7 @@ mod tests {
     /// closer.
     fn topic_corpus() -> Corpus {
         let mut c = Corpus::new();
-        let mut sent = |text: &str, c: &mut Corpus| Sentence {
+        let sent = |text: &str, c: &mut Corpus| Sentence {
             tag: ContextTag::General,
             tokens: tokenize(text).into_iter().map(|t| c.vocab.intern(&t)).collect(),
         };
@@ -795,6 +818,38 @@ mod tests {
         assert!(WordVectors::read_tsv("2\t10\nword\t1\t0.5\n").is_err()); // dim mismatch
         assert!(WordVectors::read_tsv("1\t10\nword\tx\t0.5\n").is_err());
         assert!(WordVectors::read_tsv("1\t10\nw\t1\t0.5\nw\t1\t0.5\n").is_err());
+        // NaN/∞ components would poison every downstream cosine.
+        assert!(WordVectors::read_tsv("1\t10\nw\t1\tNaN\n").is_err());
+        assert!(WordVectors::read_tsv("1\t10\nw\t1\tinf\n").is_err());
+    }
+
+    #[test]
+    fn tsv_reports_every_defect() {
+        let doc = "1\t10\nw\tx\t0.5\nv\t1\t0.5 0.5\nw\t1\tNaN\nu\t1\t0.5\nu\t1\t0.5\n";
+        match WordVectors::read_tsv(doc) {
+            Err(medkb_types::MedKbError::Validation(r)) => {
+                // bad count, dim mismatch, non-finite, duplicate word.
+                assert_eq!(r.len(), 4, "{r}");
+            }
+            other => panic!("expected validation error, got {other:?}"),
+        }
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary text or bytes must error cleanly, never panic.
+            #[test]
+            fn prop_read_tsv_never_panics(
+                doc in "[\\x20-\\x7e\\t\\n]{0,160}",
+                bytes in proptest::collection::vec(any::<u8>(), 0..160),
+            ) {
+                let _ = WordVectors::read_tsv(&doc);
+                let _ = WordVectors::read_tsv(&String::from_utf8_lossy(&bytes));
+            }
+        }
     }
 
     #[test]

@@ -192,7 +192,7 @@ mod tests {
 
     fn corpus() -> Corpus {
         let mut c = Corpus::new();
-        let mut sent = |text: &str, c: &mut Corpus| Sentence {
+        let sent = |text: &str, c: &mut Corpus| Sentence {
             tag: ContextTag::General,
             tokens: tokenize(text).into_iter().map(|t| c.vocab.intern(&t)).collect(),
         };

@@ -1,0 +1,305 @@
+//! Differential oracles: optimized path ≡ reference twin, on every world,
+//! at every thread count.
+//!
+//! Each `check_*` function panics with the world's label on the first
+//! divergence; [`check_world`] runs the full battery. The contracts pinned
+//! here are exactly the ones DESIGN.md §9/§11 promise:
+//!
+//! * `MentionCounts::count` / `count_with_threads` ≡ `count_reference`
+//! * `ingest_with_stats` ≡ `ingest_reference` (mappings, flagged set,
+//!   frequencies, shortcuts, instance index)
+//! * `lcs_with_upward{,_scratch}` ≡ the per-pair `lcs` Dijkstra
+//! * `relax_concept` / batch sharding ≡ `relax_concept_reference`
+//! * `Gazetteer::scan` ≡ a naïve longest-match reference matcher
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use medkb_corpus::MentionCounts;
+use medkb_ekg::lcs::lcs;
+use medkb_ekg::{lcs_with_upward, lcs_with_upward_scratch, ReachabilityIndex, UpwardScratch};
+use medkb_core::{
+    ingest_reference, ingest_with_stats, IngestOutput, MappingMethod, ParallelConfig,
+    QueryRelaxer, RelaxConfig,
+};
+use medkb_text::{tokenize, Gazetteer, PhraseMatch};
+use medkb_types::{ContextId, ExtConceptId, Id};
+
+use crate::worlds::AdversarialWorld;
+
+/// Thread counts every parallel path is swept over.
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Pin the mention counters: sequential optimized and every sharded run
+/// must equal the reference scan.
+pub fn check_counts(w: &AdversarialWorld) -> MentionCounts {
+    let reference = MentionCounts::count_reference(&w.corpus, &w.ekg);
+    let fast = MentionCounts::count(&w.corpus, &w.ekg);
+    assert_eq!(fast, reference, "[{}] count diverged from count_reference", w.label);
+    for threads in THREAD_SWEEP {
+        let par = MentionCounts::count_with_threads(&w.corpus, &w.ekg, threads);
+        assert_eq!(par, reference, "[{}] counts diverged at {threads} threads", w.label);
+    }
+    reference
+}
+
+/// Pin the staged parallel ingestion pipeline against the sequential
+/// reference, for every thread count.
+pub fn check_ingest(
+    w: &AdversarialWorld,
+    counts: &MentionCounts,
+    mapping: MappingMethod,
+) -> IngestOutput {
+    let base = RelaxConfig { mapping, ..RelaxConfig::default() };
+    let reference = ingest_reference(&w.kb, w.ekg.clone(), counts, None, &base)
+        .unwrap_or_else(|e| panic!("[{}] reference ingest failed: {e}", w.label));
+    for threads in THREAD_SWEEP {
+        let cfg = RelaxConfig {
+            parallel: ParallelConfig {
+                clamp_to_cores: false,
+                ..ParallelConfig::with_threads(threads)
+            },
+            ..base.clone()
+        };
+        let (out, _stats) = ingest_with_stats(&w.kb, w.ekg.clone(), counts, None, &cfg)
+            .unwrap_or_else(|e| panic!("[{}] staged ingest failed at {threads} threads: {e}", w.label));
+        assert_eq!(out.mappings, reference.mappings, "[{}] mappings @{threads}", w.label);
+        assert_eq!(out.flagged, reference.flagged, "[{}] flagged @{threads}", w.label);
+        assert_eq!(
+            out.instances_of, reference.instances_of,
+            "[{}] instance index @{threads}",
+            w.label
+        );
+        assert_eq!(out.freqs, reference.freqs, "[{}] frequencies @{threads}", w.label);
+        assert_eq!(
+            out.shortcuts_added, reference.shortcuts_added,
+            "[{}] shortcut count @{threads}",
+            w.label
+        );
+        assert_eq!(
+            out.ekg.shortcut_count(),
+            reference.ekg.shortcut_count(),
+            "[{}] customized graph @{threads}",
+            w.label
+        );
+    }
+    reference
+}
+
+/// Pin the query-scoped LCS (dense upward table + reachability pruning +
+/// reusable scratch) against the per-pair Dijkstra reference, all pairs.
+pub fn check_lcs(w: &AdversarialWorld) {
+    let ekg = &w.ekg;
+    let reach = ReachabilityIndex::build(ekg);
+    let concepts: Vec<ExtConceptId> = ekg.concepts().take(20).collect();
+    let mut scratch = UpwardScratch::new();
+    for &a in &concepts {
+        let up = ekg.upward_distances_from(a);
+        for &b in &concepts {
+            let slow = lcs(ekg, a, b);
+            let fast = lcs_with_upward_scratch(ekg, &reach, &up, b, &mut scratch);
+            assert_eq!(fast, slow, "[{}] lcs({a:?},{b:?}) scratch path", w.label);
+            let fresh = lcs_with_upward(ekg, &reach, &up, b);
+            assert_eq!(fresh, slow, "[{}] lcs({a:?},{b:?}) fresh path", w.label);
+        }
+    }
+}
+
+/// Pin the optimized relaxer and the sharded batch API against
+/// `relax_concept_reference`, element-wise, for every thread count.
+pub fn check_relax(w: &AdversarialWorld, out: IngestOutput, config: RelaxConfig) {
+    let r = QueryRelaxer::new(out, config);
+    let mut contexts: Vec<Option<ContextId>> = vec![None];
+    contexts.extend(r.ingested().contexts.first().map(|c| Some(c.id)));
+
+    let mut queries: Vec<(ExtConceptId, Option<ContextId>)> = Vec::new();
+    for q in w.query_concepts() {
+        for &ctx in &contexts {
+            queries.push((q, ctx));
+        }
+    }
+    for &(q, ctx) in &queries {
+        for k in [1usize, 3, 17] {
+            let fast = r.relax_concept(q, ctx, k);
+            let slow = r.relax_concept_reference(q, ctx, k);
+            match (fast, slow) {
+                (Ok(f), Ok(s)) => {
+                    assert_eq!(f, s, "[{}] relax({q:?},{ctx:?},k={k})", w.label);
+                }
+                (Err(_), Err(_)) => {}
+                (f, s) => panic!(
+                    "[{}] relax({q:?},{ctx:?},k={k}) outcome kind diverged: \
+                     optimized={f:?} reference={s:?}",
+                    w.label
+                ),
+            }
+        }
+    }
+
+    let sequential: Vec<_> = queries.iter().map(|&(q, c)| r.relax_concept(q, c, 5)).collect();
+    for threads in THREAD_SWEEP {
+        let batch = r.relax_concepts_batch_with_threads(&queries, 5, threads);
+        assert_eq!(batch.len(), sequential.len(), "[{}] batch length @{threads}", w.label);
+        for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+            match (b, s) {
+                (Ok(b), Ok(s)) => {
+                    assert_eq!(b, s, "[{}] batch slot {i} @{threads} threads", w.label);
+                }
+                (Err(_), Err(_)) => {}
+                (b, s) => panic!(
+                    "[{}] batch slot {i} @{threads} threads outcome kind diverged: \
+                     batch={b:?} sequential={s:?}",
+                    w.label
+                ),
+            }
+        }
+    }
+}
+
+/// Pin the token-trie gazetteer against a naïve longest-match scan over the
+/// same phrase set.
+pub fn check_gazetteer(w: &AdversarialWorld) {
+    let mut g = Gazetteer::new();
+    let mut phrases: Vec<(String, u32)> = Vec::new();
+    for c in w.ekg.concepts() {
+        let payload = c.as_usize() as u32;
+        let name = w.ekg.name(c).to_string();
+        g.insert(&name, payload);
+        phrases.push((name, payload));
+        for syn in w.ekg.synonyms(c) {
+            g.insert(syn, payload);
+            phrases.push((syn.to_string(), payload));
+        }
+    }
+    // Reference phrase table: token sequence → payload, later insert wins
+    // (the gazetteer's documented overwrite semantics).
+    let mut table: HashMap<Vec<String>, u32> = HashMap::new();
+    let mut max_len = 0usize;
+    for (phrase, payload) in &phrases {
+        let tokens = tokenize(phrase);
+        if tokens.is_empty() {
+            continue;
+        }
+        max_len = max_len.max(tokens.len());
+        table.insert(tokens, *payload);
+    }
+
+    for utterance in utterances(w) {
+        let tokens = tokenize(&utterance);
+        let fast = g.scan(&utterance);
+        let slow = scan_reference(&table, max_len, &tokens);
+        assert_eq!(
+            fast, slow,
+            "[{}] gazetteer diverged on utterance {:?}",
+            w.label,
+            &utterance[..utterance.len().min(120)]
+        );
+    }
+}
+
+/// Naïve greedy longest-match reference: at each position try every length
+/// up to the longest registered phrase.
+fn scan_reference(
+    table: &HashMap<Vec<String>, u32>,
+    max_len: usize,
+    tokens: &[String],
+) -> Vec<PhraseMatch> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let mut best: Option<(usize, u32)> = None;
+        for len in 1..=max_len.min(tokens.len() - i) {
+            if let Some(&payload) = table.get(&tokens[i..i + len]) {
+                best = Some((len, payload));
+            }
+        }
+        match best {
+            Some((len, payload)) => {
+                out.push(PhraseMatch { start_token: i, len, payload });
+                i += len;
+            }
+            None => i += 1,
+        }
+    }
+    out
+}
+
+/// Deterministic hostile utterances for `w`: name joins with adversarial
+/// separators, truncated names, and raw junk.
+fn utterances(w: &AdversarialWorld) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(w.seed ^ 0x5CAD_FEED);
+    let names: Vec<&str> = w.ekg.concepts().map(|c| w.ekg.name(c)).collect();
+    let seps = [" ", " and ", "§", "!!", "\u{301}", ", ", " the "];
+    let mut out: Vec<String> = vec![
+        String::new(),
+        "   ".to_string(),
+        "!!!???".to_string(),
+        "\u{301}\u{308}\u{30A}".to_string(),
+        "totally unrelated utterance".to_string(),
+    ];
+    for _ in 0..8 {
+        let mut s = String::new();
+        for _ in 0..rng.gen_range(1..4) {
+            s.push_str(names[rng.gen_range(0..names.len())]);
+            s.push_str(seps[rng.gen_range(0..seps.len())]);
+        }
+        out.push(s);
+    }
+    // Truncations: a name minus its last token exercises the
+    // prefix-without-terminal path.
+    for name in names.iter().take(3) {
+        let toks = tokenize(name);
+        if toks.len() > 1 {
+            out.push(toks[..toks.len() - 1].join(" "));
+        }
+    }
+    out
+}
+
+/// Run the full differential battery on one world.
+pub fn check_world(w: &AdversarialWorld) {
+    let counts = check_counts(w);
+    check_lcs(w);
+    check_gazetteer(w);
+
+    let exact = RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() };
+    let out = check_ingest(w, &counts, MappingMethod::Exact);
+    check_relax(w, out, exact);
+
+    // Edit-distance mapping exercises the DP prefilter; skipped on worlds
+    // with ~10k-char names where the quadratic DP would dominate runtime.
+    if !w.has_long_names {
+        let edit = RelaxConfig { mapping: MappingMethod::edit_tau2(), ..RelaxConfig::default() };
+        let out = check_ingest(w, &counts, MappingMethod::edit_tau2());
+        check_relax(w, out, edit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worlds::AdversarialWorld;
+
+    /// The fast seeded pass `scripts/tier1.sh` runs
+    /// (`cargo test -q -p medkb-fuzz smoke`): one world per graph shape,
+    /// spanning several name styles and corpus shapes.
+    #[test]
+    fn smoke_one_world_per_shape() {
+        for seed in [0u64, 1, 2, 3, 4, 36, 57, 78] {
+            check_world(&AdversarialWorld::generate(seed));
+        }
+    }
+
+    #[test]
+    fn reference_scanner_handles_overlaps_and_overwrites() {
+        let mut table = HashMap::new();
+        table.insert(vec!["kidney".to_string()], 1);
+        table.insert(vec!["kidney".to_string(), "disease".to_string()], 2);
+        let tokens: Vec<String> =
+            ["chronic", "kidney", "disease"].iter().map(|s| s.to_string()).collect();
+        let out = scan_reference(&table, 2, &tokens);
+        assert_eq!(out, vec![PhraseMatch { start_token: 1, len: 2, payload: 2 }]);
+    }
+}

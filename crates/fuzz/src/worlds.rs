@@ -1,0 +1,422 @@
+//! Seeded adversarial-world generator.
+//!
+//! A world is the full input surface of the offline pipeline: an external
+//! knowledge graph, a KB whose instance names may or may not map into it,
+//! and a mention corpus. The generator deterministically stripes every
+//! combination of graph shape × name style × corpus shape across seeds, so
+//! a run over any 100 consecutive seeds covers the whole matrix.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use medkb_corpus::{Corpus, Document, Sentence};
+use medkb_ekg::{Ekg, EkgBuilder};
+use medkb_kb::{Kb, KbBuilder};
+use medkb_snomed::oracle::ContextTag;
+use medkb_text::{normalize, tokenize};
+use medkb_types::{ExtConceptId, Id};
+
+/// Degenerate DAG shapes the relaxation algorithms must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DagShape {
+    /// One concept, zero edges: the root is also the only candidate.
+    Singleton,
+    /// A single maximal-depth chain: every LCS walk is the worst case.
+    LinearChain,
+    /// A root with only leaves: every pair's LCS is the root.
+    Star,
+    /// Disjoint chains that share nothing but the mandatory root (the
+    /// closest legal graph to "disconnected" — the builder rejects true
+    /// multi-root forests with a typed error).
+    DisconnectedForest,
+    /// A chain plus dense skip edges: many redundant upward routes, the
+    /// near-cyclic case for shortcut insertion and LCS minimality checks.
+    ShortcutLattice,
+}
+
+impl DagShape {
+    /// All shapes, in striping order.
+    pub const ALL: [DagShape; 5] = [
+        DagShape::Singleton,
+        DagShape::LinearChain,
+        DagShape::Star,
+        DagShape::DisconnectedForest,
+        DagShape::ShortcutLattice,
+    ];
+}
+
+/// Hostile name styles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameStyle {
+    /// Plain ASCII words (the control group).
+    Ascii,
+    /// Multi-byte letters, including `İ` whose lowercase expands to two
+    /// chars (the normalize-idempotence regression).
+    NonAscii,
+    /// Combining marks that normalization treats as separators.
+    CombiningMarks,
+    /// Punctuation-heavy names, including one per world that normalizes to
+    /// the empty string.
+    PunctuationOnly,
+    /// One ~10k-character name per world (plus ASCII fillers).
+    Long,
+}
+
+impl NameStyle {
+    /// All styles, in striping order.
+    pub const ALL: [NameStyle; 5] = [
+        NameStyle::Ascii,
+        NameStyle::NonAscii,
+        NameStyle::CombiningMarks,
+        NameStyle::PunctuationOnly,
+        NameStyle::Long,
+    ];
+}
+
+/// Degenerate corpus shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusShape {
+    /// No documents at all: every frequency falls back to intrinsic IC.
+    Empty,
+    /// Exactly one document (document-frequency == total-frequency edge).
+    SingleDoc,
+    /// Several documents, all sentences carrying one context tag.
+    OneTagOnly,
+    /// A small mixed corpus (the control group).
+    Mixed,
+}
+
+impl CorpusShape {
+    /// All corpus shapes, in striping order.
+    pub const ALL: [CorpusShape; 4] = [
+        CorpusShape::Empty,
+        CorpusShape::SingleDoc,
+        CorpusShape::OneTagOnly,
+        CorpusShape::Mixed,
+    ];
+}
+
+/// One generated adversarial world.
+#[derive(Debug, Clone)]
+pub struct AdversarialWorld {
+    /// Human-readable description, embedded in every oracle assertion.
+    pub label: String,
+    /// The seed that generated it (reuse to reproduce).
+    pub seed: u64,
+    /// Graph shape used.
+    pub shape: DagShape,
+    /// Name style used.
+    pub style: NameStyle,
+    /// Corpus shape used.
+    pub corpus_shape: CorpusShape,
+    /// The external knowledge graph.
+    pub ekg: Ekg,
+    /// The knowledge base (mini MED-style ontology + instances).
+    pub kb: Kb,
+    /// The mention corpus.
+    pub corpus: Corpus,
+    /// Whether a ~10k-char name is present (edit-distance mapping is
+    /// skipped on these worlds to keep the suite fast).
+    pub has_long_names: bool,
+}
+
+impl AdversarialWorld {
+    /// Generate the world for `seed`. Deterministic: the same seed always
+    /// yields the same world.
+    pub fn generate(seed: u64) -> Self {
+        let shape = DagShape::ALL[(seed as usize) % DagShape::ALL.len()];
+        let style = NameStyle::ALL[(seed as usize / 5) % NameStyle::ALL.len()];
+        let corpus_shape = CorpusShape::ALL[(seed as usize / 25) % CorpusShape::ALL.len()];
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(seed));
+
+        let (ekg, has_long_names) = build_graph(&mut rng, shape, style);
+        let kb = build_kb(&mut rng, &ekg);
+        let corpus = build_corpus(&mut rng, &ekg, corpus_shape);
+
+        let label = format!(
+            "seed={seed} shape={shape:?} style={style:?} corpus={corpus_shape:?} \
+             concepts={} instances={} docs={}",
+            ekg.len(),
+            kb.instance_count(),
+            corpus.len()
+        );
+        Self { label, seed, shape, style, corpus_shape, ekg, kb, corpus, has_long_names }
+    }
+
+    /// The concepts differential relaxation queries should start from (all
+    /// of them — worlds are tiny).
+    pub fn query_concepts(&self) -> Vec<ExtConceptId> {
+        self.ekg.concepts().take(6).collect()
+    }
+}
+
+const ASCII_WORDS: &[&str] = &[
+    "fever", "renal", "chronic", "acute", "toxic", "cardiac", "nodular", "cystic", "lesion",
+    "syndrome", "disease", "disorder", "finding", "stage",
+];
+
+const NON_ASCII_WORDS: &[&str] = &[
+    "naïve", "İstanbul", "µg", "σειρά", "中枢", "βλάβη", "sjögren", "ménière", "straße", "𝛼wave",
+];
+
+/// Base words carrying combining marks (NFD-style decomposed accents); the
+/// marks themselves are non-alphanumeric, so normalization splits on them.
+const COMBINING_WORDS: &[&str] =
+    &["e\u{301}clat", "a\u{30A}ngstro\u{308}m", "n\u{303}andu", "o\u{323}edema", "u\u{336}lcer"];
+
+/// Produce a name for concept `i` in the given style. Uniqueness (as a raw
+/// string) is the caller's job; `i` is woven in to make that cheap.
+fn hostile_name(rng: &mut StdRng, style: NameStyle, i: usize) -> String {
+    fn pick<'a>(rng: &mut StdRng, words: &[&'a str]) -> &'a str {
+        words[rng.gen_range(0..words.len())]
+    }
+    match style {
+        NameStyle::Ascii => {
+            format!("{} {} {i}", pick(rng, ASCII_WORDS), pick(rng, ASCII_WORDS))
+        }
+        NameStyle::NonAscii => {
+            format!("{} {} {i}", pick(rng, NON_ASCII_WORDS), pick(rng, ASCII_WORDS))
+        }
+        NameStyle::CombiningMarks => {
+            format!("{} {} {i}", pick(rng, COMBINING_WORDS), pick(rng, COMBINING_WORDS))
+        }
+        NameStyle::PunctuationOnly => {
+            if i == 1 {
+                // Normalizes to the empty string — nothing can match it,
+                // nothing may panic on it.
+                "!!!???;;;".to_string()
+            } else {
+                format!("§¶!{i}?!({})", "~".repeat(rng.gen_range(1..5)))
+            }
+        }
+        NameStyle::Long => {
+            if i == 1 {
+                let word = pick(rng, ASCII_WORDS);
+                let mut s = String::with_capacity(10_100);
+                while s.len() < 10_000 {
+                    s.push_str(word);
+                    s.push(' ');
+                }
+                s.push_str(&i.to_string());
+                s
+            } else {
+                format!("{} {} {i}", pick(rng, ASCII_WORDS), pick(rng, ASCII_WORDS))
+            }
+        }
+    }
+}
+
+fn build_graph(rng: &mut StdRng, shape: DagShape, style: NameStyle) -> (Ekg, bool) {
+    let n = match shape {
+        DagShape::Singleton => 1,
+        DagShape::LinearChain => rng.gen_range(4..12),
+        DagShape::Star => rng.gen_range(4..16),
+        DagShape::DisconnectedForest => rng.gen_range(6..16),
+        DagShape::ShortcutLattice => rng.gen_range(5..12),
+    };
+    let mut used: HashSet<String> = HashSet::new();
+    let mut names: Vec<String> = Vec::with_capacity(n);
+    let mut has_long = false;
+    for i in 0..n {
+        let mut name = hostile_name(rng, style, i);
+        while !used.insert(name.clone()) {
+            name.push('x');
+        }
+        has_long = has_long || name.len() >= 10_000;
+        names.push(name);
+    }
+
+    let mut eb = EkgBuilder::new();
+    let ids: Vec<ExtConceptId> = names.iter().map(|s| eb.concept(s)).collect();
+    match shape {
+        DagShape::Singleton => {}
+        DagShape::LinearChain => {
+            for w in ids.windows(2) {
+                eb.is_a(w[1], w[0]);
+            }
+        }
+        DagShape::Star => {
+            for &leaf in &ids[1..] {
+                eb.is_a(leaf, ids[0]);
+            }
+        }
+        DagShape::DisconnectedForest => {
+            // 2–4 chains that meet only at the root.
+            let branches = rng.gen_range(2..=4.min(n - 1));
+            for (b, chunk) in ids[1..].chunks(((n - 1) / branches).max(1)).enumerate() {
+                let _ = b;
+                eb.is_a(chunk[0], ids[0]);
+                for w in chunk.windows(2) {
+                    eb.is_a(w[1], w[0]);
+                }
+            }
+        }
+        DagShape::ShortcutLattice => {
+            let mut edges: HashSet<(usize, usize)> = HashSet::new();
+            for i in 1..n {
+                edges.insert((i, i - 1));
+            }
+            // Dense skip edges: every deep node also subsumes under a few
+            // random strict ancestors further up the chain.
+            for i in 2..n {
+                for _ in 0..rng.gen_range(1..3) {
+                    let j = rng.gen_range(0..i - 1);
+                    edges.insert((i, j));
+                }
+            }
+            for (c, p) in edges {
+                eb.is_a(ids[c], ids[p]);
+            }
+        }
+    }
+    // A few hostile synonyms, including ones that collide with other
+    // concepts' primary names after normalization (legal, just ambiguous).
+    for &c in ids.iter().skip(1) {
+        if rng.gen_bool(0.3) {
+            let target = ids[rng.gen_range(0..ids.len())];
+            let base = names[target.as_usize()].clone();
+            eb.synonym(c, &format!("{base} variant"));
+        }
+        if rng.gen_bool(0.15) {
+            eb.synonym(c, "e\u{301}ponym");
+        }
+    }
+    (eb.build().expect("adversarial graphs stay within builder invariants"), has_long)
+}
+
+fn build_kb(rng: &mut StdRng, ekg: &Ekg) -> Kb {
+    let mut ob = medkb_ontology::OntologyBuilder::new();
+    let finding = ob.concept("Finding");
+    let indication = ob.concept("Indication");
+    let risk = ob.concept("Risk");
+    let drug = ob.concept("Drug");
+    ob.relationship("treat", drug, indication);
+    ob.relationship("cause", drug, risk);
+    ob.relationship("hasFinding", indication, finding);
+    ob.relationship("hasFinding", risk, finding);
+    let onto = ob.build().expect("mini MED ontology");
+
+    let mut kb = KbBuilder::new(onto);
+    let fc = kb.ontology().lookup_concept("Finding").unwrap();
+    let mut used: HashSet<String> = HashSet::new();
+    for c in ekg.concepts() {
+        let name = ekg.name(c).to_string();
+        // Most concepts get an exactly-named (mappable) instance.
+        if rng.gen_bool(0.7) && used.insert(normalize(&name)) {
+            kb.instance(&name, fc);
+        }
+        // Some get a perturbed, unmappable sibling instance.
+        if rng.gen_bool(0.2) {
+            let hostile = format!("{name} ???");
+            if used.insert(normalize(&hostile)) {
+                kb.instance(&hostile, fc);
+            }
+        }
+    }
+    // Instances no matcher can do anything with.
+    for trap in ["", "   ", "!!!", "\u{301}\u{308}"] {
+        if used.insert(normalize(trap)) {
+            kb.instance(trap, fc);
+        }
+    }
+    kb.build().expect("instance-only KB always validates")
+}
+
+fn build_corpus(rng: &mut StdRng, ekg: &Ekg, shape: CorpusShape) -> Corpus {
+    let mut corpus = Corpus::new();
+    let (n_docs, tags): (usize, &[ContextTag]) = match shape {
+        CorpusShape::Empty => return corpus,
+        CorpusShape::SingleDoc => (1, &ContextTag::ALL),
+        CorpusShape::OneTagOnly => (rng.gen_range(2..6), &[ContextTag::Risk]),
+        CorpusShape::Mixed => (rng.gen_range(3..9), &ContextTag::ALL),
+    };
+    const FILLER: &[&str] = &["the", "drug", "treats", "patients", "with", "reported", "of"];
+    let concepts: Vec<ExtConceptId> = ekg.concepts().collect();
+    for _ in 0..n_docs {
+        let mut doc = Document::default();
+        for _ in 0..rng.gen_range(1..6) {
+            let tag = tags[rng.gen_range(0..tags.len())];
+            let mut words: Vec<String> = Vec::new();
+            words.push(FILLER[rng.gen_range(0..FILLER.len())].to_string());
+            // Mention 1–2 concepts by (tokenized) name, so the trie scan
+            // has real work even on hostile names.
+            for _ in 0..rng.gen_range(1..3) {
+                let c = concepts[rng.gen_range(0..concepts.len())];
+                words.extend(tokenize(ekg.name(c)));
+                words.push(FILLER[rng.gen_range(0..FILLER.len())].to_string());
+            }
+            let tokens = words.iter().map(|w| corpus.vocab.intern(w)).collect();
+            doc.sentences.push(Sentence { tag, tokens });
+        }
+        corpus.docs.push(doc);
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = AdversarialWorld::generate(42);
+        let b = AdversarialWorld::generate(42);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.ekg.len(), b.ekg.len());
+        for c in a.ekg.concepts() {
+            assert_eq!(a.ekg.name(c), b.ekg.name(c));
+        }
+        assert_eq!(a.kb.instance_count(), b.kb.instance_count());
+        assert_eq!(a.corpus.len(), b.corpus.len());
+    }
+
+    #[test]
+    fn striping_covers_the_whole_matrix() {
+        let mut shapes = HashSet::new();
+        let mut styles = HashSet::new();
+        let mut corpora = HashSet::new();
+        for seed in 0..100 {
+            let w = AdversarialWorld::generate(seed);
+            shapes.insert(format!("{:?}", w.shape));
+            styles.insert(format!("{:?}", w.style));
+            corpora.insert(format!("{:?}", w.corpus_shape));
+        }
+        assert_eq!(shapes.len(), DagShape::ALL.len());
+        assert_eq!(styles.len(), NameStyle::ALL.len());
+        assert_eq!(corpora.len(), CorpusShape::ALL.len());
+    }
+
+    #[test]
+    fn singleton_world_is_truly_degenerate() {
+        // seed 0 stripes to Singleton/Ascii/Empty.
+        let w = AdversarialWorld::generate(0);
+        assert_eq!(w.shape, DagShape::Singleton);
+        assert_eq!(w.ekg.len(), 1);
+        assert_eq!(w.corpus_shape, CorpusShape::Empty);
+        assert!(w.corpus.is_empty());
+    }
+
+    #[test]
+    fn long_style_worlds_carry_a_10k_name() {
+        // style index 4 (Long) occupies seeds 20..25 within each 25-block.
+        let w = AdversarialWorld::generate(21);
+        assert_eq!(w.style, NameStyle::Long);
+        assert!(w.has_long_names);
+        assert!(w.ekg.concepts().any(|c| w.ekg.name(c).len() >= 10_000));
+    }
+
+    #[test]
+    fn multi_root_graphs_are_rejected_with_a_typed_error_not_a_panic() {
+        // The one degenerate shape the substrate refuses outright: make
+        // sure refusal is an error, since fuzz worlds must route around it.
+        let mut eb = EkgBuilder::new();
+        eb.concept("island a");
+        eb.concept("island b");
+        match eb.build() {
+            Err(medkb_types::MedKbError::InvalidRoot { roots }) => assert_eq!(roots, 2),
+            other => panic!("expected InvalidRoot, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The full differential suite: 240 adversarial worlds, every optimized
+//! path pinned bit-identical to its reference twin at 1/2/4/8 threads.
+//!
+//! Seeds stripe the generator's shape × style × corpus matrix (see
+//! `worlds.rs`), so each 100-seed span covers every combination. The run is
+//! split into shards purely so the test harness can execute them on
+//! parallel threads.
+
+use medkb_fuzz::{check_world, AdversarialWorld};
+
+fn run_seeds(range: std::ops::Range<u64>) {
+    for seed in range {
+        check_world(&AdversarialWorld::generate(seed));
+    }
+}
+
+#[test]
+fn differential_suite_shard_0() {
+    run_seeds(0..60);
+}
+
+#[test]
+fn differential_suite_shard_1() {
+    run_seeds(60..120);
+}
+
+#[test]
+fn differential_suite_shard_2() {
+    run_seeds(120..180);
+}
+
+#[test]
+fn differential_suite_shard_3() {
+    run_seeds(180..240);
+}

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use medkb_ontology::Ontology;
-use medkb_types::{Id, InstanceId, MedKbError, OntoConceptId, RelationshipId, Result};
+use medkb_types::{Id, InstanceId, OntoConceptId, RelationshipId, Result, ValidationReport};
 
 use crate::store::{Kb, KbBuilder};
 
@@ -44,11 +44,15 @@ pub fn to_tsv(kb: &Kb) -> (String, String) {
 /// Parse a KB over `ontology` from the documents of [`to_tsv`].
 ///
 /// # Errors
-/// [`MedKbError::Corrupt`] on malformed lines or dangling ids, plus the
-/// domain/range violations [`KbBuilder::build`] detects.
+/// [`medkb_types::MedKbError::Validation`] listing **every** malformed
+/// row, unknown concept/relationship id, dangling instance reference, and
+/// duplicate instance id across both documents with line numbers (not just
+/// the first defect), plus the domain/range violations [`KbBuilder::build`]
+/// detects once the documents themselves are clean.
 pub fn from_tsv(ontology: Ontology, instances_tsv: &str, triples_tsv: &str) -> Result<Kb> {
     let n_rels = ontology.relationship_count();
     let n_concepts = ontology.concept_count();
+    let mut report = ValidationReport::new();
     let mut builder = KbBuilder::new(ontology);
     let mut id_map: HashMap<u32, InstanceId> = HashMap::new();
     for (lineno, line) in instances_tsv.lines().enumerate() {
@@ -59,27 +63,35 @@ pub fn from_tsv(ontology: Ontology, instances_tsv: &str, triples_tsv: &str) -> R
         let (raw, name, concept) = match (parts.next(), parts.next(), parts.next()) {
             (Some(r), Some(n), Some(c)) if !n.is_empty() => (r, n, c),
             _ => {
-                return Err(MedKbError::Corrupt {
-                    detail: format!("instances line {}: bad record", lineno + 1),
-                })
+                report.defect("instances", Some(lineno + 1), "bad record");
+                continue;
             }
         };
-        let raw: u32 = raw.parse().map_err(|_| MedKbError::Corrupt {
-            detail: format!("instances line {}: bad id {raw:?}", lineno + 1),
-        })?;
-        let concept: u32 = concept.parse().map_err(|_| MedKbError::Corrupt {
-            detail: format!("instances line {}: bad concept id {concept:?}", lineno + 1),
-        })?;
+        let raw: u32 = match raw.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                report.defect("instances", Some(lineno + 1), format!("bad id {raw:?}"));
+                continue;
+            }
+        };
+        let concept: u32 = match concept.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                report.defect(
+                    "instances",
+                    Some(lineno + 1),
+                    format!("bad concept id {concept:?}"),
+                );
+                continue;
+            }
+        };
         if concept as usize >= n_concepts {
-            return Err(MedKbError::Corrupt {
-                detail: format!("instances line {}: unknown concept {concept}", lineno + 1),
-            });
+            report.defect("instances", Some(lineno + 1), format!("unknown concept {concept}"));
+            continue;
         }
         let id = builder.instance(name, OntoConceptId::new(concept));
         if id_map.insert(raw, id).is_some() {
-            return Err(MedKbError::Corrupt {
-                detail: format!("instances line {}: duplicate id {raw}", lineno + 1),
-            });
+            report.defect("instances", Some(lineno + 1), format!("duplicate id {raw}"));
         }
     }
     for (lineno, line) in triples_tsv.lines().enumerate() {
@@ -90,30 +102,41 @@ pub fn from_tsv(ontology: Ontology, instances_tsv: &str, triples_tsv: &str) -> R
         let (s, r, o) = match (parts.next(), parts.next(), parts.next()) {
             (Some(s), Some(r), Some(o)) => (s, r, o),
             _ => {
-                return Err(MedKbError::Corrupt {
-                    detail: format!("triples line {}: bad record", lineno + 1),
-                })
+                report.defect("triples", Some(lineno + 1), "bad record");
+                continue;
             }
         };
-        let resolve_inst = |raw: &str| -> Result<InstanceId> {
-            let n: u32 = raw.parse().map_err(|_| MedKbError::Corrupt {
-                detail: format!("triples line {}: bad id {raw:?}", lineno + 1),
-            })?;
-            id_map.get(&n).copied().ok_or_else(|| MedKbError::Corrupt {
-                detail: format!("triples line {}: unknown instance {n}", lineno + 1),
-            })
+        let resolve_inst = |raw: &str, report: &mut ValidationReport| -> Option<InstanceId> {
+            let n: u32 = match raw.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    report.defect("triples", Some(lineno + 1), format!("bad id {raw:?}"));
+                    return None;
+                }
+            };
+            let hit = id_map.get(&n).copied();
+            if hit.is_none() {
+                report.defect("triples", Some(lineno + 1), format!("unknown instance {n}"));
+            }
+            hit
         };
-        let rel: u32 = r.parse().map_err(|_| MedKbError::Corrupt {
-            detail: format!("triples line {}: bad relationship id {r:?}", lineno + 1),
-        })?;
+        let rel: u32 = match r.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                report.defect("triples", Some(lineno + 1), format!("bad relationship id {r:?}"));
+                continue;
+            }
+        };
         if rel as usize >= n_rels {
-            return Err(MedKbError::Corrupt {
-                detail: format!("triples line {}: unknown relationship {rel}", lineno + 1),
-            });
+            report.defect("triples", Some(lineno + 1), format!("unknown relationship {rel}"));
+            continue;
         }
-        let (s, o) = (resolve_inst(s)?, resolve_inst(o)?);
-        builder.triple(s, RelationshipId::new(rel), o);
+        let (s, o) = (resolve_inst(s, &mut report), resolve_inst(o, &mut report));
+        if let (Some(s), Some(o)) = (s, o) {
+            builder.triple(s, RelationshipId::new(rel), o);
+        }
     }
+    report.into_result()?;
     builder.build()
 }
 
@@ -155,11 +178,41 @@ mod tests {
     fn rejects_bad_records() {
         let kb = sample();
         let o = kb.ontology().clone();
-        assert!(from_tsv(o.clone(), "x\taspirin\t0\n", "").is_err());
-        assert!(from_tsv(o.clone(), "0\taspirin\t99\n", "").is_err());
-        assert!(from_tsv(o.clone(), "0\taspirin\t0\n", "0\t99\t0\n").is_err());
-        assert!(from_tsv(o.clone(), "0\taspirin\t0\n", "0\t0\t5\n").is_err());
-        assert!(from_tsv(o, "0\taspirin\t0\n0\tfever\t1\n", "").is_err()); // dup id
+        let validation = |r: super::Result<Kb>| {
+            matches!(r, Err(medkb_types::MedKbError::Validation(_)))
+        };
+        assert!(validation(from_tsv(o.clone(), "x\taspirin\t0\n", "")));
+        assert!(validation(from_tsv(o.clone(), "0\taspirin\t99\n", "")));
+        assert!(validation(from_tsv(o.clone(), "0\taspirin\t0\n", "0\t99\t0\n")));
+        assert!(validation(from_tsv(o.clone(), "0\taspirin\t0\n", "0\t0\t5\n")));
+        assert!(validation(from_tsv(o, "0\taspirin\t0\n0\tfever\t1\n", ""))); // dup id
+    }
+
+    #[test]
+    fn reports_every_defect_with_line_numbers() {
+        let kb = sample();
+        let o = kb.ontology().clone();
+        // line 1 bad id, line 2 unknown concept, line 4 duplicate id;
+        // triples line 1 unknown instance, line 2 unknown relationship.
+        let inst = "x\ta\t0\n1\tb\t99\n2\tc\t0\n2\td\t1\n";
+        let trip = "7\t0\t2\n2\t9\t2\n";
+        match from_tsv(o, inst, trip) {
+            Err(medkb_types::MedKbError::Validation(r)) => {
+                assert_eq!(r.len(), 5, "{r}");
+                let lines: Vec<_> = r.defects().iter().map(|d| (d.document, d.line)).collect();
+                assert_eq!(
+                    lines,
+                    vec![
+                        ("instances", Some(1)),
+                        ("instances", Some(2)),
+                        ("instances", Some(4)),
+                        ("triples", Some(1)),
+                        ("triples", Some(2)),
+                    ]
+                );
+            }
+            other => panic!("expected validation error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -170,5 +223,32 @@ mod tests {
         let inst = "0\taspirin\t0\n1\tfever\t1\n";
         let trip = "1\t0\t0\n";
         assert!(from_tsv(o, inst, trip).is_err());
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary printable text must error cleanly, never panic.
+            #[test]
+            fn prop_from_tsv_never_panics(
+                inst in "[\\x20-\\x7e\\t\\n]{0,200}",
+                trip in "[\\x20-\\x7e\\t\\n]{0,120}",
+            ) {
+                let o = sample().ontology().clone();
+                let _ = from_tsv(o, &inst, &trip);
+            }
+
+            /// Raw bytes (decoded lossily) never panic the loader either.
+            #[test]
+            fn prop_from_tsv_never_panics_bytes(
+                inst in proptest::collection::vec(any::<u8>(), 0..256),
+                trip in proptest::collection::vec(any::<u8>(), 0..128),
+            ) {
+                let o = sample().ontology().clone();
+                let _ = from_tsv(o, &String::from_utf8_lossy(&inst), &String::from_utf8_lossy(&trip));
+            }
+        }
     }
 }

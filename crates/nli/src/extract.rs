@@ -64,9 +64,7 @@ impl EntityExtractor {
         let mut known = Vec::new();
         for m in &matches {
             known.push(InstanceId::new(m.payload));
-            for i in m.start_token..m.start_token + m.len {
-                covered[i] = true;
-            }
+            covered[m.start_token..m.start_token + m.len].fill(true);
         }
         // Group the leftover non-stopword tokens into contiguous mentions.
         let mut unknown = Vec::new();

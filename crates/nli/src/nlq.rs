@@ -315,7 +315,7 @@ impl NlqEngine {
             for (ri, &ti) in remaining.iter().enumerate() {
                 for &node in component.iter() {
                     if let Some(d) = path_length(&paths[ti], terminals[ti], node) {
-                        if best.map_or(true, |(_, bd, _)| d < bd) {
+                        if best.is_none_or(|(_, bd, _)| d < bd) {
                             best = Some((ri, d, node));
                         }
                     }

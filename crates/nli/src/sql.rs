@@ -49,13 +49,10 @@ pub fn to_sql(kb: &Kb, interpretation: &Interpretation) -> String {
     // Greedy join ordering: repeatedly attach a tree edge that touches an
     // already-joined concept.
     let mut remaining: Vec<RelationshipId> = interpretation.tree.clone();
-    loop {
-        let Some(pos) = remaining.iter().position(|&r| {
-            let rel = onto.relationship(r);
-            joined.contains(&rel.domain) || joined.contains(&rel.range)
-        }) else {
-            break;
-        };
+    while let Some(pos) = remaining.iter().position(|&r| {
+        let rel = onto.relationship(r);
+        joined.contains(&rel.domain) || joined.contains(&rel.range)
+    }) {
         let r = remaining.remove(pos);
         let rel = onto.relationship(r);
         let jt = join_table(r);

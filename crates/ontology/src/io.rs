@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use medkb_types::{Id, MedKbError, OntoConceptId, Result};
+use medkb_types::{Id, OntoConceptId, Result, ValidationReport};
 
 use crate::model::{Ontology, OntologyBuilder};
 
@@ -42,11 +42,17 @@ pub fn to_tsv(ontology: &Ontology) -> (String, String, String) {
 /// Parse an ontology from the three TSV documents of [`to_tsv`].
 ///
 /// # Errors
-/// [`MedKbError::Corrupt`] on malformed lines or dangling ids, plus the
-/// structural errors of [`OntologyBuilder::build`].
+/// [`medkb_types::MedKbError::Validation`] listing **every** malformed
+/// line, dangling id, duplicate raw id, and duplicate concept name across
+/// the three documents (not just the first defect), plus the structural
+/// errors of [`OntologyBuilder::build`] once the documents are clean.
 pub fn from_tsv(concepts_tsv: &str, subs_tsv: &str, rels_tsv: &str) -> Result<Ontology> {
+    let mut report = ValidationReport::new();
     let mut builder = OntologyBuilder::new();
     let mut id_map: HashMap<u32, OntoConceptId> = HashMap::new();
+    // The builder interns concepts by name: a repeated name would silently
+    // alias two raw ids onto one concept, so reject the collision.
+    let mut name_line: HashMap<String, usize> = HashMap::new();
     for (lineno, line) in concepts_tsv.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -55,28 +61,48 @@ pub fn from_tsv(concepts_tsv: &str, subs_tsv: &str, rels_tsv: &str) -> Result<On
         let (raw, name) = match (parts.next(), parts.next()) {
             (Some(r), Some(n)) if !n.is_empty() => (r, n),
             _ => {
-                return Err(MedKbError::Corrupt {
-                    detail: format!("ontology concepts line {}: bad record", lineno + 1),
-                })
+                report.defect("ontology concepts", Some(lineno + 1), "bad record");
+                continue;
             }
         };
-        let raw: u32 = raw.parse().map_err(|_| MedKbError::Corrupt {
-            detail: format!("ontology concepts line {}: bad id {raw:?}", lineno + 1),
-        })?;
+        let raw: u32 = match raw.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                report.defect("ontology concepts", Some(lineno + 1), format!("bad id {raw:?}"));
+                continue;
+            }
+        };
+        if let Some(&first) = name_line.get(name) {
+            report.defect(
+                "ontology concepts",
+                Some(lineno + 1),
+                format!("duplicate concept name {name:?} (first on line {first})"),
+            );
+            continue;
+        }
+        name_line.insert(name.to_string(), lineno + 1);
         let id = builder.concept(name);
         if id_map.insert(raw, id).is_some() {
-            return Err(MedKbError::Corrupt {
-                detail: format!("ontology concepts line {}: duplicate id {raw}", lineno + 1),
-            });
+            report.defect("ontology concepts", Some(lineno + 1), format!("duplicate id {raw}"));
         }
     }
-    let resolve = |raw: &str, what: &str, lineno: usize| -> Result<OntoConceptId> {
-        let n: u32 = raw.parse().map_err(|_| MedKbError::Corrupt {
-            detail: format!("{what} line {lineno}: bad id {raw:?}"),
-        })?;
-        id_map.get(&n).copied().ok_or_else(|| MedKbError::Corrupt {
-            detail: format!("{what} line {lineno}: unknown concept id {n}"),
-        })
+    let resolve = |raw: &str,
+                   what: &'static str,
+                   lineno: usize,
+                   report: &mut ValidationReport|
+     -> Option<OntoConceptId> {
+        let n: u32 = match raw.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                report.defect(what, Some(lineno), format!("bad id {raw:?}"));
+                return None;
+            }
+        };
+        let hit = id_map.get(&n).copied();
+        if hit.is_none() {
+            report.defect(what, Some(lineno), format!("unknown concept id {n}"));
+        }
+        hit
     };
     for (lineno, line) in subs_tsv.lines().enumerate() {
         if line.is_empty() {
@@ -86,14 +112,15 @@ pub fn from_tsv(concepts_tsv: &str, subs_tsv: &str, rels_tsv: &str) -> Result<On
         let (c, p) = match (parts.next(), parts.next()) {
             (Some(c), Some(p)) => (c, p),
             _ => {
-                return Err(MedKbError::Corrupt {
-                    detail: format!("subsumptions line {}: bad record", lineno + 1),
-                })
+                report.defect("subsumptions", Some(lineno + 1), "bad record");
+                continue;
             }
         };
-        let (c, p) =
-            (resolve(c, "subsumptions", lineno + 1)?, resolve(p, "subsumptions", lineno + 1)?);
-        builder.sub_concept(c, p);
+        let c = resolve(c, "subsumptions", lineno + 1, &mut report);
+        let p = resolve(p, "subsumptions", lineno + 1, &mut report);
+        if let (Some(c), Some(p)) = (c, p) {
+            builder.sub_concept(c, p);
+        }
     }
     for (lineno, line) in rels_tsv.lines().enumerate() {
         if line.is_empty() {
@@ -103,15 +130,17 @@ pub fn from_tsv(concepts_tsv: &str, subs_tsv: &str, rels_tsv: &str) -> Result<On
         let (name, d, r) = match (parts.next(), parts.next(), parts.next()) {
             (Some(n), Some(d), Some(r)) if !n.is_empty() => (n, d, r),
             _ => {
-                return Err(MedKbError::Corrupt {
-                    detail: format!("relationships line {}: bad record", lineno + 1),
-                })
+                report.defect("relationships", Some(lineno + 1), "bad record");
+                continue;
             }
         };
-        let (d, r) =
-            (resolve(d, "relationships", lineno + 1)?, resolve(r, "relationships", lineno + 1)?);
-        builder.relationship(name, d, r);
+        let d = resolve(d, "relationships", lineno + 1, &mut report);
+        let r = resolve(r, "relationships", lineno + 1, &mut report);
+        if let (Some(d), Some(r)) = (d, r) {
+            builder.relationship(name, d, r);
+        }
     }
+    report.into_result()?;
     builder.build()
 }
 
@@ -143,9 +172,64 @@ mod tests {
     }
 
     #[test]
+    fn rejects_duplicate_concept_name() {
+        // Interning would silently alias raw ids 1 and 2 onto one concept.
+        match from_tsv("1\tA\n2\tA\n", "", "") {
+            Err(medkb_types::MedKbError::Validation(r)) => {
+                assert!(r.defects()[0].message.contains("duplicate concept name"), "{r}");
+            }
+            other => panic!("expected validation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_every_defect_not_just_the_first() {
+        let concepts = "x\tA\n1\tB\n1\tC\n"; // bad id, duplicate raw id
+        let subs = "9\t1\n"; // unknown concept id
+        let rels = "\t1\t1\nr\tzz\t1\n"; // bad record, bad id
+        match from_tsv(concepts, subs, rels) {
+            Err(medkb_types::MedKbError::Validation(r)) => {
+                assert_eq!(r.len(), 5, "{r}");
+            }
+            other => panic!("expected validation error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn empty_documents_build_empty_ontology() {
         let o = from_tsv("", "", "").unwrap();
         assert_eq!(o.concept_count(), 0);
         assert_eq!(o.relationship_count(), 0);
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary printable text must error cleanly, never panic.
+            #[test]
+            fn prop_from_tsv_never_panics(
+                concepts in "[\\x20-\\x7e\\t\\n]{0,160}",
+                subs in "[\\x20-\\x7e\\t\\n]{0,80}",
+                rels in "[\\x20-\\x7e\\t\\n]{0,80}",
+            ) {
+                let _ = from_tsv(&concepts, &subs, &rels);
+            }
+
+            /// Raw bytes (decoded lossily) never panic the loader either.
+            #[test]
+            fn prop_from_tsv_never_panics_bytes(
+                concepts in proptest::collection::vec(any::<u8>(), 0..192),
+                subs in proptest::collection::vec(any::<u8>(), 0..96),
+                rels in proptest::collection::vec(any::<u8>(), 0..96),
+            ) {
+                let _ = from_tsv(
+                    &String::from_utf8_lossy(&concepts),
+                    &String::from_utf8_lossy(&subs),
+                    &String::from_utf8_lossy(&rels),
+                );
+            }
+        }
     }
 }

@@ -351,7 +351,7 @@ impl<'a> Generator<'a> {
                         .zip(nodes[cand].latent)
                         .map(|(a, b)| f64::from(a - b).powi(2))
                         .sum();
-                    if best.map_or(true, |(bd, _)| d < bd) {
+                    if best.is_none_or(|(bd, _)| d < bd) {
                         best = Some((d, cand));
                     }
                 }

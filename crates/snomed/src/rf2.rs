@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use medkb_ekg::{Ekg, EkgBuilder};
-use medkb_types::{ExtConceptId, Id, MedKbError, Result};
+use medkb_types::{ExtConceptId, Id, MedKbError, Result, ValidationReport};
 
 /// Serialize the native part of `ekg` to `(concepts_tsv, relationships_tsv)`.
 pub fn to_tsv(ekg: &Ekg) -> (String, String) {
@@ -33,11 +33,18 @@ pub fn to_tsv(ekg: &Ekg) -> (String, String) {
 /// external exporter following the same layout).
 ///
 /// # Errors
-/// [`MedKbError::Corrupt`] on malformed lines or dangling ids, and the
-/// usual structural errors from [`EkgBuilder::build`].
+/// [`MedKbError::Validation`] listing **every** malformed line, dangling
+/// id, duplicate raw id, and duplicate concept name across both documents
+/// (not just the first one found), plus the usual structural errors from
+/// [`EkgBuilder::build`] once the documents themselves are clean.
 pub fn from_tsv(concepts_tsv: &str, relationships_tsv: &str) -> Result<Ekg> {
+    let mut report = ValidationReport::new();
     let mut builder = EkgBuilder::new();
     let mut id_map: HashMap<u32, ExtConceptId> = HashMap::new();
+    // The builder interns concepts by name, so a repeated primary name
+    // would silently alias two raw ids onto one concept. Track first-seen
+    // names and reject the collision instead.
+    let mut name_line: HashMap<String, usize> = HashMap::new();
     for (lineno, line) in concepts_tsv.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -46,24 +53,34 @@ pub fn from_tsv(concepts_tsv: &str, relationships_tsv: &str) -> Result<Ekg> {
         let (raw_id, name, syns) = match (parts.next(), parts.next(), parts.next()) {
             (Some(id), Some(name), syns) => (id, name, syns.unwrap_or("")),
             _ => {
-                return Err(MedKbError::Corrupt {
-                    detail: format!("concepts line {}: expected 2-3 tab fields", lineno + 1),
-                })
+                report.defect("concepts", Some(lineno + 1), "expected 2-3 tab fields");
+                continue;
             }
         };
-        let raw: u32 = raw_id.parse().map_err(|_| MedKbError::Corrupt {
-            detail: format!("concepts line {}: bad id {raw_id:?}", lineno + 1),
-        })?;
+        let raw: u32 = match raw_id.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                report.defect("concepts", Some(lineno + 1), format!("bad id {raw_id:?}"));
+                continue;
+            }
+        };
         if name.is_empty() {
-            return Err(MedKbError::Corrupt {
-                detail: format!("concepts line {}: empty name", lineno + 1),
-            });
+            report.defect("concepts", Some(lineno + 1), "empty name");
+            continue;
         }
+        if let Some(&first) = name_line.get(name) {
+            report.defect(
+                "concepts",
+                Some(lineno + 1),
+                format!("duplicate concept name {name:?} (first on line {first})"),
+            );
+            continue;
+        }
+        name_line.insert(name.to_string(), lineno + 1);
         let id = builder.concept(name);
         if id_map.insert(raw, id).is_some() {
-            return Err(MedKbError::Corrupt {
-                detail: format!("concepts line {}: duplicate id {raw}", lineno + 1),
-            });
+            report.defect("concepts", Some(lineno + 1), format!("duplicate id {raw}"));
+            continue;
         }
         for syn in syns.split('|').filter(|s| !s.is_empty()) {
             builder.synonym(id, syn);
@@ -77,21 +94,34 @@ pub fn from_tsv(concepts_tsv: &str, relationships_tsv: &str) -> Result<Ekg> {
         let (child, parent) = match (parts.next(), parts.next()) {
             (Some(c), Some(p)) => (c, p),
             _ => {
-                return Err(MedKbError::Corrupt {
-                    detail: format!("relationships line {}: expected 2 tab fields", lineno + 1),
-                })
+                report.defect("relationships", Some(lineno + 1), "expected 2 tab fields");
+                continue;
             }
         };
-        let resolve = |raw: &str| -> Result<ExtConceptId> {
-            let n: u32 = raw.parse().map_err(|_| MedKbError::Corrupt {
-                detail: format!("relationships line {}: bad id {raw:?}", lineno + 1),
-            })?;
-            id_map.get(&n).copied().ok_or_else(|| MedKbError::Corrupt {
-                detail: format!("relationships line {}: unknown concept id {n}", lineno + 1),
-            })
+        let mut resolve = |raw: &str| -> Option<ExtConceptId> {
+            let n: u32 = match raw.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    report.defect("relationships", Some(lineno + 1), format!("bad id {raw:?}"));
+                    return None;
+                }
+            };
+            let hit = id_map.get(&n).copied();
+            if hit.is_none() {
+                report.defect(
+                    "relationships",
+                    Some(lineno + 1),
+                    format!("unknown concept id {n}"),
+                );
+            }
+            hit
         };
-        builder.is_a(resolve(child)?, resolve(parent)?);
+        let (child, parent) = (resolve(child), resolve(parent));
+        if let (Some(c), Some(p)) = (child, parent) {
+            builder.is_a(c, p);
+        }
     }
+    report.into_result()?;
     builder.build()
 }
 
@@ -145,28 +175,52 @@ mod tests {
 
     #[test]
     fn rejects_malformed_concepts() {
-        assert!(matches!(from_tsv("not-a-number\tname\t\n", ""), Err(MedKbError::Corrupt { .. })));
-        assert!(matches!(from_tsv("singlefield\n", ""), Err(MedKbError::Corrupt { .. })));
-        assert!(matches!(from_tsv("1\t\t\n", ""), Err(MedKbError::Corrupt { .. })));
+        assert!(matches!(from_tsv("not-a-number\tname\t\n", ""), Err(MedKbError::Validation(_))));
+        assert!(matches!(from_tsv("singlefield\n", ""), Err(MedKbError::Validation(_))));
+        assert!(matches!(from_tsv("1\t\t\n", ""), Err(MedKbError::Validation(_))));
     }
 
     #[test]
     fn rejects_duplicate_concept_id() {
         let tsv = "1\ta\t\n1\tb\t\n";
-        assert!(matches!(from_tsv(tsv, ""), Err(MedKbError::Corrupt { .. })));
+        assert!(matches!(from_tsv(tsv, ""), Err(MedKbError::Validation(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_concept_name() {
+        // Interning would silently alias raw ids 1 and 2 onto one concept;
+        // the loader must surface the collision instead.
+        let tsv = "1\tfever\t\n2\tfever\t\n";
+        match from_tsv(tsv, "") {
+            Err(MedKbError::Validation(r)) => {
+                assert_eq!(r.len(), 1);
+                let d = r.defects()[0].to_string();
+                assert!(d.contains("duplicate concept name"), "{d}");
+                assert!(d.contains("first on line 1"), "{d}");
+            }
+            other => panic!("expected validation error, got {other:?}"),
+        }
     }
 
     #[test]
     fn rejects_dangling_relationship() {
         let concepts = "1\troot\t\n2\tchild\t\n";
-        assert!(matches!(
-            from_tsv(concepts, "2\t99\n"),
-            Err(MedKbError::Corrupt { .. })
-        ));
-        assert!(matches!(
-            from_tsv(concepts, "2\n"),
-            Err(MedKbError::Corrupt { .. })
-        ));
+        assert!(matches!(from_tsv(concepts, "2\t99\n"), Err(MedKbError::Validation(_))));
+        assert!(matches!(from_tsv(concepts, "2\n"), Err(MedKbError::Validation(_))));
+    }
+
+    #[test]
+    fn reports_every_defect_not_just_the_first() {
+        let concepts = "x\ta\t\n1\t\t\n1\tb\t\n1\tc\t\n"; // bad id, empty name, dup raw id
+        let rels = "zz\t1\n9\t9\n"; // bad id (×1 line), unknown ids (×1 line, both ends)
+        match from_tsv(concepts, rels) {
+            Err(MedKbError::Validation(r)) => {
+                assert_eq!(r.len(), 6, "{r}");
+                assert!(r.defects().iter().any(|d| d.document == "concepts"));
+                assert!(r.defects().iter().any(|d| d.document == "relationships"));
+            }
+            other => panic!("expected validation error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -203,6 +257,28 @@ mod tests {
                 rels in "[\\x20-\\x7e\\t\\n]{0,120}",
             ) {
                 let _ = from_tsv(&concepts, &rels);
+            }
+
+            /// Non-ASCII input (combining marks, CJK, control chars) must
+            /// error cleanly too, never panic.
+            #[test]
+            fn prop_from_tsv_never_panics_unicode(
+                concepts in "([\\x20-\\x7e\\t\\n]|.){0,160}",
+                rels in "([\\x20-\\x7e\\t\\n]|.){0,80}",
+            ) {
+                let _ = from_tsv(&concepts, &rels);
+            }
+
+            /// Raw bytes (decoded lossily, as an external tool would) never
+            /// panic the loader.
+            #[test]
+            fn prop_from_tsv_never_panics_bytes(
+                concepts in proptest::collection::vec(any::<u8>(), 0..256),
+                rels in proptest::collection::vec(any::<u8>(), 0..128),
+            ) {
+                let c = String::from_utf8_lossy(&concepts);
+                let r = String::from_utf8_lossy(&rels);
+                let _ = from_tsv(&c, &r);
             }
 
             /// Structurally valid random inputs round-trip or error cleanly.

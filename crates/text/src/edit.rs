@@ -148,6 +148,22 @@ mod tests {
     }
 
     #[test]
+    fn length_prefilter_counts_chars_not_bytes() {
+        // "naïve" is 5 chars but 6 bytes; a byte-based length gap would
+        // wrongly prune the pair at max = 1 ("naïves" is 7 bytes, gap 1
+        // either way here, so also pin a case where the byte gap exceeds
+        // max while the char gap does not).
+        assert_eq!(levenshtein_within("naïve", "naïves", 1), Some(1));
+        // µµ (4 bytes, 2 chars) vs "abc" (3 bytes, 3 chars): char gap 1.
+        assert_eq!(levenshtein_within("µµ", "abc", 3), Some(3));
+        // Byte lengths: "µµµµ" = 8, "" = 0 → byte gap 8 > 4 would prune;
+        // char gap is 4, and the distance really is 4.
+        assert_eq!(levenshtein_within("µµµµ", "", 4), Some(4));
+        assert_eq!(levenshtein("naïve", "naive"), 1);
+        assert_eq!(damerau_levenshtein("µg", "gµ"), 1);
+    }
+
+    #[test]
     fn single_edits() {
         assert_eq!(levenshtein("fever", "feber"), 1); // substitution
         assert_eq!(levenshtein("fever", "fevr"), 1); // deletion

@@ -25,7 +25,12 @@ pub fn normalize(s: &str) -> String {
             if ch.is_ascii() {
                 out.push(ch.to_ascii_lowercase());
             } else {
-                for lower in ch.to_lowercase() {
+                // `to_lowercase` can expand to several chars, and the extras
+                // are not always alphanumeric: `İ` (U+0130) lowers to
+                // `i` + combining-dot-above, and a second normalize pass
+                // would then drop the mark. Keeping only alphanumeric
+                // expansion chars makes the function idempotent.
+                for lower in ch.to_lowercase().filter(|c| c.is_alphanumeric()) {
                     out.push(lower);
                 }
             }
@@ -67,6 +72,22 @@ mod tests {
     #[test]
     fn digits_survive() {
         assert_eq!(normalize("Stage 1 CKD"), "stage 1 ckd");
+    }
+
+    #[test]
+    fn multibyte_letters_survive() {
+        assert_eq!(normalize("naïve BAYES"), "naïve bayes");
+        assert_eq!(normalize("5 µg dose"), "5 µg dose");
+    }
+
+    #[test]
+    fn idempotent_on_multichar_lowercase_expansions() {
+        // `İ` (U+0130) lowers to `i` + U+0307 combining dot above; the
+        // combining mark is not alphanumeric, so keeping it would make a
+        // second normalize pass produce a different string.
+        let once = normalize("İstanbul");
+        assert_eq!(once, "istanbul");
+        assert_eq!(normalize(&once), once);
     }
 
     proptest! {

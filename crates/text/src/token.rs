@@ -17,7 +17,10 @@ pub fn tokenize(s: &str) -> Vec<String> {
     let mut cur = String::new();
     for ch in s.chars() {
         if ch.is_alphanumeric() {
-            for lower in ch.to_lowercase() {
+            // Keep only alphanumeric expansion chars, mirroring
+            // `crate::normalize` (see the `İ` note there) so the
+            // tokens-join-to-normalized invariant holds.
+            for lower in ch.to_lowercase().filter(|c| c.is_alphanumeric()) {
                 cur.push(lower);
             }
         } else if !cur.is_empty() {
@@ -70,6 +73,13 @@ mod tests {
     #[test]
     fn digits_are_tokens() {
         assert_eq!(tokenize("stage 1 ckd"), vec!["stage", "1", "ckd"]);
+    }
+
+    #[test]
+    fn multichar_lowercase_expansion_matches_normalize() {
+        // Mirrors the `İ` idempotence fix in normalize.
+        assert_eq!(tokenize("İstanbul"), vec!["istanbul"]);
+        assert_eq!(tokenize("İstanbul").join(" "), crate::normalize("İstanbul"));
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub enum MedKbError {
         /// Description of the corruption.
         detail: String,
     },
+    /// An input document failed validation; the report lists **every**
+    /// defect found (document, line, message), not just the first.
+    Validation(crate::validation::ValidationReport),
 }
 
 impl MedKbError {
@@ -66,6 +69,7 @@ impl fmt::Display for MedKbError {
             }
             Self::InvalidArgument { detail } => write!(f, "invalid argument: {detail}"),
             Self::Corrupt { detail } => write!(f, "corrupt artifact: {detail}"),
+            Self::Validation(report) => write!(f, "input validation failed: {report}"),
         }
     }
 }

@@ -23,6 +23,7 @@ pub mod error;
 pub mod ids;
 pub mod idvec;
 pub mod intern;
+pub mod validation;
 
 pub use error::{MedKbError, Result};
 pub use ids::{
@@ -30,3 +31,4 @@ pub use ids::{
 };
 pub use idvec::IdVec;
 pub use intern::StringInterner;
+pub use validation::{Defect, ValidationReport};

@@ -1,0 +1,156 @@
+//! Multi-defect validation reporting for loaders.
+//!
+//! Every TSV/RF2 loader in the workspace validates the *whole* document
+//! before giving up: a malformed export with twelve broken rows reports all
+//! twelve (with document names and line numbers), not just the first. The
+//! loaders collect defects into a [`ValidationReport`] and convert a
+//! non-empty report into [`crate::MedKbError::Validation`] at the end of
+//! the parse, so callers keep the plain `Result<T>` interface.
+
+use std::fmt;
+
+use crate::error::{MedKbError, Result};
+
+/// One concrete problem found while validating an input document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Defect {
+    /// Which document the defect was found in (e.g. `"concepts"`,
+    /// `"triples"`).
+    pub document: &'static str,
+    /// 1-based line number, when the defect is tied to a specific line.
+    pub line: Option<usize>,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for Defect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{} line {}: {}", self.document, line, self.message),
+            None => write!(f, "{}: {}", self.document, self.message),
+        }
+    }
+}
+
+/// An accumulating list of [`Defect`]s for one load operation.
+///
+/// ```
+/// use medkb_types::{ValidationReport, MedKbError};
+///
+/// let mut report = ValidationReport::new();
+/// report.defect("concepts", Some(3), "bad id \"x\"");
+/// report.defect("concepts", Some(7), "empty name");
+/// let err = report.into_result().unwrap_err();
+/// assert!(matches!(err, MedKbError::Validation(r) if r.len() == 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValidationReport {
+    defects: Vec<Defect>,
+}
+
+impl ValidationReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one defect.
+    pub fn defect(&mut self, document: &'static str, line: Option<usize>, message: impl Into<String>) {
+        self.defects.push(Defect { document, line, message: message.into() });
+    }
+
+    /// Whether any defect has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.defects.is_empty()
+    }
+
+    /// Number of recorded defects.
+    pub fn len(&self) -> usize {
+        self.defects.len()
+    }
+
+    /// All recorded defects, in discovery order.
+    pub fn defects(&self) -> &[Defect] {
+        &self.defects
+    }
+
+    /// `Ok(())` when empty, otherwise [`MedKbError::Validation`] carrying
+    /// every recorded defect.
+    pub fn into_result(self) -> Result<()> {
+        if self.defects.is_empty() {
+            Ok(())
+        } else {
+            Err(MedKbError::Validation(self))
+        }
+    }
+
+    /// Like [`ValidationReport::into_result`] but yields `value` on success.
+    pub fn into_result_with<T>(self, value: T) -> Result<T> {
+        self.into_result().map(|()| value)
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        /// Cap on the defects spelled out in `Display`; the rest are
+        /// summarized so a million-row broken export cannot flood a log
+        /// line (the full list stays available via [`ValidationReport::defects`]).
+        const SHOWN: usize = 8;
+        write!(f, "{} defect(s): ", self.defects.len())?;
+        for (i, d) in self.defects.iter().take(SHOWN).enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        if self.defects.len() > SHOWN {
+            write!(f, "; … and {} more", self.defects.len() - SHOWN)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_ok() {
+        assert!(ValidationReport::new().into_result().is_ok());
+        assert_eq!(ValidationReport::new().into_result_with(42).unwrap(), 42);
+    }
+
+    #[test]
+    fn collects_all_defects_in_order() {
+        let mut r = ValidationReport::new();
+        r.defect("concepts", Some(1), "bad id");
+        r.defect("relationships", None, "truncated");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.defects()[0].to_string(), "concepts line 1: bad id");
+        assert_eq!(r.defects()[1].to_string(), "relationships: truncated");
+    }
+
+    #[test]
+    fn display_caps_long_reports() {
+        let mut r = ValidationReport::new();
+        for i in 0..12 {
+            r.defect("doc", Some(i + 1), "bad");
+        }
+        let s = r.to_string();
+        assert!(s.starts_with("12 defect(s): "));
+        assert!(s.ends_with("… and 4 more"));
+    }
+
+    #[test]
+    fn into_result_carries_report() {
+        let mut r = ValidationReport::new();
+        r.defect("doc", Some(2), "oops");
+        match r.into_result().unwrap_err() {
+            MedKbError::Validation(rep) => {
+                assert_eq!(rep.len(), 1);
+                assert_eq!(rep.defects()[0].line, Some(2));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

@@ -13,6 +13,15 @@ cargo test -q
 # explicitly so a filtered/partial invocation can't silently skip them.
 cargo test -q --test golden_traces --test obs_conformance
 
+# Lint wall: warnings are errors across every target in the workspace.
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Fuzz smoke: one adversarial world per DAG shape through the full
+# differential oracle stack (~seconds). The exhaustive 240-world sweep
+# lives in `cargo test -p medkb-fuzz --test differential` and runs out of
+# band — this keeps tier-1 fast while still catching gross divergence.
+cargo test -q -p medkb-fuzz smoke
+
 # No test may be #[ignore]d without a tracking comment on the same line
 # (e.g. `#[ignore] // tracked: <reason/issue>`). Silent skips rot.
 if grep -rn '#\[ignore\]' --include='*.rs' tests/ crates/ src/ 2>/dev/null \

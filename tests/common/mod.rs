@@ -17,26 +17,37 @@ pub fn fixture_path(name: &str) -> PathBuf {
 }
 
 /// Parse `fragment_mentions.tsv` into per-tag direct counts.
+///
+/// The fixture is committed alongside the tests, so malformed rows are a
+/// repo defect — panic, but with the 1-based line number and the offending
+/// content so the bad edit is findable without a debugger.
 pub fn fixture_mentions() -> MentionCounts {
     let f = paper_fragment();
     let doc = std::fs::read_to_string(fixture_path("fragment_mentions.tsv"))
         .expect("read fragment_mentions.tsv");
     let mut direct: HashMap<ExtConceptId, [u64; N_TAGS]> = HashMap::new();
-    for line in doc.lines() {
+    for (lineno, line) in doc.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        let bad = |what: &str| -> ! {
+            panic!("fragment_mentions.tsv line {}: {what} in {line:?}", lineno + 1)
+        };
         let mut cols = line.split('\t');
-        let name = cols.next().expect("concept column");
-        let treat: u64 = cols.next().expect("treatment column").parse().expect("treatment count");
-        let risk: u64 = cols.next().expect("risk column").parse().expect("risk count");
+        let (Some(name), Some(treat), Some(risk)) = (cols.next(), cols.next(), cols.next())
+        else {
+            bad("expected 3 tab fields")
+        };
+        let treat: u64 = treat.parse().unwrap_or_else(|_| bad("bad treatment count"));
+        let risk: u64 = risk.parse().unwrap_or_else(|_| bad("bad risk count"));
         let mut row = [0u64; N_TAGS];
         row[ContextTag::Treatment.index()] = treat;
         row[ContextTag::Risk.index()] = risk;
         assert!(
             direct.insert(f.concept(name), row).is_none(),
-            "duplicate fixture row for {name:?}"
+            "fragment_mentions.tsv line {}: duplicate fixture row for {name:?}",
+            lineno + 1
         );
     }
     MentionCounts::from_direct(direct, HashMap::new(), 200)
