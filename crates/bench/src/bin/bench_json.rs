@@ -17,7 +17,15 @@
 //! cargo run --release -p medkb-bench --bin bench_json -- --ingest
 //! ```
 //!
-//! `--quick` reduces repetitions and skips the file write in both modes
+//! `--serve` times the serving layer (snapshot store + sharded result
+//! cache) over the same 4k world: cold relax vs warm cache hit, plus a
+//! snapshot-swap exercise, and writes `BENCH_serve.json`:
+//!
+//! ```text
+//! cargo run --release -p medkb-bench --bin bench_json -- --serve
+//! ```
+//!
+//! `--quick` reduces repetitions and skips the file write in all modes
 //! (so a smoke run cannot clobber committed full-run numbers).
 //!
 //! Both modes also run an instrumented pass against a fresh
@@ -211,10 +219,176 @@ fn run_ingest_bench(quick: bool) {
     println!("{json}");
 }
 
+/// Serving-layer benchmark (`--serve`): cold relax through the cache vs
+/// warm hits, single-flight/batch traffic, and a snapshot swap under the
+/// smoke contract that cached ≡ uncached bit for bit throughout.
+fn run_serve_bench(quick: bool) {
+    use medkb_serve::{obs_names as sn, RelaxServer, ServeConfig, ServedFrom};
+
+    let radius = 4u32;
+    let k = 10usize;
+    let reps = if quick { 2 } else { 5 };
+
+    eprintln!("[bench_json] building 4k-concept benchmark world…");
+    let RelaxBenchWorld { relaxer, queries, context } = relaxation_bench_world(true);
+    let mut cfg = relaxer.config().clone();
+    cfg.radius = radius;
+    cfg.dynamic_radius = false;
+    // The uncached twin every served answer is checked against.
+    let plain = QueryRelaxer::new(relaxer.ingested().clone(), cfg.clone());
+
+    let registry = Registry::shared();
+    let cfg_obs = RelaxConfig { obs: ObsConfig::with_registry(Arc::clone(&registry)), ..cfg };
+    let server =
+        RelaxServer::new(relaxer.ingested().clone(), cfg_obs, ServeConfig::default());
+
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|&q| plain.relax_concept(q, Some(context), k).expect("uncached relax"))
+        .collect();
+
+    // Cold pass: every key missing, every request computes.
+    let mut cold_us = Vec::with_capacity(queries.len());
+    for (&q, want) in queries.iter().zip(&expected) {
+        let t = Instant::now();
+        let served = server.serve_concept(q, Some(context), k).expect("cold serve");
+        cold_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(served.served_from, ServedFrom::Computed, "cold pass must compute");
+        assert_eq!(*served.result, *want, "cached path diverged from uncached relax");
+    }
+
+    // Warm passes: every key resident, every request hits.
+    let mut warm_us = Vec::with_capacity(queries.len() * reps);
+    for _ in 0..reps {
+        for (&q, want) in queries.iter().zip(&expected) {
+            let t = Instant::now();
+            let served = server.serve_concept(q, Some(context), k).expect("warm serve");
+            warm_us.push(t.elapsed().as_secs_f64() * 1e6);
+            assert_eq!(served.served_from, ServedFrom::Cache, "warm pass must hit");
+            assert_eq!(*served.result, *want, "warm hit diverged from uncached relax");
+        }
+    }
+
+    // Batch surface: duplicated queries drain from the cache, order kept.
+    let batch: Vec<(ExtConceptId, Option<medkb_types::ContextId>)> = queries
+        .iter()
+        .chain(queries.iter())
+        .map(|&q| (q, Some(context)))
+        .collect();
+    for (res, want) in
+        server.serve_concepts_batch(&batch, k).into_iter().zip(expected.iter().cycle())
+    {
+        let served = res.expect("batch serve");
+        assert!(served.cached(), "warm batch must be served from cache");
+        assert_eq!(*served.result, *want, "batch serving diverged");
+    }
+
+    // Snapshot swap: publish the same artifacts as epoch 1. New epoch means
+    // new keys — the next pass recomputes, then warms again.
+    let t = Instant::now();
+    let epoch = server.publish(relaxer.ingested().clone());
+    let publish_us = t.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(epoch, 1);
+    let mut post_swap_cold_us = Vec::with_capacity(queries.len());
+    for (&q, want) in queries.iter().zip(&expected) {
+        let t = Instant::now();
+        let served = server.serve_concept(q, Some(context), k).expect("post-swap serve");
+        post_swap_cold_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(served.epoch, 1, "post-swap requests must see the new epoch");
+        assert_eq!(served.served_from, ServedFrom::Computed, "swap must invalidate");
+        assert_eq!(*served.result, *want, "post-swap answers diverged");
+    }
+    let rewarmed = server.serve_concept(queries[0], Some(context), k).expect("rewarm");
+    assert_eq!(rewarmed.served_from, ServedFrom::Cache);
+
+    // Shed semantics, on a separate registry so the traffic counters above
+    // stay interpretable: a zero deadline sheds with Overloaded, not
+    // NotFound, and records it.
+    let shed_registry = Registry::shared();
+    let shed_cfg = RelaxConfig {
+        obs: ObsConfig::with_registry(Arc::clone(&shed_registry)),
+        ..plain.config().clone()
+    };
+    let shed_server = RelaxServer::new(
+        relaxer.ingested().clone(),
+        shed_cfg,
+        ServeConfig { deadline: Some(std::time::Duration::ZERO), ..ServeConfig::default() },
+    );
+    match shed_server.serve_concept(queries[0], Some(context), k) {
+        Err(medkb_types::MedKbError::Overloaded { .. }) => {}
+        other => panic!("zero deadline must shed with Overloaded, got {other:?}"),
+    }
+    assert_eq!(shed_registry.snapshot().counter(sn::SHED), 1, "shed counter must record");
+
+    // Smoke contract over the instrumented traffic.
+    let snap = registry.snapshot();
+    let metrics_json = snap.to_json();
+    assert!(validate_json(&metrics_json), "metrics snapshot must be valid JSON");
+    let hits = snap.counter(sn::CACHE_HITS);
+    let misses = snap.counter(sn::CACHE_MISSES);
+    assert!(hits > 0, "warm passes must produce cache hits");
+    // Exactly two cold sweeps (one per epoch) computed; everything else hit.
+    assert_eq!(misses, 2 * queries.len() as u64, "unexpected miss count");
+    assert_eq!(snap.counter(sn::SHED), 0, "unshedded traffic must not record sheds");
+    assert_eq!(snap.counter(sn::SNAPSHOT_SWAPS), 1);
+    assert_eq!(snap.counter(sn::SNAPSHOT_RETIRED), 1, "epoch 0 must retire after the swap");
+    assert!(snap.histogram_count(sn::CACHE_LOOKUP_US) > 0, "lookup histogram empty");
+    assert!(snap.histogram_count(sn::LATENCY_US) > 0, "latency histogram empty");
+    let hit_ratio = snap.counter_ratio(sn::CACHE_HITS, sn::CACHE_MISSES);
+
+    let cold_p50 = median(&mut cold_us);
+    let warm_p50 = median(&mut warm_us);
+    let post_swap_p50 = median(&mut post_swap_cold_us);
+    let warm_speedup = cold_p50 / warm_p50;
+    eprintln!(
+        "[bench_json] cold {cold_p50:.1}µs, warm {warm_p50:.2}µs ({warm_speedup:.0}x), \
+         post-swap {post_swap_p50:.1}µs, publish {publish_us:.0}µs, hit ratio {hit_ratio:.3}"
+    );
+    if !quick {
+        // Acceptance criterion (ISSUE 5): warm-cache p50 ≥ 10× lower than
+        // cold relax on the 4k world. Only enforced on full runs — --quick
+        // is a smoke test and stays robust on loaded CI boxes.
+        assert!(
+            warm_p50 * 10.0 <= cold_p50,
+            "warm p50 {warm_p50:.2}µs not ≥10x below cold p50 {cold_p50:.2}µs"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"cold_p50_us\": {cold_p50:.2},\n  \
+         \"warm_p50_us\": {warm_p50:.2},\n  \
+         \"warm_speedup\": {warm_speedup:.1},\n  \
+         \"post_swap_cold_p50_us\": {post_swap_p50:.2},\n  \
+         \"publish_us\": {publish_us:.1},\n  \
+         \"hit_ratio\": {hit_ratio:.4},\n  \
+         \"cache_hits\": {hits},\n  \"cache_misses\": {misses},\n  \
+         \"queries\": {},\n  \"reps\": {reps},\n  \
+         \"radius\": {radius},\n  \"k\": {k},\n  \
+         \"shards\": {},\n  \"shard_capacity\": {},\n  \
+         \"world_concepts\": 4000,\n  \
+         \"metrics\": {metrics_json}\n}}\n",
+        queries.len(),
+        server.config().shards,
+        server.config().shard_capacity,
+    );
+    if quick {
+        eprintln!("[bench_json] --quick: skipping BENCH_serve.json write");
+    } else {
+        let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        std::fs::write(out, &json).expect("write BENCH_serve.json");
+        eprintln!("[bench_json] wrote {out}");
+    }
+    println!("{json}");
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     if std::env::args().any(|a| a == "--ingest") {
         run_ingest_bench(quick);
+        return;
+    }
+    if std::env::args().any(|a| a == "--serve") {
+        run_serve_bench(quick);
         return;
     }
     let radius = 4u32;

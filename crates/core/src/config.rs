@@ -255,6 +255,61 @@ impl RelaxConfig {
         }
         Ok(())
     }
+
+    /// A 64-bit fingerprint over every field that can change a relaxation
+    /// *result* — the serving cache keys on it so two configurations share
+    /// cache entries iff they are answer-equivalent.
+    ///
+    /// Included: scoring weights (exact bit patterns), radius/dynamic
+    /// growth, the ablation switches, frequency semantics, shortcut
+    /// customization, mapping method (with its parameters), and the
+    /// strip-modifiers fallback. Excluded by design: [`ParallelConfig`]
+    /// (outputs are thread-count independent, DESIGN.md §9) and
+    /// [`ObsConfig`] (instrumentation is inert on results, §10).
+    pub fn result_fingerprint(&self) -> u64 {
+        // FNV-1a, same construction the token trie uses: stable across
+        // runs and platforms, unlike `DefaultHasher` whose algorithm is
+        // explicitly unspecified.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&self.w_gen.to_bits().to_le_bytes());
+        eat(&self.w_spec.to_bits().to_le_bytes());
+        eat(&self.radius.to_le_bytes());
+        eat(&[
+            u8::from(self.dynamic_radius),
+            u8::from(self.use_context),
+            u8::from(self.use_corpus),
+            u8::from(self.use_path_weight),
+            u8::from(self.use_tfidf),
+            u8::from(self.add_shortcuts),
+            u8::from(self.strip_modifiers),
+            match self.frequency_mode {
+                FrequencyMode::PaperRecursive => 0,
+                FrequencyMode::DescendantSet => 1,
+            },
+        ]);
+        eat(&self.max_radius.to_le_bytes());
+        match self.mapping {
+            MappingMethod::Exact => eat(&[0]),
+            MappingMethod::Edit(tau) => {
+                eat(&[1]);
+                eat(&tau.to_le_bytes());
+            }
+            MappingMethod::Embedding { threshold } => {
+                eat(&[2]);
+                eat(&threshold.to_bits().to_le_bytes());
+            }
+            MappingMethod::Phonetic => eat(&[3]),
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +375,49 @@ mod tests {
         assert!(shrunk.validate().is_err());
         // With dynamic growth off, max_radius is inert and may be anything.
         assert!(RelaxConfig { dynamic_radius: false, ..shrunk }.validate().is_ok());
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_affecting_fields_only() {
+        let base = RelaxConfig::default();
+        // Deterministic across calls.
+        assert_eq!(base.result_fingerprint(), base.result_fingerprint());
+        // Result-inert knobs never move it: threads and observability.
+        let threaded = RelaxConfig {
+            parallel: ParallelConfig { threads: 8, clamp_to_cores: false },
+            obs: ObsConfig::enabled(),
+            ..base.clone()
+        };
+        assert_eq!(base.result_fingerprint(), threaded.result_fingerprint());
+        // Every result-affecting field moves it.
+        let variants = [
+            RelaxConfig { w_gen: 0.8, ..base.clone() },
+            RelaxConfig { w_spec: 0.95, ..base.clone() },
+            RelaxConfig { radius: 3, ..base.clone() },
+            RelaxConfig { dynamic_radius: false, ..base.clone() },
+            RelaxConfig { max_radius: 9, ..base.clone() },
+            base.clone().no_context(),
+            base.clone().no_corpus(),
+            RelaxConfig { use_path_weight: false, ..base.clone() },
+            RelaxConfig { use_tfidf: false, ..base.clone() },
+            RelaxConfig { frequency_mode: FrequencyMode::DescendantSet, ..base.clone() },
+            RelaxConfig { add_shortcuts: false, ..base.clone() },
+            RelaxConfig { mapping: MappingMethod::Exact, ..base.clone() },
+            RelaxConfig { mapping: MappingMethod::edit_tau2(), ..base.clone() },
+            RelaxConfig { mapping: MappingMethod::Edit(3), ..base.clone() },
+            RelaxConfig {
+                mapping: MappingMethod::Embedding { threshold: 0.9 },
+                ..base.clone()
+            },
+            RelaxConfig { mapping: MappingMethod::Phonetic, ..base.clone() },
+            RelaxConfig { strip_modifiers: true, ..base.clone() },
+        ];
+        let mut seen = vec![base.result_fingerprint()];
+        for (i, v) in variants.iter().enumerate() {
+            let fp = v.result_fingerprint();
+            assert!(!seen.contains(&fp), "variant {i} collided: {v:?}");
+            seen.push(fp);
+        }
     }
 
     #[test]

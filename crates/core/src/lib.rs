@@ -40,5 +40,5 @@ pub use frequency::Frequencies;
 pub use ingest::{ingest, ingest_reference, ingest_with_stats, IngestOutput, IngestStats};
 pub use mapping::ConceptMapper;
 pub use pipeline::RelaxationPipeline;
-pub use relax::{QueryRelaxer, RelaxationResult, RelaxedAnswer, ScoreExplain};
+pub use relax::{rank_order, QueryRelaxer, RelaxationResult, RelaxedAnswer, ScoreExplain};
 pub use similarity::QrScorer;

@@ -28,8 +28,12 @@ pub mod obs_names {
     /// Candidate-side LCS evaluations (counter).
     pub const LCS_EVALS: &str = "relax.lcs.evals";
     /// LCS evaluations that hit the amortized query-side upward-distance
-    /// table instead of re-running the query-side Dijkstra — every scoped
-    /// evaluation after the first per query (counter).
+    /// table instead of re-running the query-side Dijkstra. The table is
+    /// built once per query *before* any candidate is scored, so every
+    /// scoped evaluation — including the first — reuses it, and this
+    /// counter always equals [`LCS_EVALS`] (pinned by
+    /// `tests/obs_conformance.rs`); the reference twin, by contrast, pays
+    /// the query-side Dijkstra once per pair (counter).
     pub const LCS_QUERY_REUSE: &str = "relax.lcs.query_side_reuse";
     /// Query terms that resolved to no external concept (counter).
     pub const RESOLVE_NOT_FOUND: &str = "relax.resolve.not_found";
@@ -161,6 +165,22 @@ impl RelaxationResult {
     }
 }
 
+/// The one answer-ordering comparator every ranking surface shares — the
+/// online path, the preserved reference twin, and the explicit-pool ranking
+/// used by the evaluation harness (and, through them, the serving cache).
+///
+/// Order: score descending (`total_cmp` is a total order, and
+/// [`RelaxConfig::validate`] rejects NaN weights before any scoring), then
+/// hop distance ascending (nearer answers first among equals, Algorithm 2
+/// line 3), then concept id ascending so exact ties break deterministically
+/// across thread counts, caches, and twins.
+pub fn rank_order(
+    a: (f64, u32, ExtConceptId),
+    b: (f64, u32, ExtConceptId),
+) -> std::cmp::Ordering {
+    b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+}
+
 /// The online relaxation engine: owns the ingestion output and answers
 /// `[query term, context]` inputs with top-k semantically related KB
 /// instances.
@@ -193,16 +213,20 @@ impl QueryRelaxer {
     /// Resolve a query term to its external concept (Algorithm 2 line 1).
     ///
     /// With [`RelaxConfig::strip_modifiers`] enabled, a failed lookup
-    /// retries with leading words dropped one at a time (down to the last
-    /// two words) — users often prepend severity words the terminology
-    /// does not carry.
+    /// retries with leading words dropped one at a time, all the way down
+    /// to the final single word — users often prepend severity words the
+    /// terminology does not carry (`"severe cough"` → `"cough"`,
+    /// `"severe psychogenic fever"` → `"psychogenic fever"` → `"fever"`).
+    /// The single-word suffix is a deliberate last resort: it only wins
+    /// when every longer suffix missed, so a multi-word match always
+    /// takes precedence over its own head noun.
     pub fn resolve_term(&self, term: &str) -> Result<ExtConceptId> {
         if let Some(c) = self.ingested.mapper.map(&self.ingested.ekg, term) {
             return Ok(c);
         }
         if self.config.strip_modifiers {
             let words = medkb_text::tokenize(term);
-            for start in 1..words.len().saturating_sub(1) {
+            for start in 1..words.len() {
                 let stripped = words[start..].join(" ");
                 if let Some(c) = self.ingested.mapper.map(&self.ingested.ekg, &stripped) {
                     return Ok(c);
@@ -291,10 +315,17 @@ impl QueryRelaxer {
             m.candidates_kept.add(candidates.len() as u64);
             m.candidates_pruned.add((scanned - candidates.len()) as u64);
             m.radius_growths.add(u64::from(radius - initial_radius));
-            // Query-scoped scoring runs the query-side Dijkstra once; every
-            // candidate after the first reuses it.
+            // Query-scoped scoring builds the query-side upward-distance
+            // table eagerly, before any candidate is scored, so every
+            // evaluation — the first included — reuses it. reuse == evals
+            // exactly: 0 for an empty candidate set, 1 for a singleton.
             m.lcs_evals.add(candidates.len() as u64);
-            m.lcs_query_reuse.add(candidates.len().saturating_sub(1) as u64);
+            m.lcs_query_reuse.add(candidates.len() as u64);
+        }
+        if candidates.is_empty() {
+            // Nothing to score — skip building the query-scoped tables.
+            // Bit-identical to falling through (no candidates ⇒ no answers).
+            return Ok(RelaxationResult { query_concept: query, radius_used: radius, answers: Vec::new() });
         }
 
         // Scoring and ranking (line 3): the query-scoped scorer amortizes
@@ -311,9 +342,7 @@ impl QueryRelaxer {
                 (concept, hops, score)
             })
             .collect();
-        scored.sort_by(|a, b| {
-            b.2.total_cmp(&a.2).then(a.1.cmp(&b.1)).then(a.0.cmp(&b.0))
-        });
+        scored.sort_by(|a, b| rank_order((a.2, a.1, a.0), (b.2, b.1, b.0)));
 
         // Result accumulation until k instances (lines 4–8); instance lists
         // are cloned only for the answers that survive the cut.
@@ -432,10 +461,7 @@ impl QueryRelaxer {
             })
             .collect();
         scored.sort_by(|a, b| {
-            b.score
-                .total_cmp(&a.score)
-                .then(a.hops.cmp(&b.hops))
-                .then(a.concept.cmp(&b.concept))
+            rank_order((a.score, a.hops, a.concept), (b.score, b.hops, b.concept))
         });
 
         let mut answers = Vec::new();
@@ -585,7 +611,10 @@ impl QueryRelaxer {
         let mut scoped = scorer.query_scoped(query, tag, &self.ingested.reach);
         let mut scored: Vec<(ExtConceptId, f64)> =
             candidates.iter().map(|&c| (c, scoped.score(c))).collect();
-        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        // An explicit pool carries no hop distances, so the comparator's
+        // hop key is constant here and the shared order degenerates to
+        // score-then-id — same shape as every other ranking surface.
+        scored.sort_by(|a, b| rank_order((a.1, 0, a.0), (b.1, 0, b.0)));
         scored
     }
 }
@@ -765,6 +794,59 @@ mod tests {
         assert!(r.resolve_term("totally unknown thing").is_err());
     }
 
+    /// Regression for the strip-modifiers loop bound: `1..len - 1` never
+    /// fired for two-word terms and never retried the final single word.
+    /// Covers 2-, 3-, and 4-word decorated terms.
+    #[test]
+    fn strip_modifiers_reaches_every_suffix_down_to_one_word() {
+        let mut r = relaxer();
+        r.config.strip_modifiers = true;
+        // 2 words: the only possible strip is straight to the single word.
+        let c = r.resolve_term("severe fever").unwrap();
+        assert_eq!(r.ingested().ekg.name(c), "fever");
+        // 3 words ending in a single known word: both intermediate
+        // suffixes miss, the final single word resolves.
+        let c = r.resolve_term("really bad pneumonia").unwrap();
+        assert_eq!(r.ingested().ekg.name(c), "pneumonia");
+        // 4 words: longest matching suffix wins before the single word is
+        // ever consulted ("psychogenic fever" beats "fever").
+        let c = r.resolve_term("very intense psychogenic fever").unwrap();
+        assert_eq!(r.ingested().ekg.name(c), "psychogenic fever");
+        // Single-word misses still refuse — stripping never invents terms.
+        assert!(r.resolve_term("unknownword").is_err());
+        assert!(r.resolve_term("utterly unknownword").is_err());
+    }
+
+    /// The fixed bound must hold through every relax entry point: term
+    /// path, batch term path, and (for the resolved concept) the reference
+    /// twin — all agree bit-for-bit on a two-word decorated term.
+    #[test]
+    fn stripped_terms_agree_across_all_entry_points() {
+        let mut r = relaxer();
+        r.config.strip_modifiers = true;
+        let ctx = treatment_ctx(&r);
+        for (term, k) in [("severe fever", 5), ("really bad pneumonia", 3)] {
+            let via_term = r.relax(term, Some(ctx), k).unwrap();
+            let q = r.resolve_term(term).unwrap();
+            assert_eq!(via_term.query_concept, q);
+            let via_concept = r.relax_concept(q, Some(ctx), k).unwrap();
+            let via_reference = r.relax_concept_reference(q, Some(ctx), k).unwrap();
+            assert_eq!(via_term, via_concept, "{term}");
+            assert_eq!(via_term, via_reference, "{term}");
+            // Term-level batch resolves through the same stripped path…
+            for out in r.relax_batch(&[(term, Some(ctx)); 3], k) {
+                assert_eq!(out.unwrap(), via_term, "{term}");
+            }
+            // …and the concept-level batch agrees at every thread count.
+            for threads in [1, 2, 4] {
+                for out in r.relax_concepts_batch_with_threads(&[(q, Some(ctx)); 3], k, threads)
+                {
+                    assert_eq!(out.unwrap(), via_term, "{term} threads={threads}");
+                }
+            }
+        }
+    }
+
     #[test]
     fn explain_renders_the_breakdown() {
         let r = relaxer();
@@ -848,11 +930,12 @@ mod tests {
                 + snap.counter(obs_names::CANDIDATES_PRUNED)
         );
         assert_eq!(snap.histogram_count(obs_names::LATENCY_US), 1);
-        // The scoped scorer reuses the query-side Dijkstra for every
-        // candidate after the first.
+        // The scoped scorer builds the query-side table before scoring, so
+        // every evaluation reuses it: reuse == evals exactly.
+        assert!(snap.counter(obs_names::LCS_EVALS) > 0);
         assert_eq!(
             snap.counter(obs_names::LCS_QUERY_REUSE),
-            snap.counter(obs_names::LCS_EVALS).saturating_sub(1)
+            snap.counter(obs_names::LCS_EVALS)
         );
 
         // Batch entry points record shard utilization on top.

@@ -18,6 +18,7 @@
 use std::collections::{HashMap, HashSet};
 
 use medkb_core::baselines::{ConceptRanker, EmbeddingRanker};
+use medkb_serve::{RelaxServer, ServeConfig};
 use medkb_snomed::oracle::DEFAULT_RELEVANCE_THRESHOLD;
 use medkb_snomed::{ContextTag, Hierarchy, Oracle};
 use medkb_types::{ContextId, ExtConceptId};
@@ -124,9 +125,11 @@ pub fn evaluate_relaxation_on(
     ];
 
     // —— Run every method on every query ——
-    // QR-family methods shard the *queries* across threads through the
-    // batch-relaxation API (queries vastly outnumber methods, so this
-    // parallelizes much better than one thread per method).
+    // QR-family methods shard the *queries* across threads and read
+    // through the serving layer's result cache (queries vastly outnumber
+    // methods, so this parallelizes much better than one thread per
+    // method, and repeated workload queries relax once per config —
+    // serving is answer-invisible, so the scores are unchanged).
     let qr_configs = [
         base.clone(),
         base.clone().no_context(),
@@ -137,13 +140,15 @@ pub fn evaluate_relaxation_on(
         workload.queries.iter().map(|&(q, ctx, _)| (q, Some(ctx))).collect();
     let mut runs: Vec<Vec<Vec<ExtConceptId>>> = Vec::with_capacity(labels.len());
     for config in qr_configs {
-        let relaxer = stack.relaxer(config);
+        let server =
+            RelaxServer::new(stack.ingested.clone(), config, ServeConfig::default());
         runs.push(
-            relaxer
-                .relax_concepts_batch(&batch_queries, k)
+            server
+                .serve_concepts_batch(&batch_queries, k)
                 .into_iter()
                 .map(|res| {
-                    res.map(|r| r.concepts().into_iter().take(k).collect()).unwrap_or_default()
+                    res.map(|r| r.result.concepts().into_iter().take(k).collect())
+                        .unwrap_or_default()
                 })
                 .collect(),
         );

@@ -110,6 +110,16 @@ impl MetricsSnapshot {
     pub fn histogram_count(&self, name: &str) -> u64 {
         self.histograms.get(name).map(|h| h.count).unwrap_or(0)
     }
+
+    /// `a / (a + b)` over two counters — the hit-ratio shape
+    /// (`ratio(hits, misses)`), usable for any split pair (kept vs pruned,
+    /// shed vs served). Returns 0.0 when both counters are zero or absent,
+    /// so dashboards and the serve bench never divide by zero.
+    pub fn counter_ratio(&self, a: &str, b: &str) -> f64 {
+        let x = self.counter(a) as f64;
+        let y = self.counter(b) as f64;
+        if x + y == 0.0 { 0.0 } else { x / (x + y) }
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +168,18 @@ mod tests {
         assert_eq!(s.counter("z.last"), 2);
         assert_eq!(s.histogram_count("lat"), 2);
         assert_eq!(s.histogram_count("nope"), 0);
+    }
+
+    #[test]
+    fn counter_ratio_is_hit_ratio_shaped() {
+        let s = sample();
+        // 1 hit, 2 misses → 1/3.
+        assert_eq!(s.counter_ratio("a.first", "z.last"), 1.0 / 3.0);
+        assert_eq!(s.counter_ratio("z.last", "a.first"), 2.0 / 3.0);
+        // Both absent → defined 0.0, never NaN.
+        assert_eq!(s.counter_ratio("nope", "also.nope"), 0.0);
+        // One side absent behaves as zero.
+        assert_eq!(s.counter_ratio("z.last", "nope"), 1.0);
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Sharded relaxation result cache with per-shard LRU and single-flight
+//! miss deduplication (DESIGN.md §12).
+//!
+//! The cache key embeds the snapshot epoch and the config fingerprint, so
+//! a snapshot swap or a config change is an *implicit total invalidation*:
+//! entries for dead epochs simply stop being looked up and age out of the
+//! LRU under new traffic — no flush, no coordination with readers.
+//!
+//! Concurrency model: the shard count is rounded up to a power of two and
+//! each shard is an independent `Mutex<_>` guarding a `HashMap` index into
+//! a slab-backed intrusive LRU list. A lookup or insert holds exactly one
+//! shard lock for a few map operations; the relaxation itself — the
+//! expensive part — always runs *outside* every lock. N concurrent misses
+//! on the same key collapse to one computation: the first becomes the
+//! leader, the rest park on a condvar and receive the leader's result
+//! (`Lookup::Joined`).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use medkb_core::RelaxationResult;
+use medkb_obs::Counter;
+use medkb_types::{ContextId, ExtConceptId, MedKbError, Result};
+
+/// What the query side of a [`CacheKey`] is: a normalized term (the server
+/// normalizes before keying *and* before computing, so equal keys imply
+/// equal computation inputs) or an already-resolved concept.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum QueryKey {
+    /// A textual term, already passed through `medkb_text::normalize`.
+    Term(String),
+    /// An already-resolved external concept.
+    Concept(ExtConceptId),
+}
+
+/// The full cache key. Two requests share an entry iff they would compute
+/// the same answer set: same query, same context, same result-affecting
+/// configuration, same `k`, same snapshot epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Normalized term or resolved concept.
+    pub query: QueryKey,
+    /// The query context (None = context-free relaxation).
+    pub context: Option<ContextId>,
+    /// [`medkb_core::RelaxConfig::result_fingerprint`] of the serving
+    /// config.
+    pub fingerprint: u64,
+    /// Requested instance budget.
+    pub k: usize,
+    /// The snapshot epoch the entry was computed against.
+    pub epoch: u64,
+}
+
+/// How a [`ResultCache::get_or_compute`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Found in the cache — no computation, no waiting.
+    Hit,
+    /// This call computed the value (single-flight leader).
+    Miss,
+    /// Another in-flight call computed it; this one waited for the result.
+    Joined,
+}
+
+/// Slab sentinel for "no neighbour" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: CacheKey,
+    value: Arc<RelaxationResult>,
+    prev: usize,
+    next: usize,
+}
+
+/// One leader/followers rendezvous for a single in-flight key.
+struct Flight {
+    done: Mutex<Option<Result<Arc<RelaxationResult>>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Self { done: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    fn complete(&self, outcome: Result<Arc<RelaxationResult>>) {
+        *self.done.lock().expect("flight poisoned") = Some(outcome);
+        self.cv.notify_all();
+    }
+
+    /// Block until the leader completes, or until `deadline` passes.
+    fn wait(&self, deadline: Option<Instant>) -> Result<Arc<RelaxationResult>> {
+        let mut done = self.done.lock().expect("flight poisoned");
+        loop {
+            if let Some(outcome) = done.as_ref() {
+                return outcome.clone();
+            }
+            match deadline {
+                None => done = self.cv.wait(done).expect("flight poisoned"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(MedKbError::overloaded(
+                            "deadline exceeded while waiting on a shared in-flight computation",
+                        ));
+                    }
+                    let (next, _) =
+                        self.cv.wait_timeout(done, d - now).expect("flight poisoned");
+                    done = next;
+                }
+            }
+        }
+    }
+}
+
+/// One shard: key → slab index, the slab itself, and the in-flight table.
+struct Shard {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    /// Most-recently-used entry, or `NIL` when empty.
+    head: usize,
+    /// Least-recently-used entry (the eviction victim), or `NIL`.
+    tail: usize,
+    inflight: HashMap<CacheKey, Arc<Flight>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            inflight: HashMap::new(),
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<RelaxationResult>> {
+        let &i = self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(Arc::clone(&self.slab[i].value))
+    }
+
+    /// Insert (or refresh) `key`, evicting the LRU entry if the shard is at
+    /// `capacity`. Returns how many entries were evicted (0 or 1).
+    fn insert(&mut self, key: CacheKey, value: Arc<RelaxationResult>, capacity: usize) -> u64 {
+        if let Some(&i) = self.map.get(&key) {
+            // A racing leader already inserted this key; refresh in place.
+            self.slab[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.map.len() >= capacity.max(1) {
+            let victim = self.tail;
+            self.unlink(victim);
+            let old = self.slab[victim].key.clone();
+            self.map.remove(&old);
+            self.free.push(victim);
+            evicted = 1;
+        }
+        let i = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Entry { key: key.clone(), value, prev: NIL, next: NIL };
+                slot
+            }
+            None => {
+                self.slab.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        evicted
+    }
+}
+
+/// Removes the in-flight entry and wakes followers even if the leader's
+/// computation panics — followers get an error instead of parking forever.
+struct LeaderGuard<'a> {
+    shard: &'a Mutex<Shard>,
+    key: &'a CacheKey,
+    flight: &'a Arc<Flight>,
+    completed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.shard.lock().expect("cache shard poisoned").inflight.remove(self.key);
+            self.flight.complete(Err(MedKbError::overloaded(
+                "shared in-flight computation failed before completing",
+            )));
+        }
+    }
+}
+
+/// The sharded cache. Capacity is configured per shard, so total capacity
+/// is `shards × capacity_per_shard`.
+pub struct ResultCache {
+    shards: Box<[Mutex<Shard>]>,
+    mask: u64,
+    capacity_per_shard: usize,
+    /// Eviction counter (`serve.cache.evictions`) when instrumented.
+    evictions: Option<Arc<Counter>>,
+}
+
+impl ResultCache {
+    /// Build with `shards` rounded up to a power of two (minimum 1) and an
+    /// LRU capacity per shard (minimum 1).
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        Self::with_eviction_counter(shards, capacity_per_shard, None)
+    }
+
+    /// As [`ResultCache::new`], recording evictions into `evictions`.
+    pub fn with_eviction_counter(
+        shards: usize,
+        capacity_per_shard: usize,
+        evictions: Option<Arc<Counter>>,
+    ) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shards: Box<[Mutex<Shard>]> =
+            (0..n).map(|_| Mutex::new(Shard::new())).collect();
+        Self { shards, mask: (n - 1) as u64, capacity_per_shard: capacity_per_shard.max(1), evictions }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        // DefaultHasher is fine *inside* one process (shard routing never
+        // crosses a process boundary, unlike the config fingerprint).
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() & self.mask) as usize]
+    }
+
+    /// Number of resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Probe without computing. Touches the LRU on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<RelaxationResult>> {
+        self.shard_of(key).lock().expect("cache shard poisoned").get(key)
+    }
+
+    /// The core read-through: return the cached value, join an in-flight
+    /// computation for the same key, or become the leader and run
+    /// `compute` (outside all locks). Only `Ok` results are cached —
+    /// `NotFound` and friends are returned but never stored, so a
+    /// transient failure can't poison the key.
+    pub fn get_or_compute(
+        &self,
+        key: CacheKey,
+        deadline: Option<Instant>,
+        compute: impl FnOnce() -> Result<RelaxationResult>,
+    ) -> Result<(Arc<RelaxationResult>, Lookup)> {
+        enum Role {
+            Leader(Arc<Flight>),
+            Follower(Arc<Flight>),
+        }
+        let shard_mutex = self.shard_of(&key);
+        let role = {
+            let mut shard = shard_mutex.lock().expect("cache shard poisoned");
+            if let Some(v) = shard.get(&key) {
+                return Ok((v, Lookup::Hit));
+            }
+            match shard.inflight.get(&key) {
+                Some(f) => Role::Follower(Arc::clone(f)),
+                None => {
+                    let f = Arc::new(Flight::new());
+                    shard.inflight.insert(key.clone(), Arc::clone(&f));
+                    Role::Leader(f)
+                }
+            }
+        };
+        match role {
+            Role::Leader(flight) => {
+                let mut guard =
+                    LeaderGuard { shard: shard_mutex, key: &key, flight: &flight, completed: false };
+                let outcome = compute().map(Arc::new);
+                {
+                    let mut shard = shard_mutex.lock().expect("cache shard poisoned");
+                    if let Ok(v) = &outcome {
+                        let evicted =
+                            shard.insert(key.clone(), Arc::clone(v), self.capacity_per_shard);
+                        if evicted > 0 {
+                            if let Some(c) = &self.evictions {
+                                c.add(evicted);
+                            }
+                        }
+                    }
+                    shard.inflight.remove(&key);
+                }
+                guard.completed = true;
+                flight.complete(outcome.clone());
+                outcome.map(|v| (v, Lookup::Miss))
+            }
+            Role::Follower(flight) => flight.wait(deadline).map(|v| (v, Lookup::Joined)),
+        }
+    }
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("len", &self.len())
+            .finish()
+    }
+}

@@ -1,0 +1,418 @@
+//! Snapshot-swapped relaxation serving layer (DESIGN.md §12).
+//!
+//! The paper's online phase (Algorithm 2, §5.2) is built for interactive
+//! clinical queries, and the same relaxed terms recur heavily across users
+//! — so the serving layer puts a correctness-pinned result cache in front
+//! of the relaxation engine and an epoch-based snapshot holder underneath
+//! it:
+//!
+//! - [`SnapshotStore`]: the ingested world behind an atomically swappable
+//!   `Arc`. A background re-ingest [`RelaxServer::publish`]es a new epoch
+//!   without blocking in-flight readers; an old epoch is reclaimed when
+//!   its last reader drops.
+//! - [`ResultCache`]: power-of-two shards, per-shard lock, LRU within a
+//!   shard, keyed on `(normalized term | concept, context, config
+//!   fingerprint, k, epoch)` — a swap implicitly invalidates everything —
+//!   with single-flight dedup so N concurrent identical misses compute
+//!   once.
+//! - [`RelaxServer`]: admission control (bounded in-flight, per-query
+//!   deadline, [`medkb_types::MedKbError::Overloaded`] shed distinct from
+//!   `NotFound`) over the two, with full `medkb-obs` instrumentation.
+//!
+//! The invariant everything here is tested against: serving is invisible
+//! in the results. Every answer set is bit-identical to an uncached
+//! `relax` call against the epoch that served it (the concurrent stress
+//! suite pins this under repeated swaps at 1/2/4/8 reader threads).
+
+mod cache;
+mod server;
+mod snapshot;
+
+pub use cache::{CacheKey, Lookup, QueryKey, ResultCache};
+pub use server::{RelaxServer, ServeConfig, ServeResult, ServedFrom};
+pub use snapshot::{Snapshot, SnapshotStore};
+
+/// Metric names the serving layer registers (DESIGN.md §12). Hit ratio is
+/// `counter_ratio(CACHE_HITS, CACHE_MISSES)` on a
+/// [`medkb_obs::MetricsSnapshot`].
+pub mod obs_names {
+    /// Requests served from the cache, including joined flights (counter).
+    pub const CACHE_HITS: &str = "serve.cache.hits";
+    /// Requests that computed (single-flight leaders) (counter).
+    pub const CACHE_MISSES: &str = "serve.cache.misses";
+    /// LRU entries displaced by inserts (counter).
+    pub const CACHE_EVICTIONS: &str = "serve.cache.evictions";
+    /// Requests that waited on another request's identical in-flight
+    /// computation — a subset of [`CACHE_HITS`] (counter).
+    pub const SINGLEFLIGHT_WAITS: &str = "serve.cache.singleflight_waits";
+    /// Requests shed by admission control or deadline (counter).
+    pub const SHED: &str = "serve.shed";
+    /// Snapshot swaps published (counter).
+    pub const SNAPSHOT_SWAPS: &str = "serve.snapshot.swaps";
+    /// Epochs reclaimed — last holder dropped (counter).
+    pub const SNAPSHOT_RETIRED: &str = "serve.snapshot.retired";
+    /// Currently published epoch (gauge).
+    pub const EPOCH: &str = "serve.snapshot.epoch";
+    /// In-flight requests at last admission (gauge).
+    pub const IN_FLIGHT: &str = "serve.inflight";
+    /// Cache probe latency (µs histogram).
+    pub const CACHE_LOOKUP_US: &str = "serve.cache.lookup_us";
+    /// End-to-end serve latency, sheds included (µs histogram).
+    pub const LATENCY_US: &str = "serve.latency_us";
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    use medkb_core::{ingest, MappingMethod, ObsConfig, QueryRelaxer, RelaxConfig};
+    use medkb_corpus::MentionCounts;
+    use medkb_obs::Registry;
+    use medkb_snomed::figures::paper_fragment;
+    use medkb_snomed::oracle::N_TAGS;
+    use medkb_types::{ContextId, ExtConceptId, MedKbError};
+
+    use super::*;
+
+    /// The paper-fragment world, same construction as the core relax tests.
+    fn fragment_world(config: &RelaxConfig) -> medkb_core::IngestOutput {
+        let f = paper_fragment();
+        let mut ob = medkb_ontology::OntologyBuilder::new();
+        let finding = ob.concept("Finding");
+        let indication = ob.concept("Indication");
+        let risk = ob.concept("Risk");
+        let drug = ob.concept("Drug");
+        ob.relationship("treat", drug, indication);
+        ob.relationship("cause", drug, risk);
+        ob.relationship("hasFinding", indication, finding);
+        ob.relationship("hasFinding", risk, finding);
+        let onto = ob.build().unwrap();
+        let mut kb = medkb_kb::KbBuilder::new(onto);
+        let fc = kb.ontology().lookup_concept("Finding").unwrap();
+        for name in &f.flagged {
+            kb.instance(name, fc);
+        }
+        let kb = kb.build().unwrap();
+        let mut direct: HashMap<ExtConceptId, [u64; N_TAGS]> = HashMap::new();
+        for &(name, treat, risk) in &f.fig4_direct_counts {
+            let mut row = [0u64; N_TAGS];
+            row[medkb_snomed::ContextTag::Treatment.index()] = treat;
+            row[medkb_snomed::ContextTag::Risk.index()] = risk;
+            direct.insert(f.concept(name), row);
+        }
+        let counts = MentionCounts::from_direct(direct, HashMap::new(), 200);
+        ingest(&kb, f.ekg.clone(), &counts, None, config).unwrap()
+    }
+
+    fn exact_config() -> RelaxConfig {
+        RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() }
+    }
+
+    fn treatment_ctx(out: &medkb_core::IngestOutput) -> ContextId {
+        out.contexts
+            .iter()
+            .find(|c| c.label == "Indication-hasFinding-Finding")
+            .expect("treatment context")
+            .id
+    }
+
+    #[test]
+    fn serve_matches_uncached_relax_bit_identically() {
+        let config = exact_config();
+        let out = fragment_world(&config);
+        let ctx = treatment_ctx(&out);
+        let plain = QueryRelaxer::new(out.clone(), config.clone());
+        let server = RelaxServer::new(out, config, ServeConfig::default());
+        for term in ["fever", "headache", "psychogenic fever", "pertussis"] {
+            for context in [None, Some(ctx)] {
+                for k in [1, 5, 50] {
+                    let served = server.serve(term, context, k).unwrap();
+                    let direct = plain.relax(term, context, k).unwrap();
+                    assert_eq!(*served.result, direct, "{term} ctx={context:?} k={k}");
+                    assert_eq!(served.epoch, 0);
+                    // Second call: same Arc out of the cache, same answers.
+                    let again = server.serve(term, context, k).unwrap();
+                    assert!(again.cached(), "{term} should be resident");
+                    assert!(Arc::ptr_eq(&served.result, &again.result));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spelling_variants_share_one_entry_after_normalization() {
+        let config = exact_config();
+        let out = fragment_world(&config);
+        let server = RelaxServer::new(out, config, ServeConfig::default());
+        let a = server.serve("fever", None, 5).unwrap();
+        let b = server.serve("  FEVER  ", None, 5).unwrap();
+        assert_eq!(b.served_from, ServedFrom::Cache);
+        assert!(Arc::ptr_eq(&a.result, &b.result));
+    }
+
+    #[test]
+    fn not_found_propagates_and_is_never_cached() {
+        let config = exact_config();
+        let out = fragment_world(&config);
+        let server = RelaxServer::new(out, config, ServeConfig::default());
+        for _ in 0..2 {
+            match server.serve("no such term", None, 5) {
+                Err(MedKbError::NotFound { .. }) => {}
+                other => panic!("expected NotFound, got {other:?}"),
+            }
+        }
+        assert_eq!(server.cache_len(), 0, "errors must not occupy cache slots");
+    }
+
+    #[test]
+    fn admission_sheds_with_overloaded_not_notfound() {
+        let config = exact_config();
+        let out = fragment_world(&config);
+        // max_in_flight = 0 is clamped to 1, and the serving request itself
+        // occupies the slot — so a second concurrent one would shed. Here,
+        // single-threaded, force it with a zero deadline instead: admission
+        // passes, the pre-compute deadline check sheds.
+        let server = RelaxServer::new(
+            out,
+            config,
+            ServeConfig { deadline: Some(Duration::ZERO), ..ServeConfig::default() },
+        );
+        match server.serve("fever", None, 5) {
+            Err(MedKbError::Overloaded { .. }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(server.cache_len(), 0, "shed requests must not occupy cache slots");
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_invalidates_by_keying() {
+        let config = exact_config();
+        let out = fragment_world(&config);
+        let server = RelaxServer::new(out.clone(), config, ServeConfig::default());
+        let before = server.serve("fever", None, 5).unwrap();
+        assert_eq!(before.epoch, 0);
+        assert_eq!(server.publish(out), 1);
+        assert_eq!(server.epoch(), 1);
+        let after = server.serve("fever", None, 5).unwrap();
+        // Same world republished: same answers, but computed fresh against
+        // the new epoch — the old entry is unreachable by construction.
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.served_from, ServedFrom::Computed);
+        assert_eq!(*after.result, *before.result);
+    }
+
+    #[test]
+    fn old_epoch_survives_until_last_reader_drops() {
+        let registry = Registry::shared();
+        let config = RelaxConfig {
+            obs: ObsConfig::with_registry(Arc::clone(&registry)),
+            ..exact_config()
+        };
+        let out = fragment_world(&config);
+        let server = RelaxServer::new(out.clone(), config, ServeConfig::default());
+        let held = server.snapshot();
+        assert_eq!(held.epoch(), 0);
+        server.publish(out.clone());
+        server.publish(out);
+        // Epoch 1 had no outside holders: retired at the second publish.
+        // Epoch 0 is still pinned by `held`.
+        assert_eq!(registry.snapshot().counter(obs_names::SNAPSHOT_RETIRED), 1);
+        let q = held.relaxer().resolve_term("fever").unwrap();
+        assert!(held.relaxer().relax_concept(q, None, 5).is_ok(), "pinned epoch still serves");
+        drop(held);
+        assert_eq!(registry.snapshot().counter(obs_names::SNAPSHOT_RETIRED), 2);
+        assert_eq!(registry.snapshot().counter(obs_names::SNAPSHOT_SWAPS), 2);
+    }
+
+    #[test]
+    fn metrics_record_hits_misses_and_ratio() {
+        let registry = Registry::shared();
+        let config = RelaxConfig {
+            obs: ObsConfig::with_registry(Arc::clone(&registry)),
+            ..exact_config()
+        };
+        let out = fragment_world(&config);
+        let server = RelaxServer::new(out, config, ServeConfig::default());
+        server.serve("fever", None, 5).unwrap();
+        for _ in 0..3 {
+            server.serve("fever", None, 5).unwrap();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(obs_names::CACHE_MISSES), 1);
+        assert_eq!(snap.counter(obs_names::CACHE_HITS), 3);
+        assert_eq!(snap.counter_ratio(obs_names::CACHE_HITS, obs_names::CACHE_MISSES), 0.75);
+        assert_eq!(snap.histogram_count(obs_names::LATENCY_US), 4);
+        assert!(snap.histogram_count(obs_names::CACHE_LOOKUP_US) >= 4);
+        // The underlying relax engine recorded into the same registry.
+        assert_eq!(snap.counter(medkb_core::relax::obs_names::QUERIES), 1);
+    }
+
+    #[test]
+    fn single_flight_collapses_concurrent_identical_misses() {
+        let computed = AtomicUsize::new(0);
+        let cache = ResultCache::new(4, 16);
+        let key = CacheKey {
+            query: QueryKey::Term("fever".into()),
+            context: None,
+            fingerprint: 1,
+            k: 5,
+            epoch: 0,
+        };
+        let make = |q: u32| medkb_core::RelaxationResult {
+            query_concept: ExtConceptId::new(q),
+            radius_used: 1,
+            answers: Vec::new(),
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let (v, _how) = cache
+                        .get_or_compute(key.clone(), None, || {
+                            computed.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so followers really join.
+                            std::thread::sleep(Duration::from_millis(20));
+                            Ok(make(7))
+                        })
+                        .unwrap();
+                    assert_eq!(v.query_concept, ExtConceptId::new(7));
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "one computation for 8 identical misses");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_within_shard() {
+        // One shard, capacity 2, keys distinguished by k.
+        let cache = ResultCache::new(1, 2);
+        let key = |k: usize| CacheKey {
+            query: QueryKey::Concept(ExtConceptId::new(1)),
+            context: None,
+            fingerprint: 0,
+            k,
+            epoch: 0,
+        };
+        let value = || medkb_core::RelaxationResult {
+            query_concept: ExtConceptId::new(1),
+            radius_used: 1,
+            answers: Vec::new(),
+        };
+        for k in [1, 2] {
+            cache.get_or_compute(key(k), None, || Ok(value())).unwrap();
+        }
+        // Touch k=1 so k=2 becomes the LRU victim.
+        assert!(cache.get(&key(1)).is_some());
+        cache.get_or_compute(key(3), None, || Ok(value())).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1)).is_some(), "recently used entry survives");
+        assert!(cache.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    /// Satellite check: the shared comparator makes exact-tie ranking
+    /// bit-identical across cached, uncached, and reference paths — the
+    /// symmetric twin-star world from the core suite, served.
+    #[test]
+    fn exact_ties_rank_identically_cached_uncached_and_reference() {
+        let twin_names = ["twin d", "twin b", "twin c", "twin a"];
+        let mut eb = medkb_ekg::EkgBuilder::new();
+        let root = eb.concept("root finding");
+        let twins: Vec<ExtConceptId> = twin_names
+            .iter()
+            .map(|n| {
+                let c = eb.concept(n);
+                eb.is_a(c, root);
+                c
+            })
+            .collect();
+        let ekg = eb.build().unwrap();
+        let mut ob = medkb_ontology::OntologyBuilder::new();
+        let finding = ob.concept("Finding");
+        let onto = ob.build().unwrap();
+        let mut kb = medkb_kb::KbBuilder::new(onto);
+        for name in twin_names {
+            kb.instance(name, finding);
+        }
+        let kb = kb.build().unwrap();
+        let mut direct: HashMap<ExtConceptId, [u64; N_TAGS]> = HashMap::new();
+        for &c in &twins {
+            direct.insert(c, [7u64; N_TAGS]);
+        }
+        let counts = MentionCounts::from_direct(direct, HashMap::new(), 10);
+        let config = exact_config();
+        let out = ingest(&kb, ekg, &counts, None, &config).unwrap();
+        let plain = QueryRelaxer::new(out.clone(), config.clone());
+        let server = RelaxServer::new(out, config, ServeConfig::default());
+
+        let q = plain.resolve_term("root finding").unwrap();
+        let uncached = plain.relax_concept(q, None, 50).unwrap();
+        let reference = plain.relax_concept_reference(q, None, 50).unwrap();
+        let cold = server.serve_concept(q, None, 50).unwrap();
+        let warm = server.serve_concept(q, None, 50).unwrap();
+        assert_eq!(warm.served_from, ServedFrom::Cache);
+        assert_eq!(uncached, reference);
+        assert_eq!(*cold.result, uncached);
+        assert_eq!(*warm.result, uncached);
+        let ids: Vec<ExtConceptId> = uncached.answers.iter().map(|a| a.concept).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "exact ties must order by concept id on every path");
+        // And through the batch-serving surface at several thread counts.
+        let queries = vec![(q, None); 8];
+        for threads in [1, 2, 4, 8] {
+            for res in server.serve_concepts_batch_with_threads(&queries, 50, threads) {
+                assert_eq!(*res.unwrap().result, uncached, "threads={threads}");
+            }
+        }
+    }
+
+    /// Satellite check: the strip-modifiers fix holds through the cached
+    /// entry point — a two-word decorated term resolves and caches.
+    #[test]
+    fn stripped_two_word_terms_serve_and_cache() {
+        let config = RelaxConfig { strip_modifiers: true, ..exact_config() };
+        let out = fragment_world(&config);
+        let plain = QueryRelaxer::new(out.clone(), config.clone());
+        let server = RelaxServer::new(out, config, ServeConfig::default());
+        let served = server.serve("severe fever", None, 5).unwrap();
+        let direct = plain.relax("severe fever", None, 5).unwrap();
+        assert_eq!(*served.result, direct);
+        assert_eq!(
+            plain.ingested().ekg.name(served.result.query_concept),
+            "fever",
+            "two-word term must strip to its final word"
+        );
+        let again = server.serve("severe fever", None, 5).unwrap();
+        assert!(again.cached());
+    }
+
+    #[test]
+    fn batch_serving_preserves_input_order_and_error_slots() {
+        let config = exact_config();
+        let out = fragment_world(&config);
+        let ctx = treatment_ctx(&out);
+        let plain = QueryRelaxer::new(out.clone(), config.clone());
+        let server = RelaxServer::new(out, config, ServeConfig::default());
+        let terms = ["fever", "headache", "pertussis", "psychogenic fever"];
+        let queries: Vec<(ExtConceptId, Option<ContextId>)> = terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                (plain.resolve_term(t).unwrap(), if i % 2 == 0 { Some(ctx) } else { None })
+            })
+            .collect();
+        let expected: Vec<_> =
+            queries.iter().map(|&(q, c)| plain.relax_concept(q, c, 5).unwrap()).collect();
+        for threads in [1, 2, 4, 8] {
+            let batch = server.serve_concepts_batch_with_threads(&queries, 5, threads);
+            assert_eq!(batch.len(), expected.len());
+            for (res, exp) in batch.into_iter().zip(&expected) {
+                assert_eq!(*res.unwrap().result, *exp, "threads={threads}");
+            }
+        }
+    }
+}

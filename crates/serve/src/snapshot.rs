@@ -1,0 +1,144 @@
+//! Epoch-based snapshot holder: an atomically swappable handle over one
+//! ingested world, so a background re-ingest publishes without ever
+//! blocking in-flight readers (DESIGN.md §12).
+//!
+//! The holder is deliberately simple: the current snapshot lives behind a
+//! `Mutex<Arc<Snapshot>>` that is locked only long enough to clone or
+//! replace the `Arc` — a few nanoseconds, never across a relaxation or an
+//! ingest. Readers therefore hold a plain `Arc<Snapshot>` and keep working
+//! against their epoch for as long as they like; the old epoch's memory is
+//! reclaimed by the last `Arc` drop, wherever that happens. A retirement
+//! counter (wired by the server's observability) makes that reclamation
+//! observable: it increments exactly when the last reader lets go.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use medkb_core::{IngestOutput, QueryRelaxer, RelaxConfig};
+use medkb_obs::Counter;
+
+/// One immutable epoch of the world: an ingested snapshot wrapped in a
+/// ready-to-serve [`QueryRelaxer`], labeled with the epoch number it was
+/// published under and the config fingerprint its answers depend on.
+pub struct Snapshot {
+    epoch: u64,
+    fingerprint: u64,
+    relaxer: QueryRelaxer,
+    /// Incremented on drop — i.e. when the *last* holder (store or reader)
+    /// releases this epoch. `None` when the owning store is uninstrumented.
+    retired: Option<Arc<Counter>>,
+}
+
+impl Snapshot {
+    /// The epoch this snapshot was published under (0 for the initial one).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// [`RelaxConfig::result_fingerprint`] of the serving configuration —
+    /// part of the cache key, so config changes can never alias entries.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The relaxation engine bound to this epoch's ingest artifacts.
+    pub fn relaxer(&self) -> &QueryRelaxer {
+        &self.relaxer
+    }
+}
+
+impl fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("epoch", &self.epoch)
+            .field("fingerprint", &self.fingerprint)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        if let Some(c) = &self.retired {
+            c.inc();
+        }
+    }
+}
+
+/// The swappable holder. `load()` is what every request does; `publish()`
+/// is what a background re-ingest does. Neither ever blocks the other for
+/// longer than an `Arc` clone/store under the mutex.
+pub struct SnapshotStore {
+    current: Mutex<Arc<Snapshot>>,
+    next_epoch: AtomicU64,
+    config: RelaxConfig,
+    retired: Option<Arc<Counter>>,
+}
+
+impl SnapshotStore {
+    /// Wrap an ingested world as epoch 0 under `config`. The config is
+    /// fixed for the store's lifetime — re-ingests swap *data*, not
+    /// semantics; a config change is a new store (and a new fingerprint,
+    /// so even a shared cache could never mix the two).
+    pub fn new(ingested: IngestOutput, config: RelaxConfig) -> Self {
+        Self::with_retired_counter(ingested, config, None)
+    }
+
+    /// As [`SnapshotStore::new`], with a counter that fires when an epoch
+    /// is reclaimed (last holder dropped). The server wires this to
+    /// `serve.snapshot.retired`.
+    pub fn with_retired_counter(
+        ingested: IngestOutput,
+        config: RelaxConfig,
+        retired: Option<Arc<Counter>>,
+    ) -> Self {
+        let snap = Arc::new(Snapshot {
+            epoch: 0,
+            fingerprint: config.result_fingerprint(),
+            relaxer: QueryRelaxer::new(ingested, config.clone()),
+            retired: retired.clone(),
+        });
+        Self { current: Mutex::new(snap), next_epoch: AtomicU64::new(1), config, retired }
+    }
+
+    /// The current snapshot. Readers hold the returned `Arc` for the whole
+    /// request; a concurrent [`SnapshotStore::publish`] never invalidates
+    /// it — it only stops *new* loads from seeing it.
+    pub fn load(&self) -> Arc<Snapshot> {
+        self.current.lock().expect("snapshot store poisoned").clone()
+    }
+
+    /// Publish a re-ingested world as the next epoch and return its number.
+    ///
+    /// All heavy work (building the relaxer over the new artifacts) happens
+    /// before the lock is taken; the critical section is a single pointer
+    /// swap. The displaced epoch survives exactly as long as its slowest
+    /// in-flight reader.
+    pub fn publish(&self, ingested: IngestOutput) -> u64 {
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        let snap = Arc::new(Snapshot {
+            epoch,
+            fingerprint: self.config.result_fingerprint(),
+            relaxer: QueryRelaxer::new(ingested, self.config.clone()),
+            retired: self.retired.clone(),
+        });
+        *self.current.lock().expect("snapshot store poisoned") = snap;
+        epoch
+    }
+
+    /// The currently published epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.load().epoch
+    }
+
+    /// The serving configuration (shared by every epoch of this store).
+    pub fn config(&self) -> &RelaxConfig {
+        &self.config
+    }
+}
+
+impl fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotStore").field("epoch", &self.epoch()).finish_non_exhaustive()
+    }
+}

@@ -43,6 +43,14 @@ pub enum MedKbError {
     /// An input document failed validation; the report lists **every**
     /// defect found (document, line, message), not just the first.
     Validation(crate::validation::ValidationReport),
+    /// A serving layer shed the request to protect itself (admission bound
+    /// exceeded, per-query deadline blown). Deliberately distinct from
+    /// [`MedKbError::NotFound`]: a shed query *might* have answers — the
+    /// caller should retry or back off, never treat it as "no results".
+    Overloaded {
+        /// What was exhausted (in-flight bound, deadline, …).
+        detail: String,
+    },
 }
 
 impl MedKbError {
@@ -54,6 +62,11 @@ impl MedKbError {
     /// Shorthand for [`MedKbError::InvalidArgument`].
     pub fn invalid(detail: impl Into<String>) -> Self {
         Self::InvalidArgument { detail: detail.into() }
+    }
+
+    /// Shorthand for [`MedKbError::Overloaded`].
+    pub fn overloaded(detail: impl Into<String>) -> Self {
+        Self::Overloaded { detail: detail.into() }
     }
 }
 
@@ -70,6 +83,7 @@ impl fmt::Display for MedKbError {
             Self::InvalidArgument { detail } => write!(f, "invalid argument: {detail}"),
             Self::Corrupt { detail } => write!(f, "corrupt artifact: {detail}"),
             Self::Validation(report) => write!(f, "input validation failed: {report}"),
+            Self::Overloaded { detail } => write!(f, "request shed under load: {detail}"),
         }
     }
 }
@@ -91,6 +105,17 @@ mod tests {
         assert_eq!(
             MedKbError::InvalidRoot { roots: 3 }.to_string(),
             "expected exactly one root concept, found 3"
+        );
+    }
+
+    #[test]
+    fn overloaded_is_distinct_from_not_found() {
+        let shed = MedKbError::overloaded("64 requests in flight (limit 64)");
+        assert!(matches!(shed, MedKbError::Overloaded { .. }));
+        assert!(!matches!(shed, MedKbError::NotFound { .. }));
+        assert_eq!(
+            shed.to_string(),
+            "request shed under load: 64 requests in flight (limit 64)"
         );
     }
 

@@ -44,4 +44,22 @@ for key in '"metrics"' '"obs_overhead_pct"' 'relax.latency_us' 'relax.queries'; 
   fi
 done
 
+# Serve smoke: snapshot-swapped serving layer over the same world. The
+# binary itself asserts cached answers are bit-identical to uncached ones,
+# that a snapshot swap retires the old epoch, and that load-shedding
+# returns Overloaded (not NotFound); here we additionally require the
+# emitted document to show real cache traffic (nonzero hits).
+out=$(cargo run --release -p medkb-bench --bin bench_json -- --serve --quick)
+for key in '"cold_p50_us"' '"warm_p50_us"' '"hit_ratio"' 'serve.cache.hits' \
+    'serve.snapshot.swaps'; do
+  if ! grep -qF "$key" <<<"$out"; then
+    echo "tier-1 FAIL: bench_json --serve --quick output missing $key" >&2
+    exit 1
+  fi
+done
+if grep -qF '"cache_hits": 0,' <<<"$out"; then
+  echo "tier-1 FAIL: serve smoke saw zero cache hits" >&2
+  exit 1
+fi
+
 echo "tier-1 OK"

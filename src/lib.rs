@@ -22,6 +22,7 @@
 //! | [`corpus`] | `medkb-corpus` | monograph corpus + mention counting |
 //! | [`embed`] | `medkb-embed` | SGNS word vectors + SIF phrase embeddings |
 //! | [`core`] | `medkb-core` | **the paper's method**: Algorithms 1 & 2, Eq. 1–5 |
+//! | [`serve`] | `medkb-serve` | snapshot-swapped serving layer + result cache |
 //! | [`nli`] | `medkb-nli` | conversational + NLQ interfaces (§6) |
 //! | [`eval`] | `medkb-eval` | experiments: Tables 1–3 |
 //!
@@ -77,6 +78,7 @@ pub use medkb_eval as eval;
 pub use medkb_kb as kb;
 pub use medkb_nli as nli;
 pub use medkb_ontology as ontology;
+pub use medkb_serve as serve;
 pub use medkb_snomed as snomed;
 pub use medkb_text as text;
 pub use medkb_types as types;
@@ -94,6 +96,7 @@ pub mod prelude {
     pub use medkb_kb::{Kb, KbBuilder, PathQuery};
     pub use medkb_nli::{ConversationEngine, EntityExtractor, IntentClassifier, NlqEngine};
     pub use medkb_ontology::{Ontology, OntologyBuilder};
+    pub use medkb_serve::{RelaxServer, ServeConfig, ServeResult, ServedFrom};
     pub use medkb_snomed::{ContextTag, MedWorld, Oracle, SnomedConfig, WorldConfig};
     pub use medkb_types::{
         ContextId, ExtConceptId, InstanceId, MedKbError, OntoConceptId, Result,

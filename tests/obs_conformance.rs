@@ -69,10 +69,47 @@ fn stable_snapshot_covers_every_pipeline_stage() {
         "scanned must partition into kept + pruned"
     );
     assert!(snap.counter(relax_obs::LCS_EVALS) > 0);
+    assert_eq!(
+        snap.counter(relax_obs::LCS_QUERY_REUSE),
+        snap.counter(relax_obs::LCS_EVALS),
+        "query-side tables are built once per query, so every candidate \
+         evaluation reuses them: the counters must track exactly"
+    );
     assert_eq!(snap.histogram_count(relax_obs::LATENCY_US), GOLDEN_QUERIES.len() as u64);
     assert_eq!(snap.counter(relax_obs::BATCH_CALLS), 1);
     assert_eq!(snap.counter(relax_obs::BATCH_QUERIES), GOLDEN_QUERIES.len() as u64);
     assert!(snap.counter(relax_obs::BATCH_SHARDS) >= 1);
+}
+
+/// `lcs.query_side_reuse` semantics are exact: the query-side upward
+/// distance table is built once per query and reused by *every* candidate
+/// evaluation, so per query the reuse delta equals the evals delta — for
+/// empty candidate sets (0 == 0) and singletons (1 == 1) alike, with no
+/// off-by-one undercount on either end.
+#[test]
+fn lcs_query_reuse_equals_evals_per_query() {
+    let registry = Registry::shared();
+    let mut config = fixture_config();
+    config.obs = ObsConfig::with_registry(Arc::clone(&registry));
+    let r = fixture_relaxer(config);
+
+    let (mut prev_evals, mut prev_reuse) = (0u64, 0u64);
+    for &(term, label) in GOLDEN_QUERIES {
+        let ctx = label.map(|l| context_labeled(&r, l));
+        let res = r.relax(term, ctx, K).unwrap();
+        let snap = registry.snapshot();
+        use medkb::core::relax::obs_names as relax_obs;
+        let evals = snap.counter(relax_obs::LCS_EVALS);
+        let reuse = snap.counter(relax_obs::LCS_QUERY_REUSE);
+        let (d_evals, d_reuse) = (evals - prev_evals, reuse - prev_reuse);
+        assert_eq!(d_reuse, d_evals, "{term}: reuse delta diverged from evals delta");
+        assert!(
+            d_evals >= res.answers.len() as u64,
+            "{term}: every returned answer was evaluated at least once"
+        );
+        (prev_evals, prev_reuse) = (evals, reuse);
+    }
+    assert!(prev_evals > 0, "fixture batch must exercise the scorer");
 }
 
 /// Instrumentation and `explain` must not perturb results: same concepts,
