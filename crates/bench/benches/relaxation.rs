@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use medkb_bench::{relaxation_bench_world, RelaxBenchWorld};
+use medkb_bench::{relaxation_bench_world, zipf_query_stream, RelaxBenchWorld};
 use medkb_core::QueryRelaxer;
 use medkb_types::ExtConceptId;
 
@@ -98,6 +98,37 @@ fn bench_batch_threads(c: &mut Criterion) {
     group.finish();
 }
 
+/// Score-bounded pruning (DESIGN.md §13) against the exhaustive scan over a
+/// Zipf-skewed query stream: radius 2/4/6 × k 1/10/100, bounded vs
+/// exhaustive on the same ingested world. Both variants return bit-identical
+/// answers; the delta is pure scan cost.
+fn bench_pruned_vs_exhaustive(c: &mut Criterion) {
+    let RelaxBenchWorld { relaxer, queries, context: ctx } = relaxation_bench_world(true);
+    let stream = zipf_query_stream(&queries, 256, 1.1, 0xED87);
+    let mut group = c.benchmark_group("relax_pruned");
+    group.sample_size(10);
+    for &radius in &[2u32, 4, 6] {
+        for &k in &[1usize, 10, 100] {
+            for (label, pruning) in [("bounded", true), ("exhaustive", false)] {
+                let mut cfg = relaxer.config().clone();
+                cfg.radius = radius;
+                cfg.dynamic_radius = false;
+                cfg.pruning = pruning;
+                let fixed = QueryRelaxer::new(relaxer.ingested().clone(), cfg);
+                group.bench_function(&format!("{label}/r{radius}_k{k}"), |b| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let q = stream[i % stream.len()];
+                        i += 1;
+                        fixed.relax_concept(q, Some(ctx), k).expect("relax")
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
 fn bench_scoring_only(c: &mut Criterion) {
     let (relaxer, queries) = setup(true);
     let q = queries[0];
@@ -121,6 +152,7 @@ criterion_group!(
     bench_shortcut_effect,
     bench_reference_vs_scoped,
     bench_batch_threads,
+    bench_pruned_vs_exhaustive,
     bench_scoring_only
 );
 criterion_main!(benches);

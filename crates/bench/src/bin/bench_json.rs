@@ -60,6 +60,16 @@ fn median(samples: &mut [f64]) -> f64 {
     }
 }
 
+/// Nearest-rank percentile (`p` in 0..=100) of a sample set.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let idx = ((samples.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    samples[idx.min(samples.len() - 1)]
+}
+
 /// Per-query relaxation times (µs) over `reps` passes of the workload.
 fn time_queries(
     relaxer: &QueryRelaxer,
@@ -460,13 +470,15 @@ fn main() {
     }
 
     let reference_median = median(&mut reference_us);
+    let reference_p99 = percentile(&mut reference_us, 99.0);
     let scoped_median = median(&mut scoped_us);
+    let scoped_p99 = percentile(&mut scoped_us, 99.0);
     let obs_median = median(&mut obs_us);
     let speedup = reference_median / scoped_median;
     let obs_overhead_pct = (obs_median / scoped_median - 1.0) * 100.0;
     eprintln!(
-        "[bench_json] scoped {scoped_median:.1}µs, instrumented {obs_median:.1}µs \
-         ({obs_overhead_pct:+.2}% overhead)"
+        "[bench_json] scoped p50 {scoped_median:.1}µs / p99 {scoped_p99:.1}µs, \
+         instrumented {obs_median:.1}µs ({obs_overhead_pct:+.2}% overhead)"
     );
 
     // Smoke contract: the snapshot parses as JSON and every engine metric
@@ -481,13 +493,38 @@ fn main() {
     assert!(snap.histogram_count(rn::LATENCY_US) > 0, "latency histogram empty");
     assert!(snap.counter(rn::BATCH_SHARDS) > 0, "batch shard counter empty");
 
+    // Score-bounded pruning accounting (DESIGN.md §13): every kept
+    // candidate was either LCS-evaluated or skipped on its upper bound, and
+    // the default configuration must actually save evaluations.
+    let lcs_evals = snap.counter(rn::LCS_EVALS);
+    let bound_skips = snap.counter(rn::BOUND_SKIPS);
+    let rings_terminated = snap.counter(rn::RINGS_TERMINATED);
+    assert_eq!(
+        lcs_evals + bound_skips,
+        snap.counter(rn::CANDIDATES_KEPT),
+        "kept candidates must split into evals + bound skips"
+    );
+    let lcs_evals_saved_pct = 100.0 * bound_skips as f64 / (lcs_evals + bound_skips).max(1) as f64;
+    eprintln!(
+        "[bench_json] lcs evals {lcs_evals}, bound skips {bound_skips} \
+         ({lcs_evals_saved_pct:.1}% saved), rings terminated {rings_terminated}"
+    );
+    assert!(bound_skips > 0, "default workload must skip some LCS evals via bounds");
+
     let json = format!(
         "{{\n  \"median_us_per_query\": {scoped_median:.2},\n  \
+         \"p50_us_per_query\": {scoped_median:.2},\n  \
+         \"p99_us_per_query\": {scoped_p99:.2},\n  \
          \"reference_median_us_per_query\": {reference_median:.2},\n  \
+         \"reference_p99_us_per_query\": {reference_p99:.2},\n  \
          \"speedup_vs_reference\": {speedup:.2},\n  \
          \"batch_us_per_query\": {batch_us_per_query:.2},\n  \
          \"obs_median_us_per_query\": {obs_median:.2},\n  \
          \"obs_overhead_pct\": {obs_overhead_pct:.2},\n  \
+         \"lcs_evals\": {lcs_evals},\n  \
+         \"lcs_bound_skips\": {bound_skips},\n  \
+         \"lcs_evals_saved_pct\": {lcs_evals_saved_pct:.2},\n  \
+         \"rings_terminated\": {rings_terminated},\n  \
          \"queries\": {},\n  \"reps\": {reps},\n  \
          \"candidates_mean\": {candidates_mean:.2},\n  \
          \"radius\": {radius},\n  \"k\": {k},\n  \

@@ -19,6 +19,8 @@ use medkb_corpus::{CorpusConfig, CorpusGenerator, MentionCounts};
 use medkb_eval::pipeline::{EvalConfig, EvalStack};
 use medkb_snomed::{Hierarchy, MedWorld, SnomedConfig, WorldConfig};
 use medkb_types::{ContextId, ExtConceptId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// The seed all experiment binaries share (results are deterministic).
 pub const EXPERIMENT_SEED: u64 = 2020;
@@ -104,6 +106,41 @@ pub fn bench_world_and_corpus() -> (MedWorld, medkb_corpus::Corpus) {
         ..CorpusConfig::default()
     });
     (world, corpus)
+}
+
+/// A Zipf-skewed query stream of length `len` over `queries`: the rank-`r`
+/// entry is drawn with probability ∝ 1/(r+1)^`exponent`, the head-heavy
+/// shape of real medical query logs. Deterministic in `seed`, so benches
+/// built on it are reproducible run to run.
+///
+/// Pruning- and cache-sensitive benchmarks want this shape rather than a
+/// round-robin sweep: a skewed stream revisits hot queries whose candidate
+/// rings the bounded scan terminates early, which is exactly the regime the
+/// latency claims are about.
+pub fn zipf_query_stream(
+    queries: &[ExtConceptId],
+    len: usize,
+    exponent: f64,
+    seed: u64,
+) -> Vec<ExtConceptId> {
+    assert!(!queries.is_empty(), "zipf stream needs a non-empty query set");
+    let weights: Vec<f64> =
+        (0..queries.len()).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let idx = cdf.partition_point(|&c| c < u).min(queries.len() - 1);
+            queries[idx]
+        })
+        .collect()
 }
 
 /// Build the fixed 4k-concept world the relaxation benchmarks run on.

@@ -167,6 +167,15 @@ pub struct RelaxConfig {
     /// behaviour §3 alludes to. Off by default so Table 1's matcher
     /// comparison stays pure.
     pub strip_modifiers: bool,
+    /// Score-bounded top-k pruning (DESIGN.md §13): skip the exact LCS
+    /// evaluation for candidates whose admissible Eq. 5 upper bound cannot
+    /// beat the current k-th answer, and terminate whole remaining rings
+    /// once the ring-level cap falls below it. Answers are bit-identical
+    /// with the flag on or off (the bound is admissible and exact ties are
+    /// never skipped), so this is purely a latency knob; it silently
+    /// deactivates for configurations the bound derivation does not cover
+    /// (step weights above 1, relevance-feedback rescoring).
+    pub pruning: bool,
     /// Thread budget for offline ingestion (outputs are thread-count
     /// independent).
     pub parallel: ParallelConfig,
@@ -191,6 +200,7 @@ impl Default for RelaxConfig {
             add_shortcuts: true,
             mapping: MappingMethod::embedding_default(),
             strip_modifiers: false,
+            pruning: true,
             parallel: ParallelConfig::default(),
             obs: ObsConfig::default(),
         }
@@ -264,8 +274,11 @@ impl RelaxConfig {
     /// growth, the ablation switches, frequency semantics, shortcut
     /// customization, mapping method (with its parameters), and the
     /// strip-modifiers fallback. Excluded by design: [`ParallelConfig`]
-    /// (outputs are thread-count independent, DESIGN.md §9) and
-    /// [`ObsConfig`] (instrumentation is inert on results, §10).
+    /// (outputs are thread-count independent, DESIGN.md §9), [`ObsConfig`]
+    /// (instrumentation is inert on results, §10), and the
+    /// [`RelaxConfig::pruning`] switch (the bounded scan returns
+    /// bit-identical answers, §13 — so pruned and exhaustive servers may
+    /// share cache entries).
     pub fn result_fingerprint(&self) -> u64 {
         // FNV-1a, same construction the token trie uses: stable across
         // runs and platforms, unlike `DefaultHasher` whose algorithm is
@@ -382,10 +395,12 @@ mod tests {
         let base = RelaxConfig::default();
         // Deterministic across calls.
         assert_eq!(base.result_fingerprint(), base.result_fingerprint());
-        // Result-inert knobs never move it: threads and observability.
+        // Result-inert knobs never move it: threads, observability, and
+        // the score-bounded pruning switch (bit-identical answers, §13).
         let threaded = RelaxConfig {
             parallel: ParallelConfig { threads: 8, clamp_to_cores: false },
             obs: ObsConfig::enabled(),
+            pruning: false,
             ..base.clone()
         };
         assert_eq!(base.result_fingerprint(), threaded.result_fingerprint());

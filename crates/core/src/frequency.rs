@@ -37,6 +37,14 @@ pub struct Frequencies {
     ic_per_tag: Vec<IdVec<ExtConceptId, f64>>,
     /// Precomputed IC of the aggregate frequencies.
     ic_aggregate: IdVec<ExtConceptId, f64>,
+    /// Smallest per-tag corpus IC over all concepts. The score-bounded
+    /// pruning engine (DESIGN.md §13) uses it as the worst-case candidate
+    /// IC in the Eq. 3 denominator of its ring-level caps.
+    min_ic_per_tag: [f64; N_TAGS],
+    /// Smallest aggregate corpus IC over all concepts.
+    min_ic_aggregate: f64,
+    /// Smallest intrinsic IC over all concepts.
+    min_intrinsic: f64,
 }
 
 /// Eq. 1 with half-count smoothing: `−ln f`, or `−ln(0.5/total)` when the
@@ -176,7 +184,32 @@ impl Frequencies {
         let ic_aggregate: IdVec<ExtConceptId, f64> =
             aggregate.iter().map(|(_, &f)| ic_value(f, aggregate_total)).collect();
 
-        Self { per_tag, per_tag_total, aggregate, intrinsic, ic_per_tag, ic_aggregate }
+        // Per-selection IC minima, precomputed once so the pruning engine's
+        // ring caps probe a scalar instead of scanning the tables. Every IC
+        // value is finite and ≥ 0 (ic_value smooths, intrinsic is clamped),
+        // so an empty graph degenerates to 0 — the safe lower bound.
+        let min_of = |vals: &IdVec<ExtConceptId, f64>| -> f64 {
+            let m = vals.iter().map(|(_, &v)| v).fold(f64::INFINITY, f64::min);
+            if m.is_finite() { m } else { 0.0 }
+        };
+        let mut min_ic_per_tag = [0.0; N_TAGS];
+        for (tag, table) in ic_per_tag.iter().enumerate() {
+            min_ic_per_tag[tag] = min_of(table);
+        }
+        let min_ic_aggregate = min_of(&ic_aggregate);
+        let min_intrinsic = min_of(&intrinsic);
+
+        Self {
+            per_tag,
+            per_tag_total,
+            aggregate,
+            intrinsic,
+            ic_per_tag,
+            ic_aggregate,
+            min_ic_per_tag,
+            min_ic_aggregate,
+            min_intrinsic,
+        }
     }
 
     /// Normalized frequency of `concept` in context `tag` (root = 1).
@@ -203,6 +236,22 @@ impl Frequencies {
     /// Intrinsic (structure-only) IC of `concept`, in `[0, 1]`.
     pub fn intrinsic_ic(&self, concept: ExtConceptId) -> f64 {
         self.intrinsic[concept]
+    }
+
+    /// Smallest corpus IC any concept carries under `tag` (aggregate when
+    /// `None`) — the worst-case Eq. 3 denominator contribution a candidate
+    /// can bring, used by the pruning engine's ring caps (DESIGN.md §13).
+    pub fn min_ic(&self, tag: Option<ContextTag>) -> f64 {
+        match tag {
+            Some(t) => self.min_ic_per_tag[t.index()],
+            None => self.min_ic_aggregate,
+        }
+    }
+
+    /// Smallest intrinsic IC any concept carries (the QR-no-corpus
+    /// counterpart of [`Frequencies::min_ic`]).
+    pub fn min_intrinsic_ic(&self) -> f64 {
+        self.min_intrinsic
     }
 
     /// Root total raw weight per tag (diagnostics).
@@ -417,6 +466,24 @@ mod tests {
         // Normalized child frequency is therefore 0.5 vs 1.0.
         assert!((rec.freq(child, tag) - 0.5).abs() < 1e-12);
         assert!((exact.freq(child, tag) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_ic_matches_scan_over_all_concepts() {
+        let (ekg, counts) = fig4_counts();
+        let freqs = Frequencies::compute(&ekg, &counts, FrequencyMode::PaperRecursive, false);
+        for tag in [None, Some(ContextTag::Treatment), Some(ContextTag::Risk)] {
+            let scanned =
+                ekg.concepts().map(|c| freqs.ic(c, tag)).fold(f64::INFINITY, f64::min);
+            assert_eq!(freqs.min_ic(tag), scanned, "{tag:?}");
+            assert!(freqs.min_ic(tag) >= 0.0);
+        }
+        let scanned =
+            ekg.concepts().map(|c| freqs.intrinsic_ic(c)).fold(f64::INFINITY, f64::min);
+        assert_eq!(freqs.min_intrinsic_ic(), scanned);
+        // The root carries no information, so the minima bottom out at 0.
+        assert_eq!(freqs.min_ic(Some(ContextTag::Treatment)), 0.0);
+        assert_eq!(freqs.min_intrinsic_ic(), 0.0);
     }
 
     #[test]

@@ -41,4 +41,4 @@ pub use ingest::{ingest, ingest_reference, ingest_with_stats, IngestOutput, Inge
 pub use mapping::ConceptMapper;
 pub use pipeline::RelaxationPipeline;
 pub use relax::{rank_order, QueryRelaxer, RelaxationResult, RelaxedAnswer, ScoreExplain};
-pub use similarity::QrScorer;
+pub use similarity::{QrScorer, QueryScorer, ScoreBounds};

@@ -1,5 +1,6 @@
 //! Online query relaxation (Algorithm 2, §5.2).
 
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use medkb_ekg::NeighborhoodScan;
@@ -35,6 +36,20 @@ pub mod obs_names {
     /// `tests/obs_conformance.rs`); the reference twin, by contrast, pays
     /// the query-side Dijkstra once per pair (counter).
     pub const LCS_QUERY_REUSE: &str = "relax.lcs.query_side_reuse";
+    /// Candidates whose admissible Eq. 5 upper bound could not beat the
+    /// provisional k-th answer, skipped without an LCS evaluation
+    /// (counter; zero when [`crate::config::RelaxConfig::pruning`] is off
+    /// or the config falls outside the bound derivation). Invariant:
+    /// [`LCS_EVALS`] + this == [`CANDIDATES_KEPT`], pinned by
+    /// `tests/obs_conformance.rs`.
+    pub const BOUND_SKIPS: &str = "relax.lcs.bound_skips";
+    /// Whole BFS rings abandoned because the ring-level cap fell below the
+    /// provisional k-th answer (counter).
+    pub const RINGS_TERMINATED: &str = "relax.rings.terminated";
+    /// How tight the bound was on candidates that *were* evaluated:
+    /// `round(100 · exact / bound)` per evaluation (histogram). Values
+    /// near 100 mean the bound is nearly exact where it matters.
+    pub const BOUND_TIGHTNESS_PCT: &str = "relax.bound.tightness_pct";
     /// Query terms that resolved to no external concept (counter).
     pub const RESOLVE_NOT_FOUND: &str = "relax.resolve.not_found";
     /// Per-query end-to-end latency (µs histogram).
@@ -54,6 +69,11 @@ pub mod obs_names {
 /// decades.
 const SHARD_SIZE_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
 
+/// Bucket bounds for the bound-tightness histogram: percent of the bound
+/// the exact score reached, with fine resolution near the top where a
+/// useful bound lives.
+const BOUND_TIGHTNESS_BOUNDS: &[u64] = &[10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 100];
+
 /// Pre-resolved metric handles — one mutex-guarded registry lookup per
 /// name at engine construction, lock-free atomic recording afterwards.
 #[derive(Debug, Clone)]
@@ -65,6 +85,9 @@ struct RelaxMetrics {
     radius_growths: Arc<Counter>,
     lcs_evals: Arc<Counter>,
     lcs_query_reuse: Arc<Counter>,
+    bound_skips: Arc<Counter>,
+    rings_terminated: Arc<Counter>,
+    bound_tightness: Arc<Histogram>,
     resolve_not_found: Arc<Counter>,
     latency: Arc<Histogram>,
     batch_calls: Arc<Counter>,
@@ -83,6 +106,10 @@ impl RelaxMetrics {
             radius_growths: registry.counter(obs_names::RADIUS_GROWTHS),
             lcs_evals: registry.counter(obs_names::LCS_EVALS),
             lcs_query_reuse: registry.counter(obs_names::LCS_QUERY_REUSE),
+            bound_skips: registry.counter(obs_names::BOUND_SKIPS),
+            rings_terminated: registry.counter(obs_names::RINGS_TERMINATED),
+            bound_tightness: registry
+                .histogram(obs_names::BOUND_TIGHTNESS_PCT, BOUND_TIGHTNESS_BOUNDS),
             resolve_not_found: registry.counter(obs_names::RESOLVE_NOT_FOUND),
             latency: registry.latency(obs_names::LATENCY_US),
             batch_calls: registry.counter(obs_names::BATCH_CALLS),
@@ -179,6 +206,71 @@ pub fn rank_order(
     b: (f64, u32, ExtConceptId),
 ) -> std::cmp::Ordering {
     b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+}
+
+/// `f64` under `total_cmp` — lets [`rank_order`]'s score key live inside an
+/// `Ord` sort key so it can be cached once per candidate instead of
+/// re-derived on every comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TotalF64(f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Percent of the bound the exact score reached, for the tightness
+/// histogram. Admissibility guarantees `exact ≤ bound`; a zero bound can
+/// only pair with a zero score, which counts as perfectly tight.
+fn tightness_pct(exact: f64, bound: f64) -> u64 {
+    if bound > 0.0 {
+        (100.0 * exact / bound).round().clamp(0.0, 100.0) as u64
+    } else {
+        100
+    }
+}
+
+/// One provisional answer inside the bounded scan's heap. Ordered by
+/// [`rank_order`] with the *worst*-ranked entry as the maximum, so
+/// `BinaryHeap::peek`/`pop` expose the current cut-off candidate.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    score: f64,
+    hops: u32,
+    concept: ExtConceptId,
+    instances: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        rank_order(
+            (self.score, self.hops, self.concept),
+            (other.score, other.hops, other.concept),
+        )
+    }
 }
 
 /// The online relaxation engine: owns the ingestion output and answers
@@ -315,12 +407,6 @@ impl QueryRelaxer {
             m.candidates_kept.add(candidates.len() as u64);
             m.candidates_pruned.add((scanned - candidates.len()) as u64);
             m.radius_growths.add(u64::from(radius - initial_radius));
-            // Query-scoped scoring builds the query-side upward-distance
-            // table eagerly, before any candidate is scored, so every
-            // evaluation — the first included — reuses it. reuse == evals
-            // exactly: 0 for an empty candidate set, 1 for a singleton.
-            m.lcs_evals.add(candidates.len() as u64);
-            m.lcs_query_reuse.add(candidates.len() as u64);
         }
         if candidates.is_empty() {
             // Nothing to score — skip building the query-scoped tables.
@@ -329,20 +415,36 @@ impl QueryRelaxer {
         }
 
         // Scoring and ranking (line 3): the query-scoped scorer amortizes
-        // the query-side Dijkstra and IC over all candidates.
+        // the query-side Dijkstra and IC over all candidates. With pruning
+        // active, the bounded scan evaluates only candidates whose upper
+        // bound can still reach the top-k; its output is the exhaustive
+        // ranking's minimal answer prefix, bit for bit (DESIGN.md §13).
         let scorer = QrScorer::new(&self.ingested.ekg, &self.ingested.freqs, &self.config);
         let mut scoped = scorer.query_scoped(query, tag, &self.ingested.reach);
-        let mut scored: Vec<(ExtConceptId, u32, f64)> = candidates
-            .into_iter()
-            .map(|(concept, hops)| {
-                let mut score = scoped.score(concept);
-                if let (Some(store), Some(t)) = (feedback, tag) {
-                    score *= store.adjustment(query, concept, t);
-                }
-                (concept, hops, score)
-            })
-            .collect();
-        scored.sort_by(|a, b| rank_order((a.2, a.1, a.0), (b.2, b.1, b.0)));
+        let scored: Vec<(ExtConceptId, u32, f64)> = if self.pruning_active(feedback) {
+            self.scan_bounded(&scorer, &mut scoped, query, tag, &candidates, k)
+        } else {
+            // Exhaustive twin of the bounded scan. The query-side table is
+            // built eagerly, before any candidate is scored, so every
+            // evaluation — the first included — reuses it: reuse == evals
+            // exactly, here trivially candidates.len() of each.
+            if let Some(m) = &self.metrics {
+                m.lcs_evals.add(candidates.len() as u64);
+                m.lcs_query_reuse.add(candidates.len() as u64);
+            }
+            let mut scored: Vec<(ExtConceptId, u32, f64)> = candidates
+                .into_iter()
+                .map(|(concept, hops)| {
+                    let mut score = scoped.score(concept);
+                    if let (Some(store), Some(t)) = (feedback, tag) {
+                        score *= store.adjustment(query, concept, t);
+                    }
+                    (concept, hops, score)
+                })
+                .collect();
+            scored.sort_by(|a, b| rank_order((a.2, a.1, a.0), (b.2, b.1, b.0)));
+            scored
+        };
 
         // Result accumulation until k instances (lines 4–8); instance lists
         // are cloned only for the answers that survive the cut.
@@ -369,6 +471,126 @@ impl QueryRelaxer {
         }
 
         Ok(RelaxationResult { query_concept: query, radius_used: radius, answers })
+    }
+
+    /// Whether the score-bounded scan may run for this call. The bound
+    /// derivation (DESIGN.md §13) requires every Eq. 4 step weight ≤ 1
+    /// (validate() deliberately admits larger ones), and relevance
+    /// feedback multiplies scores by `exp(λ·s)` which can exceed 1 — both
+    /// fall back to the exhaustive scan so answers never drift.
+    fn pruning_active(&self, feedback: Option<&crate::feedback::FeedbackStore>) -> bool {
+        self.config.pruning
+            && feedback.is_none()
+            && (!self.config.use_path_weight
+                || (self.config.w_gen <= 1.0 && self.config.w_spec <= 1.0))
+    }
+
+    /// The score-bounded top-k scan (DESIGN.md §13): walk candidates in
+    /// BFS ring order keeping a heap of provisional answers whose worst
+    /// element is the cut-off; once the heap covers `k` instances, skip
+    /// the exact LCS evaluation of any candidate whose admissible upper
+    /// bound is strictly below the cut, and abandon all remaining rings
+    /// when the ring-level cap is.
+    ///
+    /// Returns the surviving candidates in [`rank_order`] — a list whose
+    /// leading entries are exactly the exhaustive ranking's minimal
+    /// `k`-instance prefix: a candidate is ever discarded (skip, ring
+    /// termination, or heap trim) only while ≥ `k` instances' worth of
+    /// *strictly better-ranked* candidates are present, which certifies it
+    /// can never enter that prefix. Skips require `bound < cut` strictly,
+    /// so exact score ties — which the concept-id key must break — are
+    /// always evaluated, keeping answers bit-identical to the exhaustive
+    /// twin.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_bounded(
+        &self,
+        scorer: &QrScorer<'_>,
+        scoped: &mut crate::similarity::QueryScorer<'_>,
+        query: ExtConceptId,
+        tag: Option<ContextTag>,
+        candidates: &[(ExtConceptId, u32)],
+        k: usize,
+    ) -> Vec<(ExtConceptId, u32, f64)> {
+        let ekg = &self.ingested.ekg;
+        let reach = &self.ingested.reach;
+        // Candidates arrive in BFS order, so hops are nondecreasing and
+        // the table dimensions come from the last ring and deepest entry.
+        let max_h = candidates.last().map(|&(_, h)| h).unwrap_or(0);
+        let max_dc = candidates.iter().map(|&(c, _)| ekg.depth(c)).max().unwrap_or(0);
+        let bounds = scoped.bounds(max_h, max_dc);
+
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        let mut inst_sum = 0usize;
+        let (mut evals, mut skips, mut rings) = (0u64, 0u64, 0u64);
+        let mut idx = 0usize;
+        while idx < candidates.len() {
+            let (c, h) = candidates[idx];
+            // The cut-off exists once the heap covers k instances; every
+            // heap entry then outranks anything scoring strictly below it.
+            let cut = if inst_sum >= k { heap.peek().map(|w| w.score) } else { None };
+            let mut bound_at_eval = None;
+            if let Some(cut) = cut {
+                if idx > 0 && candidates[idx - 1].1 < h && bounds.ring_cap(h) < cut {
+                    // Ring boundary, and even the cap over every candidate
+                    // at hop ≥ h cannot reach the cut: the scan is settled.
+                    skips += (candidates.len() - idx) as u64;
+                    let mut last_ring = u32::MAX;
+                    for &(_, rh) in &candidates[idx..] {
+                        if rh != last_ring {
+                            rings += 1;
+                            last_ring = rh;
+                        }
+                    }
+                    break;
+                }
+                let descendant = reach.is_ancestor(query, c);
+                let (dc, ic) = (ekg.depth(c), scorer.ic(c, tag));
+                let mut b = bounds.upper_bound(descendant, h, dc, ic);
+                if b >= cut && !descendant {
+                    // Tier 2: restrict the member pool to actual common
+                    // subsumers (one bit probe per query ancestor) — far
+                    // cheaper than the LCS eval it tries to avoid.
+                    b = bounds.refined_bound(reach, c, h, dc, ic);
+                }
+                if b < cut {
+                    skips += 1;
+                    idx += 1;
+                    continue;
+                }
+                bound_at_eval = Some(b);
+            }
+            let score = scoped.score(c);
+            evals += 1;
+            if let (Some(m), Some(b)) = (&self.metrics, bound_at_eval) {
+                m.bound_tightness.record(tightness_pct(score, b));
+            }
+            let instances = self.ingested.instances(c).len();
+            inst_sum += instances;
+            heap.push(HeapEntry { score, hops: h, concept: c, instances });
+            // Trim: drop the rank-worst entry while the rest still covers
+            // k instances — everything remaining outranks it strictly, so
+            // it can never reach the answer prefix.
+            while let Some(w) = heap.peek() {
+                if inst_sum - w.instances >= k {
+                    inst_sum -= w.instances;
+                    heap.pop();
+                } else {
+                    break;
+                }
+            }
+            idx += 1;
+        }
+        debug_assert_eq!(evals + skips, candidates.len() as u64);
+        if let Some(m) = &self.metrics {
+            m.lcs_evals.add(evals);
+            m.lcs_query_reuse.add(evals);
+            m.bound_skips.add(skips);
+            m.rings_terminated.add(rings);
+        }
+        let mut survivors: Vec<(ExtConceptId, u32, f64)> =
+            heap.into_iter().map(|e| (e.concept, e.hops, e.score)).collect();
+        survivors.sort_by(|a, b| rank_order((a.2, a.1, a.0), (b.2, b.1, b.0)));
+        survivors
     }
 
     /// Build the [`ScoreExplain`] derivation for one surviving answer.
@@ -611,10 +833,11 @@ impl QueryRelaxer {
         let mut scoped = scorer.query_scoped(query, tag, &self.ingested.reach);
         let mut scored: Vec<(ExtConceptId, f64)> =
             candidates.iter().map(|&c| (c, scoped.score(c))).collect();
-        // An explicit pool carries no hop distances, so the comparator's
-        // hop key is constant here and the shared order degenerates to
-        // score-then-id — same shape as every other ranking surface.
-        scored.sort_by(|a, b| rank_order((a.1, 0, a.0), (b.1, 0, b.0)));
+        // An explicit pool carries no hop distances, so the shared
+        // [`rank_order`] degenerates to score-descending-then-id — built
+        // here as a cached key (one tuple per candidate) instead of
+        // re-deriving both tuples on every comparison.
+        scored.sort_by_cached_key(|&(c, s)| (std::cmp::Reverse(TotalF64(s)), c));
         scored
     }
 }
@@ -1061,6 +1284,91 @@ mod tests {
             for out in r.relax_concepts_batch_with_threads(&queries, 50, threads) {
                 assert_eq!(out.unwrap(), res, "threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn ring_termination_fires_and_stays_bit_identical() {
+        // A flagged hop-1 parent nearly as specific as the query anchors
+        // the cut close to 1.0, while every deeper flagged ancestor can
+        // only reach the heap through Eq. 4 decay of 0.3 per
+        // generalization step. The ring cap falls below the cut at the
+        // first boundary past the parent, so the bounded scan must
+        // abandon the remaining rings wholesale — and still match the
+        // exhaustive twin bit for bit.
+        let mut eb = medkb_ekg::EkgBuilder::new();
+        let names: Vec<String> = (0..8).map(|i| format!("ancestor {i}")).collect();
+        let query = eb.concept("query finding");
+        let mut below = query;
+        let ancestors: Vec<ExtConceptId> = names
+            .iter()
+            .map(|n| {
+                let c = eb.concept(n);
+                eb.is_a(below, c);
+                below = c;
+                c
+            })
+            .collect();
+        let ekg = eb.build().unwrap();
+
+        let mut ob = medkb_ontology::OntologyBuilder::new();
+        ob.concept("Finding");
+        let onto = ob.build().unwrap();
+        let mut kb = medkb_kb::KbBuilder::new(onto);
+        let fc = kb.ontology().lookup_concept("Finding").unwrap();
+        for n in &names {
+            kb.instance(n, fc);
+        }
+        let kb = kb.build().unwrap();
+
+        let mut direct: HashMap<medkb_types::ExtConceptId, [u64; N_TAGS]> = HashMap::new();
+        direct.insert(query, [10u64; N_TAGS]);
+        // Ancestors get geometrically more common with height: the parent
+        // keeps an IC close to the query's (cut ≈ 1), the tail goes
+        // generic, and nothing past ring 1 can outrun the path decay.
+        for (i, &a) in ancestors.iter().enumerate() {
+            direct.insert(a, [12u64 << i; N_TAGS]);
+        }
+        let counts = MentionCounts::from_direct(direct, HashMap::new(), 20_000);
+        let config = RelaxConfig {
+            mapping: MappingMethod::Exact,
+            radius: 8,
+            dynamic_radius: false,
+            use_path_weight: true,
+            w_gen: 0.3,
+            w_spec: 0.3,
+            ..RelaxConfig::default()
+        };
+        let out = ingest(&kb, ekg, &counts, None, &config).unwrap();
+
+        let registry = medkb_obs::Registry::shared();
+        let obs_cfg = RelaxConfig {
+            obs: crate::config::ObsConfig::with_registry(Arc::clone(&registry)),
+            ..config.clone()
+        };
+        let r = QueryRelaxer::new(out.clone(), obs_cfg);
+        let q = r.resolve_term("query finding").unwrap();
+        let res = r.relax_concept(q, None, 1).unwrap();
+        assert_eq!(res.answers.len(), 1, "parent alone covers k=1");
+        let snap = registry.snapshot();
+        assert!(
+            snap.counter(obs_names::RINGS_TERMINATED) > 0,
+            "deep rings under 0.3 step weights must trip ring termination \
+             (bound_skips={}, evals={})",
+            snap.counter(obs_names::BOUND_SKIPS),
+            snap.counter(obs_names::LCS_EVALS),
+        );
+        assert!(snap.counter(obs_names::BOUND_SKIPS) > 0);
+
+        // The abandoned tail must never change an answer: the exhaustive
+        // twin and the reference scan agree for every k, bit for bit.
+        let off_cfg = RelaxConfig { pruning: false, ..config };
+        let off = QueryRelaxer::new(out, off_cfg);
+        for k in [1, 2, 5, 100] {
+            let a = r.relax_concept(q, None, k).unwrap();
+            let b = off.relax_concept(q, None, k).unwrap();
+            assert_eq!(a, b, "k={k}: pruned diverged from exhaustive");
+            assert_eq!(r.relax_concept_reference(q, None, k).unwrap(), a, "k={k}");
         }
     }
 

@@ -188,6 +188,225 @@ impl<'a> QueryScorer<'a> {
         }
         (2.0 * lcs_ic / denom).clamp(0.0, 1.0)
     }
+
+    /// Precompute the [`ScoreBounds`] tables for this query over candidates
+    /// at BFS hop ≤ `max_h` and native depth ≤ `max_dc`.
+    ///
+    /// Only valid when every Eq. 4 step weight is ≤ 1 (or path weighting is
+    /// off) — the relaxation engine gates pruning on exactly that condition.
+    pub fn bounds(&self, max_h: u32, max_dc: u32) -> ScoreBounds {
+        let config = self.base.config;
+        let (bg, wmax) = if config.use_path_weight {
+            (config.w_gen, config.w_gen.max(config.w_spec))
+        } else {
+            (1.0, 1.0)
+        };
+        debug_assert!(
+            bg <= 1.0 && wmax <= 1.0,
+            "score bounds require step weights <= 1, got w_gen {bg} / max {wmax}"
+        );
+        let min_ic = if config.use_corpus {
+            let effective = if config.use_context { self.tag } else { None };
+            self.base.freqs.min_ic(effective)
+        } else {
+            self.base.freqs.min_intrinsic_ic()
+        };
+
+        // Potential LCS members with their query-side distance and native
+        // depth: the strict ancestors for every candidate, plus the query
+        // itself (`da = 0`) when the candidate is a descendant.
+        let depth_q = self.base.ekg.depth(self.up_q.source());
+        let ancestors: Vec<(ExtConceptId, f64, u32, u32)> = self
+            .up_q
+            .iter()
+            .map(|(a, da)| (a, self.base.ic(a, self.tag), da, self.base.ekg.depth(a)))
+            .collect();
+
+        let (hh, dd) = (max_h as usize + 1, max_dc as usize + 1);
+        // Largest unit-step distance any member's lower bound can reach.
+        let max_e = ancestors
+            .iter()
+            .map(|&(_, _, da, _)| da as usize + max_dc as usize)
+            .max()
+            .unwrap_or(0)
+            .max(max_h as usize)
+            .max(max_dc as usize);
+        // bg^e and wmax^T(e) ladders (T(e) = e(e−1)/2, the Eq. 4 exponent
+        // sum of a length-e path), so table fill is O(members × h × dc)
+        // multiplies with no powi in the loop.
+        let mut bg_pow = vec![1.0f64; max_e + 1];
+        for e in 1..=max_e {
+            bg_pow[e] = bg_pow[e - 1] * bg;
+        }
+        let mut wmax_tri = vec![1.0f64; max_e + 1];
+        let mut run = 1.0f64;
+        for e in 1..=max_e {
+            wmax_tri[e] = wmax_tri[e - 1] * run;
+            run *= wmax;
+        }
+
+        let mut g_nd = vec![0.0f64; hh * dd];
+        let mut g_d = vec![0.0f64; hh * dd];
+        for h in 0..hh {
+            for dc in 0..dd {
+                // Unit-step distance the LCS path must cover if `a` is a
+                // member: at least the BFS hop count, and at least `a`'s
+                // own up-leg plus the depth gap down to the candidate.
+                let e_for = |da: u32, depth_a: u32| {
+                    h.max(da as usize + (dc).saturating_sub(depth_a as usize))
+                };
+                let (mut nd, mut d) = (0.0f64, 0.0f64);
+                for &(_, ic, da, depth_a) in &ancestors {
+                    let e = e_for(da, depth_a);
+                    nd = nd.max(ic * bg_pow[e - 1]);
+                    d = d.max(ic * wmax_tri[e]);
+                }
+                // The query itself can only subsume descendant candidates.
+                d = d.max(self.ic_query * wmax_tri[e_for(0, depth_q)]);
+                g_nd[h * dd + dc] = nd;
+                g_d[h * dd + dc] = d;
+            }
+        }
+
+        let nd_path: Vec<f64> =
+            (0..hh).map(|h| bg_pow[h.saturating_sub(1)]).collect();
+        let d_path: Vec<f64> = (0..hh).map(|h| wmax_tri[h]).collect();
+        ScoreBounds {
+            max_h: max_h as usize,
+            max_dc: max_dc as usize,
+            nd_path,
+            d_path,
+            g_nd,
+            g_d,
+            members: ancestors,
+            bg_pow,
+            ic_query: self.ic_query,
+            min_ic,
+        }
+    }
+}
+
+/// Inflation applied to every emitted bound: a relative cushion far above
+/// any accumulated rounding in either the bound or the exact-score
+/// expression tree, plus an absolute floor that keeps subnormal-range
+/// products from rounding below their exact counterparts. Both only ever
+/// *raise* a bound, so admissibility is preserved by construction.
+fn inflate(v: f64) -> f64 {
+    v * (1.0 + 1e-9) + 1e-300
+}
+
+/// Admissible per-candidate upper bounds on Eq. 5, computable from a
+/// candidate's BFS ring, native depth, and dense IC entry alone — no
+/// candidate-side Dijkstra, no LCS evaluation (DESIGN.md §13).
+///
+/// Derivation sketch (proof in DESIGN.md §13): every LCS member lies in
+/// `{query} ∪ strict-ancestors(query)` (the query-scoped LCS probes the
+/// query's upward table), all members share the same unit-step total `D`,
+/// and `D ≥ h` (every customized-graph edge covers ≥ 1 unit step) as well
+/// as `D ≥ da(m) + (depth(c) − depth(m))⁺` for each member `m`. With all
+/// step weights ≤ 1, Eq. 4 is then capped by `w_gen^(D−1)` when the query
+/// is not an ancestor of the candidate (the up-leg is ≥ 1, so the first —
+/// largest — exponent is `D−1`) and by `wmax^(D(D−1)/2)` otherwise, and
+/// Eq. 3 by `min(1, 2·max_m IC(m)/(IC(q)+IC(c)))`. Maximizing the coupled
+/// product over the member pool yields the `G[h][depth]` tables below.
+#[derive(Debug, Clone)]
+pub struct ScoreBounds {
+    max_h: usize,
+    max_dc: usize,
+    /// Eq. 4 cap per hop for non-descendant candidates: `w_gen^(h−1)`.
+    nd_path: Vec<f64>,
+    /// Eq. 4 cap per hop for descendant candidates: `wmax^T(h)`.
+    d_path: Vec<f64>,
+    /// `max_m IC(m)·w_gen^(E(m,h,dc)−1)` over strict ancestors, flattened
+    /// `[h][dc]`; `E` is the member-conditioned lower bound on `D`.
+    g_nd: Vec<f64>,
+    /// Descendant counterpart (query included, triangular exponents).
+    g_d: Vec<f64>,
+    /// The member pool behind the tables — `(id, IC, da, depth)` per strict
+    /// query ancestor — kept for the tier-2 [`ScoreBounds::refined_bound`].
+    members: Vec<(ExtConceptId, f64, u32, u32)>,
+    /// `w_gen^e` ladder shared by table fill and tier-2 refinement.
+    bg_pow: Vec<f64>,
+    ic_query: f64,
+    /// Smallest IC any concept carries under the active selection — the
+    /// worst-case denominator contribution for ring-level caps.
+    min_ic: f64,
+}
+
+impl ScoreBounds {
+    /// Upper bound on the Eq. 5 score of a candidate discovered at BFS hop
+    /// `hops` with native depth `depth` and IC `ic_candidate`;
+    /// `descendant` says whether the query subsumes it (one reachability
+    /// bit probe). Guaranteed ≥ the exact [`QueryScorer::score`] value.
+    pub fn upper_bound(
+        &self,
+        descendant: bool,
+        hops: u32,
+        depth: u32,
+        ic_candidate: f64,
+    ) -> f64 {
+        let h = (hops as usize).min(self.max_h);
+        let dc = (depth as usize).min(self.max_dc);
+        let idx = h * (self.max_dc + 1) + dc;
+        let (pw, g) = if descendant {
+            (self.d_path[h], self.g_d[idx])
+        } else {
+            (self.nd_path[h], self.g_nd[idx])
+        };
+        let denom = self.ic_query + ic_candidate;
+        inflate(if denom > 0.0 { pw.min(2.0 * g / denom) } else { pw })
+    }
+
+    /// Tier-2 bound for **non-descendant** candidates: the member pool is
+    /// restricted to actual common subsumers of query and candidate — one
+    /// reachability bit probe per strict query ancestor, still no
+    /// candidate-side Dijkstra and no LCS evaluation.
+    ///
+    /// Admissible for the same reason the table bound is: every true LCS
+    /// member of a non-descendant candidate is a strict query ancestor that
+    /// subsumes (or equals) the candidate, so the restricted pool still
+    /// contains all of them. Since it maximizes the *same* term values over
+    /// a subset of the table's pool, the result is ≤ the corresponding
+    /// [`ScoreBounds::upper_bound`] bitwise — the dominance chain
+    /// `exact ≤ refined ≤ table ≤ ring_cap` holds under IEEE rounding.
+    ///
+    /// This is what makes the table bound's main slack — a deep, high-IC
+    /// query ancestor that subsumes nothing near the candidate — disappear:
+    /// for distant candidates the common subsumers are shallow and
+    /// low-information, so the refined bound hugs the exact score.
+    pub fn refined_bound(
+        &self,
+        reach: &ReachabilityIndex,
+        candidate: ExtConceptId,
+        hops: u32,
+        depth: u32,
+        ic_candidate: f64,
+    ) -> f64 {
+        let h = (hops as usize).min(self.max_h);
+        let dc = (depth as usize).min(self.max_dc);
+        let mut g = 0.0f64;
+        for &(m, ic, da, depth_m) in &self.members {
+            if m == candidate || reach.is_ancestor(m, candidate) {
+                let e = h.max(da as usize + dc.saturating_sub(depth_m as usize));
+                g = g.max(ic * self.bg_pow[e - 1]);
+            }
+        }
+        let denom = self.ic_query + ic_candidate;
+        inflate(if denom > 0.0 { self.nd_path[h].min(2.0 * g / denom) } else { self.nd_path[h] })
+    }
+
+    /// Upper bound on the score of *every* candidate at BFS hop ≥ `hops`,
+    /// regardless of depth, IC, or descendant status. Nonincreasing in
+    /// `hops`, and ≥ every [`ScoreBounds::upper_bound`] in those rings —
+    /// bitwise, not just in exact arithmetic (each constituent is replaced
+    /// by a monotone-dominating one under IEEE rounding).
+    pub fn ring_cap(&self, hops: u32) -> f64 {
+        let h = (hops as usize).min(self.max_h);
+        let idx = h * (self.max_dc + 1);
+        let denom = self.ic_query + self.min_ic;
+        let cap = |pw: f64, g: f64| if denom > 0.0 { pw.min(2.0 * g / denom) } else { pw };
+        inflate(cap(self.nd_path[h], self.g_nd[idx]).max(cap(self.d_path[h], self.g_d[idx])))
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +554,62 @@ mod tests {
                         let slow = s.breakdown(qa, cb, tag);
                         let fast = scoped.breakdown(cb);
                         assert_eq!(slow, fast, "{a}/{b} {tag:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_bounds_are_admissible_on_the_fragment() {
+        let (ekg, freqs) = setup();
+        let reach = ReachabilityIndex::build(&ekg);
+        let configs = [
+            RelaxConfig::default(),
+            RelaxConfig::default().no_context(),
+            RelaxConfig::default().no_corpus(),
+            RelaxConfig::default().ic_baseline(),
+        ];
+        for config in &configs {
+            let s = QrScorer::new(&ekg, &freqs, config);
+            for tag in [Some(ContextTag::Treatment), Some(ContextTag::Risk), None] {
+                for q in ekg.concepts() {
+                    let neigh = ekg.neighborhood(q, 6);
+                    let max_h = neigh.iter().map(|&(_, h)| h).max().unwrap_or(0);
+                    let max_dc =
+                        neigh.iter().map(|&(c, _)| ekg.depth(c)).max().unwrap_or(0);
+                    let mut scoped = s.query_scoped(q, tag, &reach);
+                    let bounds = scoped.bounds(max_h, max_dc);
+                    for &(c, h) in &neigh {
+                        let exact = scoped.score(c);
+                        let descendant = reach.is_ancestor(q, c);
+                        let b = bounds.upper_bound(descendant, h, ekg.depth(c), s.ic(c, tag));
+                        assert!(
+                            exact <= b,
+                            "bound not admissible: {q:?}→{c:?} {tag:?} exact {exact} > bound {b}"
+                        );
+                        if !descendant {
+                            let rb =
+                                bounds.refined_bound(&reach, c, h, ekg.depth(c), s.ic(c, tag));
+                            assert!(
+                                exact <= rb,
+                                "refined bound not admissible: {q:?}→{c:?} {tag:?} \
+                                 exact {exact} > refined {rb}"
+                            );
+                            assert!(
+                                rb <= b,
+                                "refined bound must not exceed the table bound: \
+                                 {q:?}→{c:?} refined {rb} > table {b}"
+                            );
+                        }
+                        let cap = bounds.ring_cap(h);
+                        assert!(b <= cap, "ring cap below bound: {q:?}→{c:?} {b} > {cap}");
+                    }
+                    for h in 1..max_h {
+                        assert!(
+                            bounds.ring_cap(h + 1) <= bounds.ring_cap(h),
+                            "ring cap must be nonincreasing in the hop count"
+                        );
                     }
                 }
             }

@@ -21,9 +21,10 @@ use medkb_corpus::MentionCounts;
 use medkb_ekg::lcs::lcs;
 use medkb_ekg::{lcs_with_upward, lcs_with_upward_scratch, ReachabilityIndex, UpwardScratch};
 use medkb_core::{
-    ingest_reference, ingest_with_stats, IngestOutput, MappingMethod, ParallelConfig,
+    ingest_reference, ingest_with_stats, IngestOutput, MappingMethod, ParallelConfig, QrScorer,
     QueryRelaxer, RelaxConfig,
 };
+use medkb_snomed::ContextTag;
 use medkb_text::{tokenize, Gazetteer, PhraseMatch};
 use medkb_types::{ContextId, ExtConceptId, Id};
 
@@ -107,10 +108,81 @@ pub fn check_lcs(w: &AdversarialWorld) {
     }
 }
 
+/// Pin the admissibility chain behind score-bounded pruning (DESIGN.md
+/// §13): for every candidate within radius 4 of every query concept,
+/// `exact_score(c) ≤ upper_bound(c) ≤ ring_cap(h)`, and ring caps are
+/// nonincreasing in the hop count — so no skip or ring termination the
+/// bounded scan performs can ever discard a true top-k member.
+pub fn check_bounds(w: &AdversarialWorld, out: &IngestOutput, config: &RelaxConfig) {
+    let scorer = QrScorer::new(&out.ekg, &out.freqs, config);
+    let mut tags: Vec<Option<ContextTag>> = vec![None];
+    tags.extend(out.contexts.first().map(|c| Some(out.tag(c.id))));
+    for q in w.query_concepts() {
+        let candidates = out.ekg.neighborhood(q, 4);
+        let max_h = candidates.iter().map(|&(_, h)| h).max().unwrap_or(0);
+        let max_dc = candidates.iter().map(|&(c, _)| out.ekg.depth(c)).max().unwrap_or(0);
+        for &tag in &tags {
+            let mut scoped = scorer.query_scoped(q, tag, &out.reach);
+            let bounds = scoped.bounds(max_h, max_dc);
+            let mut prev = f64::INFINITY;
+            for h in 0..=max_h {
+                let cap = bounds.ring_cap(h);
+                assert!(
+                    cap <= prev,
+                    "[{}] ring_cap increased {prev} → {cap} at h={h} for {q:?}/{tag:?}",
+                    w.label
+                );
+                prev = cap;
+            }
+            for &(c, h) in &candidates {
+                let exact = scoped.score(c);
+                let descendant = out.reach.is_ancestor(q, c);
+                let bound =
+                    bounds.upper_bound(descendant, h, out.ekg.depth(c), scorer.ic(c, tag));
+                assert!(
+                    exact <= bound,
+                    "[{}] inadmissible bound {bound} < exact {exact} for {q:?}→{c:?} h={h} tag={tag:?}",
+                    w.label
+                );
+                if !descendant {
+                    let refined = bounds.refined_bound(
+                        &out.reach,
+                        c,
+                        h,
+                        out.ekg.depth(c),
+                        scorer.ic(c, tag),
+                    );
+                    assert!(
+                        exact <= refined,
+                        "[{}] inadmissible refined bound {refined} < exact {exact} \
+                         for {q:?}→{c:?} h={h} tag={tag:?}",
+                        w.label
+                    );
+                    assert!(
+                        refined <= bound,
+                        "[{}] refined bound {refined} above table bound {bound} \
+                         for {q:?}→{c:?} h={h}",
+                        w.label
+                    );
+                }
+                let cap = bounds.ring_cap(h);
+                assert!(
+                    bound <= cap,
+                    "[{}] upper_bound {bound} above ring_cap {cap} for {q:?}→{c:?} h={h}",
+                    w.label
+                );
+            }
+        }
+    }
+}
+
 /// Pin the optimized relaxer and the sharded batch API against
-/// `relax_concept_reference`, element-wise, for every thread count.
+/// `relax_concept_reference`, element-wise, for every thread count — and
+/// pin that toggling `pruning` off changes nothing but latency.
 pub fn check_relax(w: &AdversarialWorld, out: IngestOutput, config: RelaxConfig) {
-    let r = QueryRelaxer::new(out, config);
+    let unpruned =
+        QueryRelaxer::new(out.clone(), RelaxConfig { pruning: false, ..config.clone() });
+    let r = QueryRelaxer::new(out, RelaxConfig { pruning: true, ..config });
     let mut contexts: Vec<Option<ContextId>> = vec![None];
     contexts.extend(r.ingested().contexts.first().map(|c| Some(c.id)));
 
@@ -123,8 +195,9 @@ pub fn check_relax(w: &AdversarialWorld, out: IngestOutput, config: RelaxConfig)
     for &(q, ctx) in &queries {
         for k in [1usize, 3, 17] {
             let fast = r.relax_concept(q, ctx, k);
+            let off = unpruned.relax_concept(q, ctx, k);
             let slow = r.relax_concept_reference(q, ctx, k);
-            match (fast, slow) {
+            match (&fast, &slow) {
                 (Ok(f), Ok(s)) => {
                     assert_eq!(f, s, "[{}] relax({q:?},{ctx:?},k={k})", w.label);
                 }
@@ -132,6 +205,21 @@ pub fn check_relax(w: &AdversarialWorld, out: IngestOutput, config: RelaxConfig)
                 (f, s) => panic!(
                     "[{}] relax({q:?},{ctx:?},k={k}) outcome kind diverged: \
                      optimized={f:?} reference={s:?}",
+                    w.label
+                ),
+            }
+            match (&fast, &off) {
+                (Ok(f), Ok(o)) => {
+                    assert_eq!(
+                        f, o,
+                        "[{}] pruning changed relax({q:?},{ctx:?},k={k})",
+                        w.label
+                    );
+                }
+                (Err(_), Err(_)) => {}
+                (f, o) => panic!(
+                    "[{}] pruning changed outcome kind of relax({q:?},{ctx:?},k={k}): \
+                     pruned={f:?} exhaustive={o:?}",
                     w.label
                 ),
             }
@@ -266,6 +354,7 @@ pub fn check_world(w: &AdversarialWorld) {
 
     let exact = RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() };
     let out = check_ingest(w, &counts, MappingMethod::Exact);
+    check_bounds(w, &out, &exact);
     check_relax(w, out, exact);
 
     // Edit-distance mapping exercises the DP prefilter; skipped on worlds

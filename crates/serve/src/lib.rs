@@ -142,6 +142,39 @@ mod tests {
         }
     }
 
+    /// Score-bounded pruning (DESIGN.md §13) is answer-inert, so the
+    /// serving layer treats it as cache-compatible: pruned and exhaustive
+    /// configurations share one result fingerprint, and a server running
+    /// the bounded scan returns answers bit-identical to an exhaustive
+    /// uncached relaxer — cached and uncached alike.
+    #[test]
+    fn pruned_and_exhaustive_servers_share_fingerprint_and_answers() {
+        let pruned_cfg = RelaxConfig { pruning: true, ..exact_config() };
+        let exhaustive_cfg = RelaxConfig { pruning: false, ..exact_config() };
+        assert_eq!(
+            pruned_cfg.result_fingerprint(),
+            exhaustive_cfg.result_fingerprint(),
+            "pruning must not key the result cache"
+        );
+
+        let out = fragment_world(&pruned_cfg);
+        let ctx = treatment_ctx(&out);
+        let exhaustive = QueryRelaxer::new(out.clone(), exhaustive_cfg);
+        let server = RelaxServer::new(out, pruned_cfg, ServeConfig::default());
+        for term in ["fever", "headache", "psychogenic fever", "pertussis"] {
+            for context in [None, Some(ctx)] {
+                for k in [1, 5, 50] {
+                    let served = server.serve(term, context, k).unwrap();
+                    let direct = exhaustive.relax(term, context, k).unwrap();
+                    assert_eq!(*served.result, direct, "{term} ctx={context:?} k={k}");
+                    let again = server.serve(term, context, k).unwrap();
+                    assert!(again.cached(), "{term} should be resident");
+                    assert_eq!(*again.result, direct, "{term} cached answer diverged");
+                }
+            }
+        }
+    }
+
     #[test]
     fn spelling_variants_share_one_entry_after_normalization() {
         let config = exact_config();

@@ -37,12 +37,22 @@ cargo run --release -p medkb-bench --bin bench_json -- --ingest --quick >/dev/nu
 # Relax smoke: instrumented engine bit-identical to the plain engine, and
 # the emitted document (including the embedded metrics snapshot) parses.
 out=$(cargo run --release -p medkb-bench --bin bench_json -- --quick)
-for key in '"metrics"' '"obs_overhead_pct"' 'relax.latency_us' 'relax.queries'; do
+for key in '"metrics"' '"obs_overhead_pct"' 'relax.latency_us' 'relax.queries' \
+    '"p99_us_per_query"' '"lcs_evals_saved_pct"' 'relax.lcs.bound_skips' \
+    'relax.rings.terminated'; do
   if ! grep -qF "$key" <<<"$out"; then
     echo "tier-1 FAIL: bench_json --quick output missing $key" >&2
     exit 1
   fi
 done
+# Score-bounded pruning must actually save LCS evaluations on the default
+# workload (DESIGN.md §13) — a silent fall-back to the exhaustive scan
+# would keep every bit-identity assert green while losing the perf win.
+saved=$(grep -o '"lcs_evals_saved_pct": [0-9.]*' <<<"$out" | grep -o '[0-9.]*$')
+if ! awk -v s="${saved:-0}" 'BEGIN { exit !(s > 0) }'; then
+  echo "tier-1 FAIL: lcs_evals_saved_pct is ${saved:-missing}, expected > 0" >&2
+  exit 1
+fi
 
 # Serve smoke: snapshot-swapped serving layer over the same world. The
 # binary itself asserts cached answers are bit-identical to uncached ones,

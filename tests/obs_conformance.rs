@@ -112,6 +112,62 @@ fn lcs_query_reuse_equals_evals_per_query() {
     assert!(prev_evals > 0, "fixture batch must exercise the scorer");
 }
 
+/// Score-bounded pruning accounting (DESIGN.md §13): with pruning on (the
+/// default) every kept candidate is either LCS-evaluated or skipped on an
+/// admissible bound; with pruning off every bound counter stays at zero,
+/// every kept candidate is evaluated, and the answers are bit-identical
+/// either way — the flag is purely a latency knob.
+#[test]
+fn bound_counters_partition_kept_candidates() {
+    use medkb::core::relax::obs_names as relax_obs;
+
+    let run = |pruning: bool| {
+        let registry = Registry::shared();
+        let mut config = fixture_config();
+        config.pruning = pruning;
+        config.obs = ObsConfig::with_registry(Arc::clone(&registry));
+        let r = fixture_relaxer(config);
+        let mut results = Vec::new();
+        for &(term, label) in GOLDEN_QUERIES {
+            let ctx = label.map(|l| context_labeled(&r, l));
+            results.push(r.relax(term, ctx, K).unwrap());
+        }
+        (registry.snapshot(), results)
+    };
+
+    let (pruned, pruned_results) = run(true);
+    assert_eq!(
+        pruned.counter(relax_obs::LCS_EVALS) + pruned.counter(relax_obs::BOUND_SKIPS),
+        pruned.counter(relax_obs::CANDIDATES_KEPT),
+        "kept candidates must partition into LCS evals + bound skips"
+    );
+
+    let (off, off_results) = run(false);
+    assert_eq!(off.counter(relax_obs::BOUND_SKIPS), 0, "pruning off must never skip");
+    assert_eq!(off.counter(relax_obs::RINGS_TERMINATED), 0, "pruning off keeps every ring");
+    assert_eq!(
+        off.histogram_count(relax_obs::BOUND_TIGHTNESS_PCT),
+        0,
+        "pruning off computes no bounds, so tightness must stay empty"
+    );
+    assert_eq!(
+        off.counter(relax_obs::LCS_EVALS),
+        off.counter(relax_obs::CANDIDATES_KEPT),
+        "the exhaustive scan evaluates every kept candidate"
+    );
+
+    for ((term, _), (a, b)) in
+        GOLDEN_QUERIES.iter().zip(pruned_results.iter().zip(&off_results))
+    {
+        assert_eq!(a.radius_used, b.radius_used, "{term}: radius diverged");
+        assert_eq!(a.answers.len(), b.answers.len(), "{term}: answer count diverged");
+        for (x, y) in a.answers.iter().zip(&b.answers) {
+            assert_eq!(x.concept, y.concept, "{term}: ranking diverged");
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "{term}: score bits diverged");
+        }
+    }
+}
+
 /// Instrumentation and `explain` must not perturb results: same concepts,
 /// bit-identical scores, same hops/instances/radius as the plain run.
 #[test]
