@@ -25,6 +25,18 @@
 //! cargo run --release -p medkb-bench --bin bench_json -- --serve
 //! ```
 //!
+//! `--store` times the persistent world store (medkb-store) against a full
+//! re-ingest of the same world: one save, repeated cold opens, and the
+//! checksum-corruption rejection path, and writes `BENCH_store.json`:
+//!
+//! ```text
+//! cargo run --release -p medkb-bench --bin bench_json -- --store
+//! ```
+//!
+//! `--world-scale N` sets the generated world's concept count in every mode
+//! (default 4000 — the tier-1 fast path). Full-scale runs use
+//! `--world-scale 350000`, SNOMED CT's concept count (ROADMAP item 1).
+//!
 //! `--quick` reduces repetitions and skips the file write in all modes
 //! (so a smoke run cannot clobber committed full-run numbers).
 //!
@@ -37,7 +49,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use medkb_bench::{bench_world_and_corpus, relaxation_bench_world, RelaxBenchWorld};
+use medkb_bench::{
+    scaled_relaxation_bench_world, scaled_world_and_corpus, world_scale_from_args,
+    RelaxBenchWorld,
+};
 use medkb_core::{
     ingest_reference, ingest_with_stats, IngestStats, ObsConfig, ParallelConfig, QueryRelaxer,
     RelaxConfig,
@@ -99,10 +114,18 @@ fn time_queries(
 /// End-to-end ingestion benchmark (`--ingest`): sequential reference vs the
 /// staged parallel pipeline at 1/2/4/8 threads, with the bit-identity pin
 /// re-checked on every configuration.
-fn run_ingest_bench(quick: bool) {
-    let reps = if quick { 2 } else { 5 };
-    eprintln!("[bench_json] building 4k-concept ingestion inputs…");
-    let (world, corpus) = bench_world_and_corpus();
+fn run_ingest_bench(quick: bool, scale: usize) {
+    let reps = if quick {
+        2
+    } else if scale > 100_000 {
+        3
+    } else {
+        5
+    };
+    eprintln!("[bench_json] building {scale}-concept ingestion inputs…");
+    let t_build = Instant::now();
+    let (world, corpus) = scaled_world_and_corpus(scale);
+    eprintln!("[bench_json] world + corpus built in {:.1}s", t_build.elapsed().as_secs_f64());
     let ekg = &world.terminology.ekg;
     let base = RelaxConfig {
         mapping: medkb_core::MappingMethod::Exact,
@@ -213,11 +236,14 @@ fn run_ingest_bench(quick: bool) {
         "{{\n  \"reference_end_to_end_s\": {reference_median:.4},\n  \
          \"threads\": [\n{clamped_rows}\n  ],\n  \
          \"oversubscribed\": [\n{oversubscribed_rows}\n  ],\n  \
-         \"reps\": {reps},\n  \"world_concepts\": 4000,\n  \
-         \"instances\": {},\n  \"docs\": 250,\n  \
+         \"reps\": {reps},\n  \"world_concepts\": {scale},\n  \
+         \"ekg_concepts\": {},\n  \
+         \"instances\": {},\n  \"docs\": {},\n  \
          \"machine_cores\": {cores},\n  \
          \"metrics\": {metrics_json}\n}}\n",
+        world.terminology.ekg.len(),
         world.kb.instance_count(),
+        corpus.len(),
     );
     if quick {
         eprintln!("[bench_json] --quick: skipping BENCH_ingest.json write");
@@ -232,15 +258,17 @@ fn run_ingest_bench(quick: bool) {
 /// Serving-layer benchmark (`--serve`): cold relax through the cache vs
 /// warm hits, single-flight/batch traffic, and a snapshot swap under the
 /// smoke contract that cached ≡ uncached bit for bit throughout.
-fn run_serve_bench(quick: bool) {
+fn run_serve_bench(quick: bool, scale: usize) {
     use medkb_serve::{obs_names as sn, RelaxServer, ServeConfig, ServedFrom};
 
     let radius = 4u32;
     let k = 10usize;
     let reps = if quick { 2 } else { 5 };
 
-    eprintln!("[bench_json] building 4k-concept benchmark world…");
-    let RelaxBenchWorld { relaxer, queries, context } = relaxation_bench_world(true);
+    eprintln!("[bench_json] building {scale}-concept benchmark world…");
+    let t_build = Instant::now();
+    let RelaxBenchWorld { relaxer, queries, context } = scaled_relaxation_bench_world(scale, true);
+    eprintln!("[bench_json] world built + ingested in {:.1}s", t_build.elapsed().as_secs_f64());
     let mut cfg = relaxer.config().clone();
     cfg.radius = radius;
     cfg.dynamic_radius = false;
@@ -375,7 +403,7 @@ fn run_serve_bench(quick: bool) {
          \"queries\": {},\n  \"reps\": {reps},\n  \
          \"radius\": {radius},\n  \"k\": {k},\n  \
          \"shards\": {},\n  \"shard_capacity\": {},\n  \
-         \"world_concepts\": 4000,\n  \
+         \"world_concepts\": {scale},\n  \
          \"metrics\": {metrics_json}\n}}\n",
         queries.len(),
         server.config().shards,
@@ -391,22 +419,216 @@ fn run_serve_bench(quick: bool) {
     println!("{json}");
 }
 
+/// Persistent-store benchmark (`--store`): one full re-ingest of the world
+/// vs a cold `WorldStore::open` of the same artifacts (the restart-recovery
+/// path of DESIGN.md §14), with bit-identity pinned on every opened copy
+/// and the checksum-corruption rejection path exercised.
+///
+/// "Full re-ingest" is what a server restart without the store would pay to
+/// rebuild `IngestOutput` from raw inputs: corpus mention counting, SGNS +
+/// SIF embedding training (the default production matcher — the store
+/// persists the trained model and index, so an open genuinely skips it),
+/// and Algorithm 1. World generation is synthetic-bench scaffolding and
+/// stays untimed, as does the `Ekg` clone the pipeline consumes. `--quick`
+/// swaps the embedding matcher for `Exact` so the tier-1 smoke stays fast
+/// (the embedding mapper's round-trip is pinned by
+/// `crates/store/tests/round_trip.rs`); its speedup number is therefore a
+/// drastic *under*-estimate and never gated on.
+fn run_store_bench(quick: bool, scale: usize) {
+    use medkb_store::WorldStore;
+
+    let reps = if quick {
+        2
+    } else if scale > 100_000 {
+        3
+    } else {
+        5
+    };
+    let k = 10usize;
+    eprintln!("[bench_json] building {scale}-concept store-bench inputs…");
+    let t_build = Instant::now();
+    let (world, corpus) = scaled_world_and_corpus(scale);
+    eprintln!("[bench_json] world + corpus built in {:.1}s", t_build.elapsed().as_secs_f64());
+    let ekg = &world.terminology.ekg;
+    let cfg = if quick {
+        RelaxConfig { mapping: medkb_core::MappingMethod::Exact, ..RelaxConfig::default() }
+    } else {
+        RelaxConfig::default() // embedding matcher: the production pipeline
+    };
+    let sgns = medkb_embed::SgnsConfig { seed: 55, epochs: 4, ..medkb_embed::SgnsConfig::default() };
+
+    // Re-ingest cost per rep: mention counting, embedding training (full
+    // mode only, matching the matcher in `cfg`), then Algorithm 1.
+    let mut reingest_s = Vec::with_capacity(reps);
+    let mut counts_s = Vec::with_capacity(reps);
+    let mut train_s = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps {
+        let ekg_in = ekg.clone();
+        let t = Instant::now();
+        let counts = MentionCounts::count(&corpus, ekg);
+        counts_s.push(t.elapsed().as_secs_f64());
+        let t_train = Instant::now();
+        let sif = if quick {
+            None
+        } else {
+            let wv = medkb_embed::WordVectors::train(&corpus, &sgns);
+            Some(Arc::new(medkb_embed::SifModel::fit(wv, &corpus, 1e-3)))
+        };
+        train_s.push(t_train.elapsed().as_secs_f64());
+        let o = medkb_core::ingest(&world.kb, ekg_in, &counts, sif, &cfg).expect("ingest");
+        reingest_s.push(t.elapsed().as_secs_f64());
+        out = Some(o);
+    }
+    let out = out.expect("at least one rep");
+    let reingest_p50 = median(&mut reingest_s);
+    let counts_p50 = median(&mut counts_s);
+    let train_p50 = median(&mut train_s);
+    eprintln!(
+        "[bench_json] re-ingest end-to-end: {reingest_p50:.3}s \
+         (counting {counts_p50:.3}s, training {train_p50:.3}s)"
+    );
+
+    // Save once (timed), then repeated cold opens of the same file.
+    let path = std::env::temp_dir().join(format!("medkb-bench-store-{}.bin", std::process::id()));
+    let t = Instant::now();
+    WorldStore::save(&out, &path).expect("store save");
+    let save_s = t.elapsed().as_secs_f64();
+    let file_bytes = std::fs::metadata(&path).expect("store file").len();
+
+    let mut open_s = Vec::with_capacity(reps);
+    let mut opened = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let o = WorldStore::open(&path).expect("store open");
+        open_s.push(t.elapsed().as_secs_f64());
+        opened = Some(o);
+    }
+    let opened = opened.expect("at least one rep");
+    let open_p50 = median(&mut open_s);
+    let speedup = reingest_p50 / open_p50;
+    eprintln!(
+        "[bench_json] save {save_s:.3}s ({file_bytes} bytes), cold open {open_p50:.4}s \
+         ({speedup:.0}x vs re-ingest)"
+    );
+
+    // A flipped byte anywhere in a section payload must be rejected as a
+    // ValidationReport, never served.
+    let mut corrupt = std::fs::read(&path).expect("read store file");
+    let at = corrupt.len() / 2;
+    corrupt[at] ^= 0x40;
+    let bad = std::env::temp_dir().join(format!("medkb-bench-store-bad-{}.bin", std::process::id()));
+    std::fs::write(&bad, &corrupt).expect("write corrupted file");
+    match WorldStore::open(&bad) {
+        Err(medkb_types::MedKbError::Validation(report)) => {
+            assert!(!report.is_empty(), "corruption rejection must name a defect")
+        }
+        other => panic!("corrupted store must be rejected, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&bad);
+    let _ = std::fs::remove_file(&path);
+
+    // Bit-identity of the opened copy: structural equality on the heavy
+    // components, then answer equality over 8 flagged queries.
+    assert_eq!(opened.mappings, out.mappings, "mappings diverged through the store");
+    assert_eq!(opened.freqs, out.freqs, "frequency tables diverged through the store");
+    assert_eq!(opened.reach, out.reach, "reachability index diverged through the store");
+    assert_eq!(opened.ekg.to_parts(), out.ekg.to_parts(), "ekg diverged through the store");
+    let reach_bytes = out.reach.memory_bytes();
+    let dense_bytes = out.reach.dense_equivalent_bytes();
+    let exception_sets = out.reach.exception_set_count();
+    let queries: Vec<ExtConceptId> = world
+        .terminology
+        .of_hierarchy_below(medkb_snomed::Hierarchy::ClinicalFinding, 3)
+        .into_iter()
+        .filter(|c| out.flagged.contains(c))
+        .take(8)
+        .collect();
+    assert!(!queries.is_empty(), "store bench world has no flagged queries");
+    let context = out
+        .contexts
+        .iter()
+        .find(|s| s.label == "Indication-hasFinding-Finding")
+        .expect("treatment context")
+        .id;
+    let plain = QueryRelaxer::new(out, cfg.clone());
+    let from_store = QueryRelaxer::new(opened, cfg);
+    for &q in &queries {
+        let want = plain.relax_concept(q, Some(context), k).expect("relax");
+        let got = from_store.relax_concept(q, Some(context), k).expect("relax from store");
+        assert_eq!(got, want, "store-opened answers diverged");
+    }
+    eprintln!("[bench_json] store round-trip bit-identity OK ({} queries)", queries.len());
+
+    let hybrid_ratio = dense_bytes as f64 / reach_bytes.max(1) as f64;
+    if !quick && scale >= 350_000 {
+        // Acceptance criteria (ISSUE 7) are gated at full SNOMED scale.
+        assert!(
+            speedup >= 100.0,
+            "cold open {open_p50:.3}s not ≥100x faster than re-ingest {reingest_p50:.3}s"
+        );
+        assert!(
+            reach_bytes * 20 < dense_bytes,
+            "hybrid reach {reach_bytes}B not < 1/20 of dense {dense_bytes}B"
+        );
+    }
+
+    let mapping_label = if quick { "exact" } else { "embedding" };
+    let json = format!(
+        "{{\n  \"re_ingest_p50_s\": {reingest_p50:.4},\n  \
+         \"counts_p50_s\": {counts_p50:.4},\n  \
+         \"train_p50_s\": {train_p50:.4},\n  \
+         \"mapping\": \"{mapping_label}\",\n  \
+         \"save_s\": {save_s:.4},\n  \
+         \"cold_open_p50_s\": {open_p50:.4},\n  \
+         \"cold_open_speedup\": {speedup:.1},\n  \
+         \"file_bytes\": {file_bytes},\n  \
+         \"reach_memory_bytes\": {reach_bytes},\n  \
+         \"reach_dense_equivalent_bytes\": {dense_bytes},\n  \
+         \"reach_dense_over_hybrid\": {hybrid_ratio:.1},\n  \
+         \"reach_exception_sets\": {exception_sets},\n  \
+         \"queries_checked\": {},\n  \"reps\": {reps},\n  \
+         \"world_concepts\": {scale},\n  \
+         \"ekg_concepts\": {},\n  \
+         \"instances\": {},\n  \"docs\": {}\n}}\n",
+        queries.len(),
+        ekg.len(),
+        world.kb.instance_count(),
+        corpus.len(),
+    );
+    if quick {
+        eprintln!("[bench_json] --quick: skipping BENCH_store.json write");
+    } else {
+        let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+        std::fs::write(out_path, &json).expect("write BENCH_store.json");
+        eprintln!("[bench_json] wrote {out_path}");
+    }
+    println!("{json}");
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let scale = world_scale_from_args();
     if std::env::args().any(|a| a == "--ingest") {
-        run_ingest_bench(quick);
+        run_ingest_bench(quick, scale);
         return;
     }
     if std::env::args().any(|a| a == "--serve") {
-        run_serve_bench(quick);
+        run_serve_bench(quick, scale);
+        return;
+    }
+    if std::env::args().any(|a| a == "--store") {
+        run_store_bench(quick, scale);
         return;
     }
     let radius = 4u32;
     let k = 10usize;
     let reps = if quick { 2 } else { 5 };
 
-    eprintln!("[bench_json] building 4k-concept benchmark world…");
-    let RelaxBenchWorld { relaxer, queries, context } = relaxation_bench_world(true);
+    eprintln!("[bench_json] building {scale}-concept benchmark world…");
+    let t_build = Instant::now();
+    let RelaxBenchWorld { relaxer, queries, context } = scaled_relaxation_bench_world(scale, true);
+    eprintln!("[bench_json] world built + ingested in {:.1}s", t_build.elapsed().as_secs_f64());
     let mut cfg = relaxer.config().clone();
     cfg.radius = radius;
     cfg.dynamic_radius = false;
@@ -528,7 +750,7 @@ fn main() {
          \"queries\": {},\n  \"reps\": {reps},\n  \
          \"candidates_mean\": {candidates_mean:.2},\n  \
          \"radius\": {radius},\n  \"k\": {k},\n  \
-         \"world_concepts\": 4000,\n  \
+         \"world_concepts\": {scale},\n  \
          \"metrics\": {metrics_json}\n}}\n",
         queries.len()
     );

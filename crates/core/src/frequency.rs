@@ -258,6 +258,74 @@ impl Frequencies {
     pub fn total(&self, tag: ContextTag) -> f64 {
         self.per_tag_total[tag.index()]
     }
+
+    /// Decompose into flat tables for persistence (medkb-store).
+    ///
+    /// Every table is captured verbatim — a store open reconstructs the
+    /// exact f64 bit patterns this compute produced, never a recompute
+    /// (which would need the corpus counts the store does not keep).
+    pub fn to_parts(&self) -> FreqParts {
+        FreqParts {
+            per_tag: self.per_tag.iter().map(|t| t.as_slice().to_vec()).collect(),
+            per_tag_total: self.per_tag_total.to_vec(),
+            aggregate: self.aggregate.as_slice().to_vec(),
+            intrinsic: self.intrinsic.as_slice().to_vec(),
+            ic_per_tag: self.ic_per_tag.iter().map(|t| t.as_slice().to_vec()).collect(),
+            ic_aggregate: self.ic_aggregate.as_slice().to_vec(),
+            min_ic_per_tag: self.min_ic_per_tag.to_vec(),
+            min_ic_aggregate: self.min_ic_aggregate,
+            min_intrinsic: self.min_intrinsic,
+        }
+    }
+
+    /// Rebuild from [`Frequencies::to_parts`] output. Inverse of
+    /// `to_parts`: bit-identical tables, no recomputation.
+    pub fn from_parts(parts: FreqParts) -> Self {
+        let mut per_tag_total = [0.0; N_TAGS];
+        for (slot, v) in per_tag_total.iter_mut().zip(&parts.per_tag_total) {
+            *slot = *v;
+        }
+        let mut min_ic_per_tag = [0.0; N_TAGS];
+        for (slot, v) in min_ic_per_tag.iter_mut().zip(&parts.min_ic_per_tag) {
+            *slot = *v;
+        }
+        Self {
+            per_tag: parts.per_tag.into_iter().map(|t| t.into_iter().collect()).collect(),
+            per_tag_total,
+            aggregate: parts.aggregate.into_iter().collect(),
+            intrinsic: parts.intrinsic.into_iter().collect(),
+            ic_per_tag: parts.ic_per_tag.into_iter().map(|t| t.into_iter().collect()).collect(),
+            ic_aggregate: parts.ic_aggregate.into_iter().collect(),
+            min_ic_per_tag,
+            min_ic_aggregate: parts.min_ic_aggregate,
+            min_intrinsic: parts.min_intrinsic,
+        }
+    }
+}
+
+/// Flat-table decomposition of [`Frequencies`] for persistence. Tables are
+/// tag-major (`N_TAGS` inner vectors of length `n`); scalar minima ride
+/// along so the pruning engine's ring caps survive a round trip untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqParts {
+    /// Normalized per-tag frequency tables.
+    pub per_tag: Vec<Vec<f64>>,
+    /// Root raw rolled-up weight per tag (length `N_TAGS`).
+    pub per_tag_total: Vec<f64>,
+    /// Aggregate normalized frequencies.
+    pub aggregate: Vec<f64>,
+    /// Intrinsic IC table.
+    pub intrinsic: Vec<f64>,
+    /// Per-tag corpus IC tables.
+    pub ic_per_tag: Vec<Vec<f64>>,
+    /// Aggregate corpus IC table.
+    pub ic_aggregate: Vec<f64>,
+    /// Per-tag IC minima (length `N_TAGS`).
+    pub min_ic_per_tag: Vec<f64>,
+    /// Aggregate IC minimum.
+    pub min_ic_aggregate: f64,
+    /// Intrinsic IC minimum.
+    pub min_intrinsic: f64,
 }
 
 /// Paper-literal Eq. 2 rollup: one children-first pass, each child's

@@ -7,7 +7,7 @@
 //! [`ingest_reference`] preserves the original single-pass sequential
 //! implementation as the exactness oracle (DESIGN.md §9).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -24,6 +24,132 @@ use crate::config::RelaxConfig;
 use crate::frequency::Frequencies;
 use crate::mapping::ConceptMapper;
 
+/// Instance → external concept mappings (`M`), stored as one vector
+/// sorted by instance id.
+///
+/// Replaces the previous `HashMap<InstanceId, ExtConceptId>`: iteration
+/// is deterministic (so serialization is byte-stable without sorting at
+/// write time), lookups are a binary search over a cache-friendly flat
+/// array, and the store can adopt the backing vector wholesale.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MappingIndex {
+    entries: Vec<(InstanceId, ExtConceptId)>,
+}
+
+impl MappingIndex {
+    /// Build from mapping pairs in any order (instance ids are unique —
+    /// each KB instance maps at most once).
+    pub fn from_pairs(mut pairs: Vec<(InstanceId, ExtConceptId)>) -> Self {
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "duplicate instance mapping");
+        Self { entries: pairs }
+    }
+
+    /// The concept `inst` mapped to, if any.
+    pub fn get(&self, inst: InstanceId) -> Option<ExtConceptId> {
+        self.entries
+            .binary_search_by_key(&inst, |&(i, _)| i)
+            .ok()
+            .map(|at| self.entries[at].1)
+    }
+
+    /// Whether `inst` mapped to any concept.
+    pub fn contains_key(&self, inst: InstanceId) -> bool {
+        self.get(inst).is_some()
+    }
+
+    /// Number of mapped instances.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no instance mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All `(instance, concept)` pairs in ascending instance order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstanceId, ExtConceptId)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The sorted backing slice (what the store serializes).
+    pub fn as_slice(&self) -> &[(InstanceId, ExtConceptId)] {
+        &self.entries
+    }
+}
+
+/// Reverse mapping index: external concept → its mapped instances, stored
+/// CSR-style (sorted distinct concepts + offsets + one flat instance
+/// array) instead of `HashMap<ExtConceptId, Vec<InstanceId>>`.
+///
+/// Per-concept instance order is the KB insertion order of the original
+/// mapping pass — the order the reference pipeline produced — so answers
+/// that expose instance lists are unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InstanceIndex {
+    concepts: Vec<ExtConceptId>,
+    offsets: Vec<u32>,
+    instances: Vec<InstanceId>,
+}
+
+impl InstanceIndex {
+    /// Build from mapping pairs in insertion order (per-concept instance
+    /// order is preserved; concepts are sorted for binary search).
+    pub fn from_run(pairs: &[(InstanceId, ExtConceptId)]) -> Self {
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        // Stable by concept: within a concept, insertion order survives.
+        order.sort_by_key(|&at| pairs[at].1);
+        let mut concepts = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut instances = Vec::with_capacity(pairs.len());
+        for &at in &order {
+            let (inst, concept) = pairs[at];
+            if concepts.last() != Some(&concept) {
+                concepts.push(concept);
+                offsets.push(instances.len() as u32);
+            }
+            instances.push(inst);
+            *offsets.last_mut().expect("offsets non-empty") = instances.len() as u32;
+        }
+        Self { concepts, offsets, instances }
+    }
+
+    /// Reassemble from the store's flat sections. `offsets` must have
+    /// `concepts.len() + 1` monotone entries ending at `instances.len()`.
+    pub fn from_parts(
+        concepts: Vec<ExtConceptId>,
+        offsets: Vec<u32>,
+        instances: Vec<InstanceId>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), concepts.len() + 1);
+        Self { concepts, offsets, instances }
+    }
+
+    /// Instances mapped to `concept` (empty when unflagged).
+    pub fn get(&self, concept: ExtConceptId) -> &[InstanceId] {
+        match self.concepts.binary_search(&concept) {
+            Ok(at) => &self.instances[self.offsets[at] as usize..self.offsets[at + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// Sorted distinct flagged concepts.
+    pub fn concepts(&self) -> &[ExtConceptId] {
+        &self.concepts
+    }
+
+    /// CSR offsets (`concepts().len() + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat instance array the offsets slice into.
+    pub fn instances(&self) -> &[InstanceId] {
+        &self.instances
+    }
+}
+
 /// The artifacts Algorithm 1 produces: contexts `C`, frequencies `F`,
 /// mappings `M`, flagged external concepts `FEC` — plus the customized
 /// graph and the indexes the online phase needs.
@@ -33,14 +159,15 @@ pub struct IngestOutput {
     pub ekg: Ekg,
     /// The set of possible contexts `C` (Algorithm 1 lines 1–4).
     pub contexts: Vec<ContextSpec>,
-    /// Context → semantic tag (which corpus sentence family measures it).
-    pub tag_of: HashMap<ContextId, ContextTag>,
+    /// Context → semantic tag, dense over the contiguous context ids
+    /// (which corpus sentence family measures each context).
+    pub tag_of: Vec<ContextTag>,
     /// Per-context concept frequencies and IC (`F`).
     pub freqs: Frequencies,
-    /// Instance → external concept mappings (`M`).
-    pub mappings: HashMap<InstanceId, ExtConceptId>,
-    /// Reverse index: external concept → its mapped instances.
-    pub instances_of: HashMap<ExtConceptId, Vec<InstanceId>>,
+    /// Instance → external concept mappings (`M`), sorted by instance id.
+    pub mappings: MappingIndex,
+    /// Reverse index: external concept → its mapped instances (CSR).
+    pub instances_of: InstanceIndex,
     /// Flagged external concepts (`FEC`): those with a KB instance.
     pub flagged: HashSet<ExtConceptId>,
     /// The mapper, reused online for query terms (Algorithm 2 line 1 uses
@@ -160,11 +287,12 @@ pub fn ingest_with_stats(
     let t = Instant::now();
     let ontology = kb.ontology();
     let contexts = generate_contexts(ontology);
-    let tag_of: HashMap<ContextId, ContextTag> = contexts
+    // Context ids are dense in relationship order, so position == id.
+    let tag_of: Vec<ContextTag> = contexts
         .iter()
         .map(|c| {
             let rel = ontology.relationship(c.relationship);
-            (c.id, ContextTag::from_relationship(ontology.concept_name(rel.domain), &rel.name))
+            ContextTag::from_relationship(ontology.concept_name(rel.domain), &rel.name)
         })
         .collect();
     stats.contexts_s = t.elapsed().as_secs_f64();
@@ -192,14 +320,10 @@ pub fn ingest_with_stats(
         })
         .expect("mapping scope")
     };
-    let mut mappings: HashMap<InstanceId, ExtConceptId> = HashMap::new();
-    let mut instances_of: HashMap<ExtConceptId, Vec<InstanceId>> = HashMap::new();
-    let mut flagged: HashSet<ExtConceptId> = HashSet::new();
-    for (id, concept) in mapped.into_iter().flatten() {
-        mappings.insert(id, concept);
-        instances_of.entry(concept).or_default().push(id);
-        flagged.insert(concept);
-    }
+    let pairs: Vec<(InstanceId, ExtConceptId)> = mapped.into_iter().flatten().collect();
+    let flagged: HashSet<ExtConceptId> = pairs.iter().map(|&(_, c)| c).collect();
+    let instances_of = InstanceIndex::from_run(&pairs);
+    let mappings = MappingIndex::from_pairs(pairs);
     stats.mapping_s = t.elapsed().as_secs_f64();
 
     // —— Reachability closure ——
@@ -373,26 +497,26 @@ pub fn ingest_reference(
     // —— Context generation (lines 1–4) ——
     let ontology = kb.ontology();
     let contexts = generate_contexts(ontology);
-    let tag_of: HashMap<ContextId, ContextTag> = contexts
+    // Context ids are dense in relationship order, so position == id.
+    let tag_of: Vec<ContextTag> = contexts
         .iter()
         .map(|c| {
             let rel = ontology.relationship(c.relationship);
-            (c.id, ContextTag::from_relationship(ontology.concept_name(rel.domain), &rel.name))
+            ContextTag::from_relationship(ontology.concept_name(rel.domain), &rel.name)
         })
         .collect();
 
     // —— Mappings (lines 5–11) ——
     let mapper = ConceptMapper::build(&ekg, config.mapping, sif)?;
-    let mut mappings: HashMap<InstanceId, ExtConceptId> = HashMap::new();
-    let mut instances_of: HashMap<ExtConceptId, Vec<InstanceId>> = HashMap::new();
-    let mut flagged: HashSet<ExtConceptId> = HashSet::new();
+    let mut pairs: Vec<(InstanceId, ExtConceptId)> = Vec::new();
     for (id, instance) in kb.instances() {
         if let Some(concept) = mapper.map(&ekg, &instance.name) {
-            mappings.insert(id, concept);
-            instances_of.entry(concept).or_default().push(id);
-            flagged.insert(concept);
+            pairs.push((id, concept));
         }
     }
+    let flagged: HashSet<ExtConceptId> = pairs.iter().map(|&(_, c)| c).collect();
+    let instances_of = InstanceIndex::from_run(&pairs);
+    let mappings = MappingIndex::from_pairs(pairs);
 
     // —— Concept frequencies (lines 12–18) ——
     // Computed on the native graph; shortcut edges never contribute to the
@@ -442,12 +566,12 @@ pub fn ingest_reference(
 impl IngestOutput {
     /// The semantic tag of a context.
     pub fn tag(&self, context: ContextId) -> ContextTag {
-        self.tag_of.get(&context).copied().unwrap_or(ContextTag::General)
+        self.tag_of.get(context.as_usize()).copied().unwrap_or(ContextTag::General)
     }
 
     /// Instances mapped to `concept` (empty for unflagged concepts).
     pub fn instances(&self, concept: ExtConceptId) -> &[InstanceId] {
-        self.instances_of.get(&concept).map(Vec::as_slice).unwrap_or(&[])
+        self.instances_of.get(concept)
     }
 }
 
@@ -455,6 +579,7 @@ impl IngestOutput {
 mod tests {
     use super::*;
     use crate::config::MappingMethod;
+    use std::collections::HashMap;
     use medkb_corpus::{Corpus, CorpusConfig, CorpusGenerator};
     use medkb_snomed::{MedWorld, WorldConfig};
 
@@ -487,7 +612,7 @@ mod tests {
             ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &exact_config())
                 .unwrap();
         assert!(!out.mappings.is_empty());
-        for (&inst, &concept) in &out.mappings {
+        for (inst, concept) in out.mappings.iter() {
             assert_eq!(
                 world.origins[inst].concept,
                 Some(concept),
@@ -503,7 +628,8 @@ mod tests {
         let out =
             ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &exact_config())
                 .unwrap();
-        let from_mappings: HashSet<ExtConceptId> = out.mappings.values().copied().collect();
+        let from_mappings: HashSet<ExtConceptId> =
+            out.mappings.iter().map(|(_, c)| c).collect();
         assert_eq!(out.flagged, from_mappings);
         for &c in &out.flagged {
             assert!(!out.instances(c).is_empty());
@@ -601,7 +727,7 @@ mod tests {
             ingest(&world.kb, world.terminology.ekg.clone(), &counts, None, &exact_config())
                 .unwrap();
         for inst in world.instances_with_shape(medkb_snomed::NameShape::Unmappable) {
-            assert!(!out.mappings.contains_key(&inst));
+            assert!(!out.mappings.contains_key(inst));
         }
     }
 }

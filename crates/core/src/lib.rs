@@ -36,9 +36,12 @@ pub mod weights;
 
 pub use config::{FrequencyMode, MappingMethod, ObsConfig, ParallelConfig, RelaxConfig};
 pub use feedback::{Feedback, FeedbackStore};
-pub use frequency::Frequencies;
-pub use ingest::{ingest, ingest_reference, ingest_with_stats, IngestOutput, IngestStats};
-pub use mapping::ConceptMapper;
+pub use frequency::{FreqParts, Frequencies};
+pub use ingest::{
+    ingest, ingest_reference, ingest_with_stats, IngestOutput, IngestStats, InstanceIndex,
+    MappingIndex,
+};
+pub use mapping::{ConceptMapper, MapperParts};
 pub use pipeline::RelaxationPipeline;
 pub use relax::{rank_order, QueryRelaxer, RelaxationResult, RelaxedAnswer, ScoreExplain};
 pub use similarity::{QrScorer, QueryScorer, ScoreBounds};

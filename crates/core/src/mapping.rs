@@ -24,6 +24,22 @@ pub struct ConceptMapper {
     phonetic: Option<std::collections::HashMap<String, ExtConceptId>>,
 }
 
+/// The persisted decomposition of a [`ConceptMapper`] (see
+/// [`ConceptMapper::to_parts`]). `index_payloads`/`index_data` are the raw
+/// arrays of the concept [`EmbeddingIndex`] (empty for non-embedding
+/// methods).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapperParts {
+    /// The mapping flavour.
+    pub method: MappingMethod,
+    /// The fitted SIF model (embedding method only).
+    pub sif: Option<medkb_embed::SifParts>,
+    /// Concept payloads of the embedding index, insertion order.
+    pub index_payloads: Vec<u32>,
+    /// Normalized row-major vectors of the embedding index.
+    pub index_data: Vec<f32>,
+}
+
 #[derive(Debug, Clone)]
 struct EditTables {
     index: NgramIndex,
@@ -121,6 +137,75 @@ impl ConceptMapper {
     /// The flavour this mapper was built with.
     pub fn method(&self) -> MappingMethod {
         self.method
+    }
+
+    /// The SIF model behind the embedding tables, when the method is
+    /// [`MappingMethod::Embedding`]. medkb-store persists it so a store
+    /// open can rebuild the mapper without retraining embeddings.
+    pub fn sif_model(&self) -> Option<&Arc<SifModel>> {
+        self.embed.as_ref().map(|e| &e.model)
+    }
+
+    /// Decompose into the parts medkb-store persists: the method, the SIF
+    /// model, and the concept embedding index (the one table whose rebuild
+    /// embeds every concept name — everything else is cheap to re-derive
+    /// from the graph in [`ConceptMapper::from_parts`]).
+    pub fn to_parts(&self) -> MapperParts {
+        let (sif, index_payloads, index_data) = match &self.embed {
+            Some(e) => {
+                let (_, payloads, data) = e.index.to_raw();
+                (Some(e.model.to_parts()), payloads.to_vec(), data.to_vec())
+            }
+            None => (None, Vec::new(), Vec::new()),
+        };
+        MapperParts { method: self.method, sif, index_payloads, index_data }
+    }
+
+    /// Rebuild a mapper from [`ConceptMapper::to_parts`] output.
+    ///
+    /// Behaviourally identical to [`ConceptMapper::build`] with the same
+    /// method and model: the exact/edit/phonetic tables are re-derived from
+    /// `ekg`'s names (deterministic and cheap), while the embedding branch
+    /// adopts the persisted concept index verbatim instead of re-embedding
+    /// every name, and re-derives only the vocabulary-repair n-gram tables
+    /// (vocabulary order is pinned by token-id order in the model parts).
+    ///
+    /// # Errors
+    /// [`MedKbError::InvalidArgument`] when the method is
+    /// [`MappingMethod::Embedding`] but the parts carry no SIF model.
+    pub fn from_parts(ekg: &Ekg, parts: MapperParts) -> Result<Self> {
+        match parts.method {
+            MappingMethod::Embedding { threshold } => {
+                let sif = parts.sif.ok_or_else(|| {
+                    MedKbError::invalid("mapper parts: embedding method without a SIF model")
+                })?;
+                let model = Arc::new(SifModel::from_parts(sif));
+                let index = EmbeddingIndex::from_raw(
+                    model.vectors().dim(),
+                    parts.index_payloads,
+                    parts.index_data,
+                );
+                let mut vocab_index = NgramIndex::new(3);
+                let mut vocab_words = Vec::with_capacity(model.vectors().vocab_size());
+                for w in model.vectors().words() {
+                    vocab_index.insert(w);
+                    vocab_words.push(w.to_string());
+                }
+                Ok(Self {
+                    method: parts.method,
+                    edit: None,
+                    embed: Some(EmbedTables {
+                        model,
+                        index,
+                        threshold,
+                        vocab_index,
+                        vocab_words,
+                    }),
+                    phonetic: None,
+                })
+            }
+            method => Self::build(ekg, method, None),
+        }
     }
 
     /// Resolve `name` to an external concept, or `None` if the method finds

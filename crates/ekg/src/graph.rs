@@ -566,6 +566,70 @@ impl Ekg {
     pub fn shortcut_count(&self) -> usize {
         self.up.iter().map(|(_, es)| es.iter().filter(|e| e.shortcut).count()).sum()
     }
+
+    /// Decompose into the flat parts `medkb-store` serializes.
+    ///
+    /// Everything is emitted in a canonical order: names/synonyms/edges in
+    /// id order, the normalized-lookup table sorted by key (its `HashMap`
+    /// iteration order is not stable). Edge lists keep their in-memory
+    /// order — it encodes the shortcut insertion sequence BFS/Dijkstra
+    /// traversals observe, so a rebuilt graph answers identically.
+    pub fn to_parts(&self) -> EkgParts {
+        let mut lookup: Vec<(Box<str>, Vec<ExtConceptId>)> =
+            self.lookup.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        lookup.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        EkgParts {
+            names: self.names.iter().map(|(_, s)| s.into()).collect(),
+            synonyms: self.synonyms.iter().map(|(_, v)| v.clone()).collect(),
+            lookup,
+            up: self.up.iter().map(|(_, v)| v.clone()).collect(),
+            down: self.down.iter().map(|(_, v)| v.clone()).collect(),
+            root: self.root,
+            topo: self.topo.clone(),
+            depth: self.depth.iter().map(|(_, &d)| d).collect(),
+        }
+    }
+
+    /// Reassemble a graph from [`Ekg::to_parts`] output without re-running
+    /// builder validation or name normalization (the parts came from a
+    /// validated graph; the store's checksums guard the bytes in between).
+    pub fn from_parts(parts: EkgParts) -> Self {
+        let mut names = StringInterner::new();
+        for name in &parts.names {
+            names.intern(name);
+        }
+        Self {
+            names,
+            synonyms: parts.synonyms.into_iter().collect(),
+            lookup: parts.lookup.into_iter().collect(),
+            up: parts.up.into_iter().collect(),
+            down: parts.down.into_iter().collect(),
+            root: parts.root,
+            topo: parts.topo,
+            depth: parts.depth.into_iter().collect(),
+        }
+    }
+}
+
+/// Flat serialization parts of an [`Ekg`] ([`Ekg::to_parts`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EkgParts {
+    /// Primary names in concept-id order.
+    pub names: Vec<Box<str>>,
+    /// Synonym lists in concept-id order.
+    pub synonyms: Vec<Vec<Box<str>>>,
+    /// Normalized name/synonym → concepts, sorted by key.
+    pub lookup: Vec<(Box<str>, Vec<ExtConceptId>)>,
+    /// Upward edge lists (native + shortcut) in concept-id order.
+    pub up: Vec<Vec<Edge>>,
+    /// Downward edge lists in concept-id order.
+    pub down: Vec<Vec<Edge>>,
+    /// The single root.
+    pub root: ExtConceptId,
+    /// Children-first topological order.
+    pub topo: Vec<ExtConceptId>,
+    /// Native hop depth below the root, in concept-id order.
+    pub depth: Vec<u32>,
 }
 
 /// Dense weighted upward-distance table from one source concept.

@@ -27,8 +27,8 @@ pub mod path;
 pub mod reach;
 pub mod stats;
 
-pub use graph::{Edge, Ekg, EkgBuilder, NeighborhoodScan, UpwardDistances, UpwardScratch};
+pub use graph::{Edge, Ekg, EkgBuilder, EkgParts, NeighborhoodScan, UpwardDistances, UpwardScratch};
 pub use lcs::{lcs_with_upward, lcs_with_upward_scratch, LcsOutcome};
 pub use path::{Direction, PathSummary};
-pub use reach::ReachabilityIndex;
+pub use reach::{DenseReachability, ReachParts, ReachabilityIndex};
 pub use stats::{to_dot, EkgStats};

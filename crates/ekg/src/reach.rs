@@ -1,32 +1,386 @@
-//! Bitset transitive-closure index for subsumption reachability.
+//! Hybrid subsumption-reachability index: DFS interval labels plus sparse
+//! per-concept exception sets.
 //!
-//! `Ekg::is_ancestor` walks the graph per query; ingestion and LCS
-//! minimality pruning issue many such queries against a fixed graph. This
-//! index materializes each concept's ancestor set as a bitset in one
-//! children-first pass — `O(|V|²/64 + |E|·|V|/64)` time, `|V|²/8` bytes —
-//! turning every subsequent query into a single bit probe. At SNOMED-like
-//! scales (hundreds of thousands of concepts) a full closure stops being
-//! attractive; the index is therefore an opt-in accelerator for the
-//! generated-world scales this repository runs at.
+//! The previous implementation materialized every concept's ancestor set as
+//! a dense bitset row — `|V|²/8` bytes, ~15 GB at SNOMED's 350k concepts.
+//! That closure is preserved below as [`DenseReachability`] (the
+//! differential reference), but the serving index is now a hybrid
+//! (DESIGN.md §14):
+//!
+//! * A **spanning tree** over the native `is_a` edges (each concept's tree
+//!   parent is its *deepest* native parent, ties broken by smallest id — the
+//!   deepest parent maximizes the ancestor coverage of the tree path).
+//! * **DFS interval labels** `tin/tout` over that tree: `a` is a *tree*
+//!   ancestor of `d` iff `tin[a] < tin[d] ≤ tout[a]` — two integer
+//!   comparisons, no memory indirection beyond the label arrays.
+//! * A per-concept **exception set** `exc(c) = ancestors(c) \
+//!   tree_ancestors(c)`: the ancestors only reachable through non-tree
+//!   (multi-parent) edges. Sets are stored in a shared pool — a
+//!   single-native-parent concept provably has *exactly* its tree parent's
+//!   exception set (see the lemma at [`ReachabilityIndex::build`]) and
+//!   shares the pooled entry, so the pool holds roughly one distinct set
+//!   per multi-parent concept.
+//! * Each pooled set picks its representation **by density**: a sorted
+//!   `u32` id list (binary-searched) while `4·|exc|` bytes is below the
+//!   `n/8`-byte bitset row, a packed bitset above — so no single set can
+//!   cost more than a dense row, and the common near-tree case costs a few
+//!   words.
+//!
+//! The result is `O(|V| + Σ|exc|)` memory instead of `O(|V|²)` bits, with
+//! `is_ancestor` still O(1) for the tree-like majority of a SNOMED-shaped
+//! DAG and `O(log |exc|)` worst case. Every query is bit-identical to the
+//! dense closure — pinned by the tests below and by the 240-world
+//! differential sweep in `medkb-fuzz`.
 
 use medkb_types::{ExtConceptId, Id};
 
 use crate::graph::Ekg;
 
-/// Materialized ancestor bitsets.
+/// Pool index of the shared empty exception set.
+const EMPTY_SET: u32 = 0;
+
+/// One pooled exception set. `members` is always the sorted member id list
+/// (canonical, serialized form); `bits` is the packed probe structure,
+/// present only when the set is dense enough that a bitset is smaller than
+/// the list (`4·len > n/8` bytes ⇔ `len > n/32`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ExcSet {
+    members: Vec<u32>,
+    bits: Option<Vec<u64>>,
+}
+
+impl ExcSet {
+    fn new(members: Vec<u32>, n: usize) -> Self {
+        let bits = if members.len() > n / 32 {
+            let mut words = vec![0u64; n.div_ceil(64)];
+            for &m in &members {
+                words[m as usize / 64] |= 1 << (m % 64);
+            }
+            Some(words)
+        } else {
+            None
+        };
+        Self { members, bits }
+    }
+
+    #[inline]
+    fn contains(&self, id: u32) -> bool {
+        match &self.bits {
+            Some(words) => words[id as usize / 64] & (1 << (id % 64)) != 0,
+            None => self.members.binary_search(&id).is_ok(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.members.len() * 4 + self.bits.as_ref().map_or(0, |w| w.len() * 8)
+    }
+}
+
+/// Hybrid interval + exception-set reachability index.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReachabilityIndex {
-    /// `words_per_row` u64 words per concept; bit `d` of row `a` set iff
-    /// `a` is a strict ancestor of... see [`ReachabilityIndex::is_ancestor`]
-    /// (rows store each concept's *ancestors*).
+    n: usize,
+    /// DFS preorder entry index of each concept in the spanning tree.
+    tin: Vec<u32>,
+    /// Largest preorder index in each concept's subtree (inclusive); the
+    /// subtree occupies the contiguous preorder range `tin..=tout`, so
+    /// `tout - tin` is the strict tree-descendant count.
+    tout: Vec<u32>,
+    /// Depth in the spanning tree (root = 0) — the strict tree-ancestor
+    /// count.
+    tree_depth: Vec<u32>,
+    /// Pool index of each concept's exception set.
+    exc: Vec<u32>,
+    /// Distinct exception sets; entry 0 is always the empty set.
+    pool: Vec<ExcSet>,
+}
+
+impl ReachabilityIndex {
+    /// Build the hybrid index for `ekg`'s native closure (shortcut edges
+    /// never add reachability, so this equals the full-graph closure).
+    ///
+    /// Exception sets are computed parents-first over the topological
+    /// order, using the invariant `ancestors(p) = tree_ancestors(p) ∪
+    /// exc(p)`:
+    ///
+    /// * **Lemma (span sharing).** `exc(c) ⊇ exc(tp)` for `c`'s tree parent
+    ///   `tp`: any `x ∈ exc(tp)` is an ancestor of `tp` (hence of `c`) and
+    ///   not a tree ancestor of `tp`; since `c`'s tree ancestors are
+    ///   exactly `{tp} ∪ tree_ancestors(tp)` and `x ∉` that set, `x ∈
+    ///   exc(c)`. When `tp` is `c`'s *only* native parent the converse
+    ///   holds too (`ancestors(c) = {tp} ∪ ancestors(tp)`), so `exc(c) =
+    ///   exc(tp)` exactly and the pooled set is shared without copying.
+    /// * A multi-parent concept unions in, for every extra native parent
+    ///   `q`: `{q} ∪ tree_ancestors(q) ∪ exc(q)`, keeping the elements
+    ///   that are not tree ancestors of `c` (interval test).
+    pub fn build(ekg: &Ekg) -> Self {
+        let n = ekg.len();
+        let root = ekg.root().as_usize();
+
+        // Spanning tree: deepest native parent, ties to the smallest id.
+        let mut tree_parent: Vec<u32> = vec![u32::MAX; n];
+        for c in ekg.concepts() {
+            let ci = c.as_usize();
+            if ci == root {
+                continue;
+            }
+            let mut best: Option<(u32, u32)> = None;
+            for p in ekg.native_parents(c) {
+                let key = (ekg.depth(p), p.as_u32());
+                best = Some(match best {
+                    None => key,
+                    // Deeper wins; equal depth → smaller id wins.
+                    Some(b) => {
+                        if key.0 > b.0 || (key.0 == b.0 && key.1 < b.1) {
+                            key
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            tree_parent[ci] = best.expect("non-root concept has a native parent").1;
+        }
+
+        // Children lists in id order → deterministic preorder.
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (c, &p) in tree_parent.iter().enumerate() {
+            if p != u32::MAX {
+                children[p as usize].push(c as u32);
+            }
+        }
+
+        // Iterative DFS: preorder tin, inclusive tout, tree depth.
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut tree_depth = vec![0u32; n];
+        let mut next = 0u32;
+        // (node, child cursor)
+        let mut stack: Vec<(u32, usize)> = vec![(root as u32, 0)];
+        tin[root] = 0;
+        next += 1;
+        while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+            let kids = &children[node as usize];
+            if *cursor < kids.len() {
+                let child = kids[*cursor];
+                *cursor += 1;
+                tin[child as usize] = next;
+                tree_depth[child as usize] = tree_depth[node as usize] + 1;
+                next += 1;
+                stack.push((child, 0));
+            } else {
+                tout[node as usize] = next - 1;
+                stack.pop();
+            }
+        }
+        debug_assert_eq!(next as usize, n, "spanning tree must cover every concept");
+
+        // Exception sets, parents-first.
+        let mut pool: Vec<ExcSet> = vec![ExcSet::new(Vec::new(), n)];
+        let mut exc: Vec<u32> = vec![EMPTY_SET; n];
+        let contains_interval = |tin: &[u32], tout: &[u32], a: usize, d: usize| {
+            tin[a] <= tin[d] && tin[d] <= tout[a]
+        };
+        let mut scratch: Vec<u32> = Vec::new();
+        for &c in ekg.topo_children_first().iter().rev() {
+            let ci = c.as_usize();
+            if ci == root {
+                continue;
+            }
+            let tp = tree_parent[ci] as usize;
+            let mut extra = false;
+            scratch.clear();
+            for q in ekg.native_parents(c) {
+                let qi = q.as_usize();
+                if qi == tp {
+                    continue;
+                }
+                extra = true;
+                // {q} ∪ tree_ancestors(q) ∪ exc(q), minus tree ancestors
+                // of c (exactly the ids whose interval contains c).
+                let mut walk = qi;
+                loop {
+                    if !contains_interval(&tin, &tout, walk, ci) {
+                        scratch.push(walk as u32);
+                    }
+                    let p = tree_parent[walk];
+                    if p == u32::MAX {
+                        break;
+                    }
+                    walk = p as usize;
+                }
+                for &m in &pool[exc[qi] as usize].members {
+                    if !contains_interval(&tin, &tout, m as usize, ci) {
+                        scratch.push(m);
+                    }
+                }
+            }
+            if !extra {
+                // Single native parent: exc(c) = exc(tp), share the entry.
+                exc[ci] = exc[tp];
+                continue;
+            }
+            scratch.extend_from_slice(&pool[exc[tp] as usize].members);
+            scratch.sort_unstable();
+            scratch.dedup();
+            if scratch == pool[exc[tp] as usize].members {
+                // Every extra-parent contribution was already a tree
+                // ancestor (or inherited) — reuse the parent's entry.
+                exc[ci] = exc[tp];
+            } else {
+                pool.push(ExcSet::new(scratch.clone(), n));
+                exc[ci] = (pool.len() - 1) as u32;
+            }
+        }
+
+        Self { n, tin, tout, tree_depth, exc, pool }
+    }
+
+    /// Parallel-API twin of [`ReachabilityIndex::build`]. The hybrid build
+    /// is near-linear (one DFS plus one parents-first merge pass), so
+    /// sharding it buys nothing; this delegates to the sequential build,
+    /// keeping the output trivially thread-count independent.
+    pub fn build_with_threads(ekg: &Ekg, _threads: usize) -> Self {
+        Self::build(ekg)
+    }
+
+    /// Whether `anc` is a strict ancestor of `desc`.
+    #[inline]
+    pub fn is_ancestor(&self, anc: ExtConceptId, desc: ExtConceptId) -> bool {
+        if anc == desc {
+            return false;
+        }
+        let a = anc.as_usize();
+        let d = desc.as_usize();
+        debug_assert!(a < self.n && d < self.n);
+        if self.tin[a] <= self.tin[d] && self.tin[d] <= self.tout[a] {
+            return true;
+        }
+        self.pool[self.exc[d] as usize].contains(anc.as_u32())
+    }
+
+    /// Number of strict ancestors of `desc`: tree ancestors (= tree depth)
+    /// plus exceptions (disjoint by construction).
+    pub fn ancestor_count(&self, desc: ExtConceptId) -> usize {
+        let d = desc.as_usize();
+        self.tree_depth[d] as usize + self.pool[self.exc[d] as usize].members.len()
+    }
+
+    /// Strict-descendant count for every concept (indexed by concept id).
+    ///
+    /// Tree descendants are the interval width `tout - tin`; each
+    /// (descendant, exception-ancestor) pair adds one more. Counts are
+    /// exact integers, so any IC derived from them is bit-identical to the
+    /// dense closure's value.
+    pub fn descendant_counts(&self) -> Vec<u64> {
+        let mut counts: Vec<u64> =
+            self.tout.iter().zip(&self.tin).map(|(&o, &i)| u64::from(o - i)).collect();
+        for c in 0..self.n {
+            for &m in &self.pool[self.exc[c] as usize].members {
+                counts[m as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Approximate resident footprint in bytes: the four per-concept label
+    /// arrays plus every pooled exception set (lists and bitsets).
+    pub fn memory_bytes(&self) -> usize {
+        self.n * 16 + self.pool.iter().map(ExcSet::memory_bytes).sum::<usize>()
+    }
+
+    /// The dense closure's footprint at this concept count — what the
+    /// pre-hybrid `|V|²`-bit representation would occupy. Benchmarks report
+    /// the hybrid/dense ratio against this at scales where the dense build
+    /// is no longer feasible.
+    pub fn dense_equivalent_bytes(&self) -> usize {
+        self.n * self.n.div_ceil(64) * 8
+    }
+
+    /// Number of distinct pooled exception sets (including the shared
+    /// empty set) — the hybrid's sparsity diagnostic.
+    pub fn exception_set_count(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Decompose into the flat parts `medkb-store` serializes. Pool sets
+    /// are emitted canonically as member lists (offsets + one flat id
+    /// array); the density-chosen probe bitsets are derived state and are
+    /// rebuilt on load.
+    pub fn to_parts(&self) -> ReachParts {
+        let mut set_offsets = Vec::with_capacity(self.pool.len() + 1);
+        let mut set_members = Vec::new();
+        set_offsets.push(0u32);
+        for set in &self.pool {
+            set_members.extend_from_slice(&set.members);
+            set_offsets.push(set_members.len() as u32);
+        }
+        ReachParts {
+            tin: self.tin.clone(),
+            tout: self.tout.clone(),
+            tree_depth: self.tree_depth.clone(),
+            exc: self.exc.clone(),
+            set_offsets,
+            set_members,
+        }
+    }
+
+    /// Reassemble from [`ReachabilityIndex::to_parts`] output. The bitset
+    /// representation choice is a deterministic function of each set's
+    /// cardinality and `n`, so the round-tripped index is bit-identical to
+    /// the freshly built one.
+    pub fn from_parts(parts: ReachParts) -> Self {
+        let n = parts.tin.len();
+        let pool: Vec<ExcSet> = parts
+            .set_offsets
+            .windows(2)
+            .map(|w| ExcSet::new(parts.set_members[w[0] as usize..w[1] as usize].to_vec(), n))
+            .collect();
+        Self {
+            n,
+            tin: parts.tin,
+            tout: parts.tout,
+            tree_depth: parts.tree_depth,
+            exc: parts.exc,
+            pool,
+        }
+    }
+}
+
+/// Flat serialization parts of a [`ReachabilityIndex`]
+/// ([`ReachabilityIndex::to_parts`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachParts {
+    /// DFS preorder entry indexes.
+    pub tin: Vec<u32>,
+    /// Inclusive subtree exit indexes.
+    pub tout: Vec<u32>,
+    /// Spanning-tree depths.
+    pub tree_depth: Vec<u32>,
+    /// Per-concept pool indexes.
+    pub exc: Vec<u32>,
+    /// Pool set boundaries into `set_members` (`len = pool size + 1`).
+    pub set_offsets: Vec<u32>,
+    /// Concatenated sorted member lists of every pooled set.
+    pub set_members: Vec<u32>,
+}
+
+/// The original dense transitive-closure bitset — `|V|²/8` bytes, one
+/// ancestor-set row per concept. Kept as the differential reference the
+/// hybrid index is pinned against (fuzz sweep + the tests below); infeasible
+/// at SNOMED scale and no longer used on any serving path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseReachability {
+    /// `words_per_row` u64 words per concept; bit `a` of row `d` set iff
+    /// `a` is a strict ancestor of `d`.
     bits: Vec<u64>,
     words_per_row: usize,
     n: usize,
 }
 
-impl ReachabilityIndex {
-    /// Build the closure for `ekg` (native and shortcut edges — shortcuts
-    /// never add reachability, so the result equals the native closure).
+impl DenseReachability {
+    /// Build the dense closure for `ekg` (native edges only — shortcuts
+    /// never add reachability).
     pub fn build(ekg: &Ekg) -> Self {
         let n = ekg.len();
         let words_per_row = n.div_ceil(64);
@@ -47,98 +401,6 @@ impl ReachabilityIndex {
             }
             let row = c.as_usize();
             bits[row * words_per_row..(row + 1) * words_per_row].copy_from_slice(&acc);
-        }
-        Self { bits, words_per_row, n }
-    }
-
-    /// Parallel [`ReachabilityIndex::build`]: bit-identical output, row
-    /// computation sharded over `threads` scoped workers.
-    ///
-    /// The build is level-scheduled: `level(c) = 1 + max level over native
-    /// parents` (0 for the root), so every row in a level depends only on
-    /// rows from strictly lower levels. Each level's rows are computed in
-    /// parallel against the frozen lower-level rows and then copied into
-    /// the shared table; rows are disjoint, and each row's value is a pure
-    /// function of its parents' rows, so the result cannot depend on the
-    /// shard count or on thread scheduling.
-    pub fn build_with_threads(ekg: &Ekg, threads: usize) -> Self {
-        if threads <= 1 {
-            return Self::build(ekg);
-        }
-        let n = ekg.len();
-        let words_per_row = n.div_ceil(64);
-        let mut bits = vec![0u64; n * words_per_row];
-
-        let parents_first: Vec<ExtConceptId> =
-            ekg.topo_children_first().iter().rev().copied().collect();
-        let mut level = vec![0u32; n];
-        let mut max_level = 0u32;
-        for &c in &parents_first {
-            let mut l = 0u32;
-            for p in ekg.native_parents(c) {
-                l = l.max(level[p.as_usize()] + 1);
-            }
-            level[c.as_usize()] = l;
-            max_level = max_level.max(l);
-        }
-        let mut by_level: Vec<Vec<ExtConceptId>> = vec![Vec::new(); max_level as usize + 1];
-        for &c in &parents_first {
-            by_level[level[c.as_usize()] as usize].push(c);
-        }
-
-        for concepts in &by_level {
-            // Spawning costs more than computing a small level: stay
-            // sequential unless each worker gets a meaningful chunk.
-            if concepts.len() < threads * 16 {
-                let mut acc = vec![0u64; words_per_row];
-                for &c in concepts {
-                    acc.fill(0);
-                    for parent in ekg.native_parents(c) {
-                        let p = parent.as_usize();
-                        let src = &bits[p * words_per_row..(p + 1) * words_per_row];
-                        for (a, &s) in acc.iter_mut().zip(src) {
-                            *a |= s;
-                        }
-                        acc[p / 64] |= 1 << (p % 64);
-                    }
-                    let row = c.as_usize();
-                    bits[row * words_per_row..(row + 1) * words_per_row].copy_from_slice(&acc);
-                }
-                continue;
-            }
-            let shard = concepts.len().div_ceil(threads).max(1);
-            let computed: Vec<Vec<(usize, Vec<u64>)>> = crossbeam::thread::scope(|s| {
-                let bits_ref = &bits;
-                let handles: Vec<_> = concepts
-                    .chunks(shard)
-                    .map(|chunk| {
-                        s.spawn(move |_| {
-                            let mut out = Vec::with_capacity(chunk.len());
-                            for &c in chunk {
-                                let mut acc = vec![0u64; words_per_row];
-                                for parent in ekg.native_parents(c) {
-                                    let p = parent.as_usize();
-                                    let src =
-                                        &bits_ref[p * words_per_row..(p + 1) * words_per_row];
-                                    for (a, &s) in acc.iter_mut().zip(src) {
-                                        *a |= s;
-                                    }
-                                    acc[p / 64] |= 1 << (p % 64);
-                                }
-                                out.push((c.as_usize(), acc));
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("reach worker")).collect()
-            })
-            .expect("reach scope");
-            for shard_rows in computed {
-                for (row, acc) in shard_rows {
-                    bits[row * words_per_row..(row + 1) * words_per_row].copy_from_slice(&acc);
-                }
-            }
         }
         Self { bits, words_per_row, n }
     }
@@ -164,11 +426,6 @@ impl ReachabilityIndex {
     }
 
     /// Strict-descendant count for every concept (indexed by concept id).
-    ///
-    /// One scan over all ancestor rows — `O(|V|²/64)` word probes plus one
-    /// increment per (ancestor, descendant) pair — replacing the per-concept
-    /// BFS the intrinsic-IC table used to run. Counts are exact integers, so
-    /// any IC derived from them is bit-identical to the BFS-based value.
     pub fn descendant_counts(&self) -> Vec<u64> {
         let mut counts = vec![0u64; self.n];
         for row in 0..self.n {
@@ -211,6 +468,28 @@ mod tests {
         b.build().unwrap()
     }
 
+    /// Every probe of the hybrid index must equal the dense closure and
+    /// the graph walk — the contract the whole PR rests on.
+    fn assert_matches_dense(g: &Ekg) {
+        let hybrid = ReachabilityIndex::build(g);
+        let dense = DenseReachability::build(g);
+        for anc in g.concepts() {
+            for desc in g.concepts() {
+                assert_eq!(
+                    hybrid.is_ancestor(anc, desc),
+                    dense.is_ancestor(anc, desc),
+                    "{:?} vs {:?}",
+                    g.name(anc),
+                    g.name(desc)
+                );
+            }
+        }
+        for c in g.concepts() {
+            assert_eq!(hybrid.ancestor_count(c), dense.ancestor_count(c), "{:?}", g.name(c));
+        }
+        assert_eq!(hybrid.descendant_counts(), dense.descendant_counts());
+    }
+
     #[test]
     fn matches_walking_implementation() {
         let g = diamond();
@@ -225,6 +504,13 @@ mod tests {
                     g.name(desc)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn hybrid_matches_dense_on_every_shape() {
+        for g in [diamond(), wide_random(), chain(100), singleton()] {
+            assert_matches_dense(&g);
         }
     }
 
@@ -287,6 +573,38 @@ mod tests {
         }
     }
 
+    #[test]
+    fn parts_round_trip_is_bit_identical() {
+        for g in [diamond(), wide_random(), chain(100), singleton()] {
+            let idx = ReachabilityIndex::build(&g);
+            let back = ReachabilityIndex::from_parts(idx.to_parts());
+            assert_eq!(back, idx);
+        }
+    }
+
+    #[test]
+    fn exception_sets_are_shared_down_single_parent_chains() {
+        // diamond: only c is multi-parent; d (single child of c) must
+        // share c's pooled set, so the pool holds empty + one entry.
+        let g = diamond();
+        let idx = ReachabilityIndex::build(&g);
+        assert_eq!(idx.exception_set_count(), 2);
+    }
+
+    #[test]
+    fn hybrid_footprint_beats_dense_on_tree_like_graphs() {
+        let g = chain(500);
+        let hybrid = ReachabilityIndex::build(&g);
+        let dense = DenseReachability::build(&g);
+        assert!(
+            hybrid.memory_bytes() * 2 < dense.memory_bytes(),
+            "hybrid {} vs dense {}",
+            hybrid.memory_bytes(),
+            dense.memory_bytes()
+        );
+        assert_eq!(hybrid.dense_equivalent_bytes(), dense.memory_bytes());
+    }
+
     /// A 150-concept multi-parent DAG (crosses word boundaries, has deep
     /// and wide levels) built from a deterministic recurrence.
     fn wide_random() -> Ekg {
@@ -308,17 +626,27 @@ mod tests {
         b.build().unwrap()
     }
 
-    #[test]
-    fn scales_past_one_bitset_word() {
-        // 100 concepts in a chain crosses the 64-bit word boundary.
+    fn chain(len: usize) -> Ekg {
         let mut b = EkgBuilder::new();
         let mut prev = b.concept("n0");
-        for i in 1..100 {
+        for i in 1..len {
             let c = b.concept(&format!("n{i}"));
             b.is_a(c, prev);
             prev = c;
         }
-        let g = b.build().unwrap();
+        b.build().unwrap()
+    }
+
+    fn singleton() -> Ekg {
+        let mut b = EkgBuilder::new();
+        b.concept("only");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn scales_past_one_bitset_word() {
+        // 100 concepts in a chain crosses the 64-bit word boundary.
+        let g = chain(100);
         let idx = ReachabilityIndex::build(&g);
         let first = g.lookup_name("n0")[0];
         let last = g.lookup_name("n99")[0];
@@ -327,6 +655,5 @@ mod tests {
         assert!(idx.is_ancestor(mid, last));
         assert!(!idx.is_ancestor(last, first));
         assert_eq!(idx.ancestor_count(last), 99);
-        assert!(idx.memory_bytes() >= 100 * 2 * 8);
     }
 }

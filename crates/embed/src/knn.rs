@@ -56,6 +56,22 @@ impl EmbeddingIndex {
         true
     }
 
+    /// The raw index arrays `(dim, payloads, normalized row-major data)`
+    /// for persistence — building the index embeds every concept name, so
+    /// medkb-store saves the finished arrays instead of re-embedding on
+    /// open.
+    pub fn to_raw(&self) -> (usize, &[u32], &[f32]) {
+        (self.dim, &self.payloads, &self.data)
+    }
+
+    /// Reassemble an index from [`EmbeddingIndex::to_raw`] arrays. The
+    /// vectors must already be L2-normalized (they are, coming out of
+    /// `to_raw`); no renormalization happens here.
+    pub fn from_raw(dim: usize, payloads: Vec<u32>, data: Vec<f32>) -> Self {
+        debug_assert_eq!(payloads.len() * dim, data.len());
+        Self { dim, payloads, data }
+    }
+
     /// The `k` nearest payloads to `query` by cosine, best first.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         assert_eq!(query.len(), self.dim, "dimensionality mismatch");

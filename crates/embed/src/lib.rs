@@ -20,5 +20,5 @@ pub mod sgns;
 pub mod sif;
 
 pub use knn::EmbeddingIndex;
-pub use sgns::{SgnsConfig, WordVectors};
-pub use sif::SifModel;
+pub use sgns::{SgnsConfig, WordVectorParts, WordVectors};
+pub use sif::{SifModel, SifParts};

@@ -80,6 +80,22 @@ pub struct WordVectors {
     dim: usize,
 }
 
+/// Flat-array decomposition of [`WordVectors`] for lossless persistence:
+/// vocabulary in token-id order, vectors concatenated row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordVectorParts {
+    /// Vocabulary words in token-id order.
+    pub words: Vec<String>,
+    /// All vectors concatenated row-major (`words.len() × dim`).
+    pub vecs: Vec<f32>,
+    /// Corpus count per word, token-id order.
+    pub counts: Vec<u64>,
+    /// Total token count of the training corpus.
+    pub total_tokens: u64,
+    /// Embedding dimensionality.
+    pub dim: u64,
+}
+
 impl WordVectors {
     /// Train on `corpus` (single worker; see
     /// [`WordVectors::train_with_threads`] for the sharded form — both are
@@ -294,6 +310,42 @@ impl WordVectors {
     pub fn cosine(&self, a: &str, b: &str) -> Option<f64> {
         let (va, vb) = (self.get(a)?, self.get(b)?);
         Some(cosine(va, vb))
+    }
+
+    /// Decompose into flat arrays for lossless binary persistence
+    /// (medkb-store). Unlike [`WordVectors::write_tsv`], which rounds to
+    /// six significant digits, the parts carry exact f32/u64 bit patterns;
+    /// `from_parts(to_parts())` is bit-identical.
+    pub fn to_parts(&self) -> WordVectorParts {
+        let mut vecs = Vec::with_capacity(self.vocab.len() * self.dim);
+        for (_, v) in self.vecs.iter() {
+            vecs.extend_from_slice(v);
+        }
+        WordVectorParts {
+            words: self.vocab.iter().map(|(_, w)| w.to_string()).collect(),
+            vecs,
+            counts: self.counts.as_slice().to_vec(),
+            total_tokens: self.total_tokens,
+            dim: self.dim as u64,
+        }
+    }
+
+    /// Rebuild from [`WordVectors::to_parts`] output. Words are re-interned
+    /// in order, so token ids match the original exactly.
+    pub fn from_parts(parts: WordVectorParts) -> Self {
+        let dim = parts.dim as usize;
+        let mut vocab: StringInterner<TokenId> = StringInterner::with_capacity(parts.words.len());
+        for w in &parts.words {
+            vocab.intern(w);
+        }
+        let vecs: IdVec<TokenId, Vec<f32>> = parts
+            .vecs
+            .chunks_exact(dim.max(1))
+            .map(|row| row.to_vec())
+            .take(parts.words.len())
+            .collect();
+        let counts: IdVec<TokenId, u64> = parts.counts.into_iter().collect();
+        Self { vocab, vecs, counts, total_tokens: parts.total_tokens, dim }
     }
 
     /// Serialize to a TSV document: a `dim <TAB> total` header, then one

@@ -11,7 +11,7 @@
 use medkb_corpus::Corpus;
 use medkb_text::tokenize;
 
-use crate::sgns::WordVectors;
+use crate::sgns::{WordVectorParts, WordVectors};
 
 /// A fitted SIF model: word vectors + weighting + common component.
 #[derive(Debug, Clone)]
@@ -19,6 +19,17 @@ pub struct SifModel {
     vectors: WordVectors,
     a: f64,
     pc: Vec<f32>,
+}
+
+/// Flat decomposition of [`SifModel`] for lossless persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SifParts {
+    /// The underlying word vectors.
+    pub vectors: WordVectorParts,
+    /// SIF smoothing parameter.
+    pub a: f64,
+    /// First principal component of the training sentence embeddings.
+    pub pc: Vec<f32>,
 }
 
 impl SifModel {
@@ -67,6 +78,19 @@ impl SifModel {
     pub fn similarity(&self, a: &str, b: &str) -> Option<f64> {
         let (va, vb) = (self.embed(a)?, self.embed(b)?);
         Some(crate::sgns::cosine(&va, &vb))
+    }
+
+    /// Decompose into flat parts for lossless binary persistence
+    /// (medkb-store). Unlike [`SifModel::write_tsv`] (rounded decimal),
+    /// the parts preserve exact bit patterns; `from_parts(to_parts())`
+    /// embeds phrases bit-identically to the original model.
+    pub fn to_parts(&self) -> SifParts {
+        SifParts { vectors: self.vectors.to_parts(), a: self.a, pc: self.pc.clone() }
+    }
+
+    /// Rebuild from [`SifModel::to_parts`] output.
+    pub fn from_parts(parts: SifParts) -> Self {
+        Self { vectors: WordVectors::from_parts(parts.vectors), a: parts.a, pc: parts.pc }
     }
 
     /// Serialize the fitted model: one header line `a <TAB> pc1 pc2 …`,

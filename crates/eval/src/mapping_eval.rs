@@ -76,7 +76,7 @@ pub fn evaluate_mappings_with(
                     let mut correct = 0usize;
                     let mut produced = 0usize;
                     for &inst in evaluated {
-                        let Some(&concept) = out.mappings.get(&inst) else { continue };
+                        let Some(concept) = out.mappings.get(inst) else { continue };
                         produced += 1;
                         if stack.world.origins[inst].concept == Some(concept) {
                             correct += 1;

@@ -217,7 +217,7 @@ mod tests {
         let stack = EvalStack::build(EvalConfig::tiny(102)).unwrap();
         let relaxer = stack.relaxer(stack.config.relax.clone());
         // Use a mapped concept directly.
-        let (&inst, &concept) = stack.ingested.mappings.iter().next().unwrap();
+        let (inst, concept) = stack.ingested.mappings.iter().next().unwrap();
         let _ = inst;
         let res = relaxer
             .relax_concept(concept, Some(stack.world.treatment_context()), 10)

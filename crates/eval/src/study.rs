@@ -233,7 +233,6 @@ fn draw_question(
         .ingested
         .mappings
         .iter()
-        .map(|(&i, &c)| (i, c))
         .filter(|&(i, _)| {
             // T1's "given concepts" are answerable: a triple exists.
             !task1 || !world.kb.incoming(i).is_empty()

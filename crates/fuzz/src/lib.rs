@@ -25,5 +25,5 @@
 pub mod oracles;
 pub mod worlds;
 
-pub use oracles::{check_bounds, check_world, THREAD_SWEEP};
+pub use oracles::{check_bounds, check_reach_hybrid, check_store_round_trip, check_world, THREAD_SWEEP};
 pub use worlds::{AdversarialWorld, CorpusShape, DagShape, NameStyle};

@@ -19,7 +19,9 @@ use rand::{Rng, SeedableRng};
 
 use medkb_corpus::MentionCounts;
 use medkb_ekg::lcs::lcs;
-use medkb_ekg::{lcs_with_upward, lcs_with_upward_scratch, ReachabilityIndex, UpwardScratch};
+use medkb_ekg::{
+    lcs_with_upward, lcs_with_upward_scratch, DenseReachability, ReachabilityIndex, UpwardScratch,
+};
 use medkb_core::{
     ingest_reference, ingest_with_stats, IngestOutput, MappingMethod, ParallelConfig, QrScorer,
     QueryRelaxer, RelaxConfig,
@@ -105,6 +107,64 @@ pub fn check_lcs(w: &AdversarialWorld) {
             let fresh = lcs_with_upward(ekg, &reach, &up, b);
             assert_eq!(fresh, slow, "[{}] lcs({a:?},{b:?}) fresh path", w.label);
         }
+    }
+}
+
+/// Pin the hybrid interval + exception-set reachability index against the
+/// dense bitset closure, exhaustively: `is_ancestor` over **every** pair,
+/// plus the derived `ancestor_count` / `descendant_counts` tables (which
+/// feed intrinsic IC, so a single off-by-one would silently shift scores).
+pub fn check_reach_hybrid(w: &AdversarialWorld) {
+    let hybrid = ReachabilityIndex::build(&w.ekg);
+    let dense = DenseReachability::build(&w.ekg);
+    for a in w.ekg.concepts() {
+        assert_eq!(
+            hybrid.ancestor_count(a),
+            dense.ancestor_count(a),
+            "[{}] ancestor_count({a:?}) diverged",
+            w.label
+        );
+        for d in w.ekg.concepts() {
+            assert_eq!(
+                hybrid.is_ancestor(a, d),
+                dense.is_ancestor(a, d),
+                "[{}] is_ancestor({a:?}, {d:?}) diverged",
+                w.label
+            );
+        }
+    }
+    assert_eq!(
+        hybrid.descendant_counts(),
+        dense.descendant_counts(),
+        "[{}] descendant_counts diverged",
+        w.label
+    );
+}
+
+/// Pin the persistent world store: `open(save(out))` must reconstruct an
+/// [`IngestOutput`] whose every persisted component is bit-identical to
+/// `out`, and whose relaxation answers are bit-identical over the world's
+/// query battery.
+pub fn check_store_round_trip(w: &AdversarialWorld, out: &IngestOutput, config: &RelaxConfig) {
+    let reopened = medkb_store::WorldStore::open_bytes(&medkb_store::WorldStore::save_bytes(out))
+        .unwrap_or_else(|e| panic!("[{}] store round trip failed to open: {e}", w.label));
+    assert_eq!(out.ekg.to_parts(), reopened.ekg.to_parts(), "[{}] store: graph", w.label);
+    assert_eq!(out.contexts, reopened.contexts, "[{}] store: contexts", w.label);
+    assert_eq!(out.tag_of, reopened.tag_of, "[{}] store: tags", w.label);
+    assert_eq!(out.freqs, reopened.freqs, "[{}] store: frequency tables", w.label);
+    assert_eq!(out.mappings, reopened.mappings, "[{}] store: mappings", w.label);
+    assert_eq!(out.instances_of, reopened.instances_of, "[{}] store: instance index", w.label);
+    assert_eq!(out.flagged, reopened.flagged, "[{}] store: flagged set", w.label);
+    assert_eq!(out.reach.to_parts(), reopened.reach.to_parts(), "[{}] store: reach", w.label);
+    assert_eq!(out.mapper.to_parts(), reopened.mapper.to_parts(), "[{}] store: mapper", w.label);
+    assert_eq!(out.shortcuts_added, reopened.shortcuts_added, "[{}] store: shortcuts", w.label);
+
+    let original = QueryRelaxer::new(out.clone(), config.clone());
+    let restored = QueryRelaxer::new(reopened, config.clone());
+    for q in w.query_concepts() {
+        let want = original.relax_concept(q, None, 5).unwrap();
+        let got = restored.relax_concept(q, None, 5).unwrap();
+        assert_eq!(got, want, "[{}] store: answers for {q:?} diverged", w.label);
     }
 }
 
@@ -350,11 +410,13 @@ fn utterances(w: &AdversarialWorld) -> Vec<String> {
 pub fn check_world(w: &AdversarialWorld) {
     let counts = check_counts(w);
     check_lcs(w);
+    check_reach_hybrid(w);
     check_gazetteer(w);
 
     let exact = RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() };
     let out = check_ingest(w, &counts, MappingMethod::Exact);
     check_bounds(w, &out, &exact);
+    check_store_round_trip(w, &out, &exact);
     check_relax(w, out, exact);
 
     // Edit-distance mapping exercises the DP prefilter; skipped on worlds

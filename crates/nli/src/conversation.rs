@@ -307,7 +307,7 @@ impl ConversationEngine {
     /// ingestion's mapping table, so relaxation starts there rather than
     /// re-resolving the (possibly typo'd) instance name.
     fn expansions(&self, context: ContextId, entity: InstanceId) -> Vec<(InstanceId, f64)> {
-        let relaxed = match self.relaxer.ingested().mappings.get(&entity).copied() {
+        let relaxed = match self.relaxer.ingested().mappings.get(entity) {
             Some(concept) => self.relaxer.relax_concept_with_feedback(
                 concept,
                 Some(context),
@@ -444,7 +444,7 @@ impl ConversationEngine {
     /// concept the unknown query term resolved to.
     fn learn(&mut self, pending: &PendingRepair, inst: InstanceId, signal: Feedback) {
         let ingested = self.relaxer.ingested();
-        let Some(&candidate) = ingested.mappings.get(&inst) else { return };
+        let Some(candidate) = ingested.mappings.get(inst) else { return };
         let Some(ctx) = pending.context.or(self.state.context) else { return };
         let tag = ingested.tag(ctx);
         self.feedback.record(&ingested.ekg, pending.query_concept, candidate, tag, signal);
@@ -488,7 +488,7 @@ mod tests {
             .map(|(id, _)| id)
             .find(|id| {
                 !e.kb.subjects(*id, rel).is_empty()
-                    && e.relaxer.ingested().mappings.contains_key(id)
+                    && e.relaxer.ingested().mappings.contains_key(*id)
             })
             .expect("world has mapped treated findings")
     }

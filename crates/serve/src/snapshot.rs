@@ -126,6 +126,23 @@ impl SnapshotStore {
         epoch
     }
 
+    /// Publish a world persisted by `medkb-store` as the next epoch.
+    ///
+    /// The restart-recovery path: instead of re-running Algorithm 1 to
+    /// refresh a server, open the checksummed store file (bit-identical to
+    /// the ingest that wrote it) and swap it in. Corrupted or
+    /// version-mismatched files surface as
+    /// [`medkb_types::MedKbError::Validation`] and leave the current epoch
+    /// serving untouched.
+    ///
+    /// # Errors
+    /// Whatever [`medkb_store::WorldStore::open`] reports; nothing is
+    /// published on error.
+    pub fn publish_from_store(&self, path: &std::path::Path) -> medkb_types::Result<u64> {
+        let ingested = medkb_store::WorldStore::open(path)?;
+        Ok(self.publish(ingested))
+    }
+
     /// The currently published epoch number.
     pub fn epoch(&self) -> u64 {
         self.load().epoch

@@ -1,0 +1,66 @@
+//! Restart-recovery path: publishing a snapshot from a persisted store
+//! file must serve answers bit-identical to the ingest that wrote it, and
+//! a corrupted file must be rejected without disturbing the current epoch.
+
+use std::collections::HashMap;
+
+use medkb_core::{ingest, MappingMethod, QueryRelaxer, RelaxConfig};
+use medkb_corpus::MentionCounts;
+use medkb_fuzz::AdversarialWorld;
+use medkb_serve::SnapshotStore;
+use medkb_snomed::oracle::N_TAGS;
+use medkb_store::WorldStore;
+use medkb_types::{ExtConceptId, MedKbError};
+
+fn counts(w: &AdversarialWorld, salt: u64) -> MentionCounts {
+    let mut direct: HashMap<ExtConceptId, [u64; N_TAGS]> = HashMap::new();
+    for (i, c) in w.ekg.concepts().enumerate() {
+        let i = i as u64;
+        let mut row = [0u64; N_TAGS];
+        row[0] = (i * 7 + salt * 13) % 50;
+        row[1] = (i * 3 + salt * 5) % 30;
+        direct.insert(c, row);
+    }
+    MentionCounts::from_direct(direct, HashMap::new(), 40 + salt as usize)
+}
+
+#[test]
+fn publish_from_store_serves_bit_identical_answers() {
+    let w = AdversarialWorld::generate(3);
+    let config = RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() };
+    let out_a = ingest(&w.kb, w.ekg.clone(), &counts(&w, 1), None, &config).unwrap();
+    let out_b = ingest(&w.kb, w.ekg.clone(), &counts(&w, 2), None, &config).unwrap();
+
+    let path = std::env::temp_dir().join(format!("medkb-serve-store-{}.bin", std::process::id()));
+    WorldStore::save(&out_b, &path).unwrap();
+
+    let store = SnapshotStore::new(out_a, config.clone());
+    assert_eq!(store.epoch(), 0);
+
+    // A flipped byte in a section payload must be rejected and leave the
+    // serving epoch untouched.
+    let mut corrupted = std::fs::read(&path).unwrap();
+    let at = corrupted.len() - 9;
+    corrupted[at] ^= 0x10;
+    let bad = std::env::temp_dir().join(format!("medkb-serve-bad-{}.bin", std::process::id()));
+    std::fs::write(&bad, &corrupted).unwrap();
+    match store.publish_from_store(&bad) {
+        Err(MedKbError::Validation(report)) => assert!(!report.is_empty()),
+        other => panic!("corrupted store accepted: {other:?}"),
+    }
+    let _ = std::fs::remove_file(&bad);
+    assert_eq!(store.epoch(), 0, "failed publish must not advance the epoch");
+
+    // The intact file publishes, and serves exactly what a fresh relaxer
+    // over the original ingest serves.
+    let epoch = store.publish_from_store(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(epoch, 1);
+    let plain = QueryRelaxer::new(out_b, config);
+    let snap = store.load();
+    for q in w.query_concepts() {
+        let want = plain.relax_concept(q, None, 5).unwrap();
+        let got = snap.relaxer().relax_concept(q, None, 5).unwrap();
+        assert_eq!(got, want, "{}: store-published answers diverged", w.label);
+    }
+}

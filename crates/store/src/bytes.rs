@@ -1,0 +1,324 @@
+//! Little-endian section codec.
+//!
+//! Every section payload is a sequence of length-prefixed primitive
+//! arrays: a `u64` element count, the raw little-endian element bytes,
+//! then zero padding up to the next 8-byte boundary. String lists add a
+//! `count + 1` offset table over one concatenated UTF-8 blob, so decoding
+//! a list of a million names is one offset-table adoption plus one blob
+//! slice per entry — no per-character parsing.
+//!
+//! The reader bounds-checks *every* access and reports failures as
+//! [`ValidationReport`] defects naming the section, never panicking on
+//! hostile input: a truncated or bit-flipped file must come back as a
+//! clean [`MedKbError::Validation`].
+
+use medkb_types::{MedKbError, Result, ValidationReport};
+
+/// Append-only little-endian section buffer.
+#[derive(Default)]
+pub struct SectionWriter {
+    buf: Vec<u8>,
+}
+
+impl SectionWriter {
+    /// An empty section.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zero-pad to the next 8-byte boundary.
+    pub fn pad8(&mut self) {
+        while !self.buf.len().is_multiple_of(8) {
+            self.buf.push(0);
+        }
+    }
+
+    /// Append one `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append one `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append one `f64` (exact bit pattern).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Append a length-prefixed `u32` array.
+    pub fn put_u32_slice(&mut self, s: &[u32]) {
+        self.put_u64(s.len() as u64);
+        for &v in s {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self.pad8();
+    }
+
+    /// Append a length-prefixed `u64` array.
+    pub fn put_u64_slice(&mut self, s: &[u64]) {
+        self.put_u64(s.len() as u64);
+        for &v in s {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a length-prefixed `f64` array (exact bit patterns).
+    pub fn put_f64_slice(&mut self, s: &[f64]) {
+        self.put_u64(s.len() as u64);
+        for &v in s {
+            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Append a length-prefixed `f32` array (exact bit patterns).
+    pub fn put_f32_slice(&mut self, s: &[f32]) {
+        self.put_u64(s.len() as u64);
+        for &v in s {
+            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self.pad8();
+    }
+
+    /// Append a length-prefixed raw byte blob.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+        self.pad8();
+    }
+
+    /// Append a string list: count, `count + 1` cumulative byte offsets,
+    /// then the concatenated UTF-8 blob.
+    pub fn put_strings<I, S>(&mut self, strings: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let items: Vec<S> = strings.into_iter().collect();
+        self.put_u64(items.len() as u64);
+        let mut offsets: Vec<u32> = Vec::with_capacity(items.len() + 1);
+        let mut total: u32 = 0;
+        offsets.push(0);
+        for s in &items {
+            total += s.as_ref().len() as u32;
+            offsets.push(total);
+        }
+        for &o in &offsets {
+            self.buf.extend_from_slice(&o.to_le_bytes());
+        }
+        self.pad8();
+        self.put_u64(u64::from(total));
+        for s in &items {
+            self.buf.extend_from_slice(s.as_ref().as_bytes());
+        }
+        self.pad8();
+    }
+
+    /// The finished payload (8-byte aligned).
+    pub fn finish(mut self) -> Vec<u8> {
+        self.pad8();
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian reader over one section payload.
+pub struct SectionReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> SectionReader<'a> {
+    /// A reader over `buf`, reporting defects against `section`.
+    pub fn new(buf: &'a [u8], section: &'static str) -> Self {
+        Self { buf, pos: 0, section }
+    }
+
+    /// A validation failure naming this section.
+    pub fn fail<T>(&self, message: impl Into<String>) -> Result<T> {
+        let mut report = ValidationReport::new();
+        report.defect(self.section, None, message);
+        Err(MedKbError::Validation(report))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        match self.buf.get(self.pos..self.pos + n) {
+            Some(slice) => {
+                self.pos += n;
+                Ok(slice)
+            }
+            None => self.fail(format!(
+                "truncated: need {n} bytes at offset {}, section has {}",
+                self.pos,
+                self.buf.len()
+            )),
+        }
+    }
+
+    /// Skip padding up to the next 8-byte boundary.
+    pub fn align8(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Read one `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte chunk")))
+    }
+
+    /// Read one `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte chunk")))
+    }
+
+    /// Read one `f64`.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read an element count written by the length-prefixed array forms,
+    /// rejecting counts that cannot fit in the remaining bytes.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize> {
+        let n = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if n.checked_mul(elem_bytes as u64).is_none_or(|total| total > remaining) {
+            return self.fail(format!(
+                "implausible element count {n} (× {elem_bytes} bytes) with {remaining} bytes left"
+            ));
+        }
+        Ok(n as usize)
+    }
+
+    /// Read a length-prefixed `u32` array.
+    pub fn u32_slice(&mut self) -> Result<Vec<u32>> {
+        let n = self.count(4)?;
+        let bytes = self.take(n * 4)?;
+        let out = bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("chunk"))).collect();
+        self.align8();
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `u64` array.
+    pub fn u64_slice(&mut self) -> Result<Vec<u64>> {
+        let n = self.count(8)?;
+        let bytes = self.take(n * 8)?;
+        Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("chunk"))).collect())
+    }
+
+    /// Read a length-prefixed `f64` array.
+    pub fn f64_slice(&mut self) -> Result<Vec<f64>> {
+        let n = self.count(8)?;
+        let bytes = self.take(n * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("chunk"))))
+            .collect())
+    }
+
+    /// Read a length-prefixed `f32` array.
+    pub fn f32_slice(&mut self) -> Result<Vec<f32>> {
+        let n = self.count(4)?;
+        let bytes = self.take(n * 4)?;
+        let out = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("chunk"))))
+            .collect();
+        self.align8();
+        Ok(out)
+    }
+
+    /// Read a length-prefixed raw byte blob.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.count(1)?;
+        let out = self.take(n)?;
+        self.align8();
+        Ok(out)
+    }
+
+    /// Read a string list written by [`SectionWriter::put_strings`].
+    pub fn strings(&mut self) -> Result<Vec<String>> {
+        let n = self.count(4)?; // offsets dominate the size floor
+        let offsets_bytes = self.take((n + 1) * 4)?;
+        let offsets: Vec<u32> = offsets_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunk")))
+            .collect();
+        self.align8();
+        let blob = {
+            let len = self.count(1)?;
+            let b = self.take(len)?;
+            self.align8();
+            b
+        };
+        if offsets.first() != Some(&0) || offsets.last().copied().unwrap_or(1) as usize != blob.len()
+        {
+            return self.fail("string offset table does not span the blob");
+        }
+        let mut out = Vec::with_capacity(n);
+        for w in offsets.windows(2) {
+            let (start, end) = (w[0] as usize, w[1] as usize);
+            if start > end || end > blob.len() {
+                return self.fail(format!("string offsets out of order: {start}..{end}"));
+            }
+            match std::str::from_utf8(&blob[start..end]) {
+                Ok(s) => out.push(s.to_string()),
+                Err(_) => return self.fail(format!("invalid UTF-8 in string at {start}..{end}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SectionWriter::new();
+        w.put_u64(7);
+        w.put_f64(-0.0);
+        w.put_u32_slice(&[1, 2, 3]);
+        w.put_f64_slice(&[1.5, f64::NAN]);
+        w.put_f32_slice(&[0.25]);
+        w.put_strings(["alpha", "", "βήτα"]);
+        let buf = w.finish();
+        assert_eq!(buf.len() % 8, 0);
+
+        let mut r = SectionReader::new(&buf, "test");
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.u32_slice().unwrap(), vec![1, 2, 3]);
+        let f = r.f64_slice().unwrap();
+        assert_eq!(f[0], 1.5);
+        assert!(f[1].is_nan());
+        assert_eq!(r.f32_slice().unwrap(), vec![0.25]);
+        assert_eq!(r.strings().unwrap(), vec!["alpha", "", "βήτα"]);
+    }
+
+    #[test]
+    fn truncation_is_a_defect_not_a_panic() {
+        let mut w = SectionWriter::new();
+        w.put_u32_slice(&[1, 2, 3, 4, 5]);
+        let buf = w.finish();
+        // Cuts inside the trailing alignment padding still read the full
+        // array; every cut inside the prefix or data must be a defect.
+        for cut in 0..8 + 5 * 4 {
+            let mut r = SectionReader::new(&buf[..cut], "test");
+            match r.u32_slice() {
+                Ok(v) => panic!("cut {cut} read data: {v:?}"),
+                Err(MedKbError::Validation(report)) => assert!(!report.is_empty()),
+                Err(other) => panic!("unexpected error kind: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn implausible_count_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut r = SectionReader::new(&buf, "test");
+        assert!(matches!(r.u32_slice(), Err(MedKbError::Validation(_))));
+    }
+}

@@ -1,0 +1,676 @@
+//! The world store: save / open of a whole [`IngestOutput`].
+//!
+//! # File layout (format version 1, all integers little-endian)
+//!
+//! ```text
+//! offset 0   magic           8 bytes  b"MEDKBST1"
+//!        8   format version  u32      (= 1)
+//!       12   section count   u32      (= 8)
+//!       16   table checksum  u64      xxh64(section table, seed = version)
+//!       24   section table   count × 32 bytes:
+//!              id u32 · reserved u32 · offset u64 · len u64 · checksum u64
+//!       …   section payloads, each at an 8-byte-aligned offset
+//! ```
+//!
+//! Every section payload is checksummed independently (`xxh64(payload,
+//! seed = section id)`), so a bit flip anywhere in the file is caught
+//! before any of its bytes are interpreted. Section contents are
+//! length-prefixed primitive arrays (see [`crate::bytes`]): the dense
+//! numeric tables — frequencies, IC, reachability labels, embedding
+//! matrices — decode as single bulk copies, which is what makes a cold
+//! open orders of magnitude cheaper than re-running Algorithm 1.
+//!
+//! Corrupted, truncated, or version-mismatched files come back as
+//! [`MedKbError::Validation`] with a defect naming the failing section —
+//! never a panic.
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use medkb_core::{
+    ConceptMapper, FreqParts, Frequencies, IngestOutput, InstanceIndex, MapperParts, MappingIndex,
+    MappingMethod,
+};
+use medkb_ekg::{Edge, Ekg, EkgParts, ReachParts, ReachabilityIndex};
+use medkb_embed::{SifParts, WordVectorParts};
+use medkb_ontology::ContextSpec;
+use medkb_snomed::oracle::N_TAGS;
+use medkb_snomed::ContextTag;
+use medkb_types::{
+    ContextId, ExtConceptId, Id, InstanceId, MedKbError, OntoConceptId, RelationshipId, Result,
+    ValidationReport,
+};
+
+use crate::bytes::{SectionReader, SectionWriter};
+use crate::xxh::xxh64;
+
+/// Magic bytes opening every store file.
+pub const MAGIC: [u8; 8] = *b"MEDKBST1";
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section ids in file order. The order is part of the format.
+const SECTION_IDS: [u32; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+const SECTION_NAMES: [&str; 8] =
+    ["ekg", "contexts", "freqs", "mappings", "instances", "reach", "mapper", "meta"];
+const HEADER_FIXED: usize = 24;
+const TABLE_ENTRY: usize = 32;
+
+/// Versioned, checksummed flat-binary persistence of an ingested world.
+///
+/// [`WorldStore::save`] lays the entire [`IngestOutput`] — customized
+/// graph, contexts, frequency/IC tables, mappings, reachability labels,
+/// embedding model and concept index — into one flat file;
+/// [`WorldStore::open`] validates the header and every section checksum,
+/// then reconstructs the output without re-running Algorithm 1.
+pub struct WorldStore;
+
+impl WorldStore {
+    /// Serialize `out` into an in-memory store image.
+    pub fn save_bytes(out: &IngestOutput) -> Vec<u8> {
+        let sections: [Vec<u8>; 8] = [
+            enc_ekg(&out.ekg.to_parts()),
+            enc_contexts(&out.contexts, &out.tag_of),
+            enc_freqs(&out.freqs.to_parts()),
+            enc_mappings(&out.mappings),
+            enc_instances(&out.instances_of),
+            enc_reach(&out.reach.to_parts()),
+            enc_mapper(&out.mapper.to_parts()),
+            enc_meta(out),
+        ];
+
+        let mut table = Vec::with_capacity(SECTION_IDS.len() * TABLE_ENTRY);
+        let mut offset = (HEADER_FIXED + SECTION_IDS.len() * TABLE_ENTRY) as u64;
+        for (i, payload) in sections.iter().enumerate() {
+            debug_assert_eq!(payload.len() % 8, 0, "section payloads are 8-byte aligned");
+            table.extend_from_slice(&SECTION_IDS[i].to_le_bytes());
+            table.extend_from_slice(&0u32.to_le_bytes());
+            table.extend_from_slice(&offset.to_le_bytes());
+            table.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            table.extend_from_slice(&xxh64(payload, u64::from(SECTION_IDS[i])).to_le_bytes());
+            offset += payload.len() as u64;
+        }
+
+        let mut buf = Vec::with_capacity(offset as usize);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(SECTION_IDS.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&xxh64(&table, u64::from(FORMAT_VERSION)).to_le_bytes());
+        buf.extend_from_slice(&table);
+        for payload in &sections {
+            buf.extend_from_slice(payload);
+        }
+        buf
+    }
+
+    /// Save `out` to `path`, returning the file size in bytes.
+    ///
+    /// # Errors
+    /// [`MedKbError::InvalidArgument`] when the file cannot be written.
+    pub fn save(out: &IngestOutput, path: &Path) -> Result<u64> {
+        let bytes = Self::save_bytes(out);
+        std::fs::write(path, &bytes).map_err(|e| {
+            MedKbError::invalid(format!("store save {}: {e}", path.display()))
+        })?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Reconstruct an [`IngestOutput`] from a store image.
+    ///
+    /// # Errors
+    /// [`MedKbError::Validation`] naming every structural defect found —
+    /// wrong magic, unsupported version, out-of-range section, checksum
+    /// mismatch, or malformed section content.
+    pub fn open_bytes(buf: &[u8]) -> Result<IngestOutput> {
+        let sections = validate_and_slice(buf)?;
+        let ekg = Ekg::from_parts(dec_ekg(sections[0])?);
+        let (contexts, tag_of) = dec_contexts(sections[1])?;
+        let freqs = Frequencies::from_parts(dec_freqs(sections[2])?);
+        let pairs = dec_mappings(sections[3])?;
+        let instances_of = dec_instances(sections[4])?;
+        let reach = ReachabilityIndex::from_parts(dec_reach(sections[5], ekg.len())?);
+        let mapper = ConceptMapper::from_parts(&ekg, dec_mapper(sections[6])?)?;
+        let shortcuts_added = dec_meta(sections[7], ekg.len(), contexts.len())?;
+        let flagged: HashSet<ExtConceptId> = pairs.iter().map(|&(_, c)| c).collect();
+        let mappings = MappingIndex::from_pairs(pairs);
+        Ok(IngestOutput {
+            ekg,
+            contexts,
+            tag_of,
+            freqs,
+            mappings,
+            instances_of,
+            flagged,
+            mapper,
+            reach,
+            shortcuts_added,
+        })
+    }
+
+    /// Open the store at `path`.
+    ///
+    /// # Errors
+    /// [`MedKbError::InvalidArgument`] when the file cannot be read;
+    /// otherwise as [`WorldStore::open_bytes`].
+    pub fn open(path: &Path) -> Result<IngestOutput> {
+        let bytes = std::fs::read(path).map_err(|e| {
+            MedKbError::invalid(format!("store open {}: {e}", path.display()))
+        })?;
+        Self::open_bytes(&bytes)
+    }
+}
+
+/// Validate header + every section checksum; return the payload slices in
+/// section order. Collects **all** header/table defects before failing.
+fn validate_and_slice(buf: &[u8]) -> Result<Vec<&[u8]>> {
+    let mut report = ValidationReport::new();
+    if buf.len() < HEADER_FIXED {
+        report.defect("store header", None, format!("file too small: {} bytes", buf.len()));
+        return Err(MedKbError::Validation(report));
+    }
+    if buf[..8] != MAGIC {
+        report.defect("store header", None, format!("bad magic {:02x?}", &buf[..8]));
+    }
+    let version = u32::from_le_bytes(buf[8..12].try_into().expect("4-byte chunk"));
+    if version != FORMAT_VERSION {
+        report.defect(
+            "store header",
+            None,
+            format!("unsupported format version {version} (expected {FORMAT_VERSION})"),
+        );
+    }
+    let count = u32::from_le_bytes(buf[12..16].try_into().expect("4-byte chunk")) as usize;
+    if count != SECTION_IDS.len() {
+        report.defect(
+            "store header",
+            None,
+            format!("expected {} sections, header declares {count}", SECTION_IDS.len()),
+        );
+    }
+    if !report.is_empty() {
+        return Err(MedKbError::Validation(report));
+    }
+
+    let table_end = HEADER_FIXED + count * TABLE_ENTRY;
+    if buf.len() < table_end {
+        report.defect("store header", None, "file truncated inside the section table");
+        return Err(MedKbError::Validation(report));
+    }
+    let declared = u64::from_le_bytes(buf[16..24].try_into().expect("8-byte chunk"));
+    let table = &buf[HEADER_FIXED..table_end];
+    if xxh64(table, u64::from(version)) != declared {
+        report.defect("store header", None, "section table checksum mismatch");
+        return Err(MedKbError::Validation(report));
+    }
+
+    let mut sections = Vec::with_capacity(count);
+    for (i, entry) in table.chunks_exact(TABLE_ENTRY).enumerate() {
+        let name = SECTION_NAMES[i];
+        let id = u32::from_le_bytes(entry[0..4].try_into().expect("chunk"));
+        let offset = u64::from_le_bytes(entry[8..16].try_into().expect("chunk")) as usize;
+        let len = u64::from_le_bytes(entry[16..24].try_into().expect("chunk")) as usize;
+        let checksum = u64::from_le_bytes(entry[24..32].try_into().expect("chunk"));
+        if id != SECTION_IDS[i] {
+            report.defect(name, None, format!("section id {id} out of order"));
+            continue;
+        }
+        if !offset.is_multiple_of(8) {
+            report.defect(name, None, format!("section offset {offset} not 8-byte aligned"));
+            continue;
+        }
+        let Some(payload) = offset.checked_add(len).and_then(|end| buf.get(offset..end)) else {
+            report.defect(name, None, format!("section {offset}+{len} exceeds file size"));
+            continue;
+        };
+        if xxh64(payload, u64::from(id)) != checksum {
+            report.defect(name, None, "section checksum mismatch");
+            continue;
+        }
+        sections.push(payload);
+    }
+    if !report.is_empty() {
+        return Err(MedKbError::Validation(report));
+    }
+    Ok(sections)
+}
+
+// ---------------------------------------------------------------- sections
+
+fn enc_ekg(parts: &EkgParts) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    let n = parts.names.len();
+    w.put_u64(n as u64);
+    w.put_strings(parts.names.iter().map(|s| s.as_ref()));
+
+    let mut syn_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+    syn_offsets.push(0);
+    let mut total = 0u32;
+    for syns in &parts.synonyms {
+        total += syns.len() as u32;
+        syn_offsets.push(total);
+    }
+    w.put_u32_slice(&syn_offsets);
+    w.put_strings(parts.synonyms.iter().flatten().map(|s| s.as_ref()));
+
+    w.put_strings(parts.lookup.iter().map(|(k, _)| k.as_ref()));
+    let mut lk_offsets: Vec<u32> = Vec::with_capacity(parts.lookup.len() + 1);
+    lk_offsets.push(0);
+    let mut lk_values: Vec<u32> = Vec::new();
+    for (_, vals) in &parts.lookup {
+        lk_values.extend(vals.iter().map(|c| c.raw()));
+        lk_offsets.push(lk_values.len() as u32);
+    }
+    w.put_u32_slice(&lk_offsets);
+    w.put_u32_slice(&lk_values);
+
+    for rows in [&parts.up, &parts.down] {
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut tos: Vec<u32> = Vec::new();
+        let mut weights: Vec<u32> = Vec::new();
+        let mut flags: Vec<u64> = Vec::new();
+        for row in rows.iter() {
+            for e in row {
+                let at = tos.len();
+                tos.push(e.to.raw());
+                weights.push(e.weight);
+                if at / 64 >= flags.len() {
+                    flags.push(0);
+                }
+                if e.shortcut {
+                    flags[at / 64] |= 1u64 << (at % 64);
+                }
+            }
+            offsets.push(tos.len() as u32);
+        }
+        w.put_u32_slice(&offsets);
+        w.put_u32_slice(&tos);
+        w.put_u32_slice(&weights);
+        w.put_u64_slice(&flags);
+    }
+
+    w.put_u32(parts.root.raw());
+    w.pad8();
+    w.put_u32_slice(&parts.topo.iter().map(|c| c.raw()).collect::<Vec<u32>>());
+    w.put_u32_slice(&parts.depth);
+    w.finish()
+}
+
+fn dec_ekg(buf: &[u8]) -> Result<EkgParts> {
+    let mut r = SectionReader::new(buf, "ekg");
+    let n = r.u64()? as usize;
+    let names: Vec<Box<str>> =
+        r.strings()?.into_iter().map(String::into_boxed_str).collect();
+    if names.len() != n {
+        return r.fail(format!("{} names for {n} concepts", names.len()));
+    }
+
+    let syn_offsets = r.u32_slice()?;
+    let syn_flat = r.strings()?;
+    if syn_offsets.len() != n + 1 || syn_offsets.last().copied().unwrap_or(1) as usize != syn_flat.len()
+    {
+        return r.fail("synonym offsets do not span the synonym list");
+    }
+    let mut synonyms: Vec<Vec<Box<str>>> = Vec::with_capacity(n);
+    for wdw in syn_offsets.windows(2) {
+        if wdw[0] > wdw[1] {
+            return r.fail("synonym offsets out of order");
+        }
+        synonyms.push(
+            syn_flat[wdw[0] as usize..wdw[1] as usize]
+                .iter()
+                .map(|s| s.clone().into_boxed_str())
+                .collect(),
+        );
+    }
+
+    let lk_keys = r.strings()?;
+    let lk_offsets = r.u32_slice()?;
+    let lk_values = r.u32_slice()?;
+    if lk_offsets.len() != lk_keys.len() + 1
+        || lk_offsets.last().copied().unwrap_or(1) as usize != lk_values.len()
+    {
+        return r.fail("lookup offsets do not span the value list");
+    }
+    let mut lookup: Vec<(Box<str>, Vec<ExtConceptId>)> = Vec::with_capacity(lk_keys.len());
+    for (key, wdw) in lk_keys.into_iter().zip(lk_offsets.windows(2)) {
+        if wdw[0] > wdw[1] {
+            return r.fail("lookup offsets out of order");
+        }
+        lookup.push((
+            key.into_boxed_str(),
+            lk_values[wdw[0] as usize..wdw[1] as usize]
+                .iter()
+                .map(|&c| ExtConceptId::new(c))
+                .collect(),
+        ));
+    }
+
+    let mut edge_lists: Vec<Vec<Vec<Edge>>> = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let offsets = r.u32_slice()?;
+        let tos = r.u32_slice()?;
+        let weights = r.u32_slice()?;
+        let flags = r.u64_slice()?;
+        if offsets.len() != n + 1
+            || offsets.last().copied().unwrap_or(1) as usize != tos.len()
+            || weights.len() != tos.len()
+            || flags.len() < tos.len().div_ceil(64)
+        {
+            return r.fail("edge arrays are inconsistent");
+        }
+        let mut rows: Vec<Vec<Edge>> = Vec::with_capacity(n);
+        for wdw in offsets.windows(2) {
+            if wdw[0] > wdw[1] {
+                return r.fail("edge offsets out of order");
+            }
+            rows.push(
+                (wdw[0] as usize..wdw[1] as usize)
+                    .map(|at| Edge {
+                        to: ExtConceptId::new(tos[at]),
+                        weight: weights[at],
+                        shortcut: flags[at / 64] >> (at % 64) & 1 == 1,
+                    })
+                    .collect(),
+            );
+        }
+        edge_lists.push(rows);
+    }
+    let down = edge_lists.pop().expect("two edge lists");
+    let up = edge_lists.pop().expect("two edge lists");
+
+    let root = r.u32()?;
+    r.align8();
+    let topo: Vec<ExtConceptId> = r.u32_slice()?.into_iter().map(ExtConceptId::new).collect();
+    let depth = r.u32_slice()?;
+    if (root as usize) >= n.max(1) || topo.len() != n || depth.len() != n {
+        return r.fail("root/topo/depth inconsistent with concept count");
+    }
+    Ok(EkgParts {
+        names,
+        synonyms,
+        lookup,
+        up,
+        down,
+        root: ExtConceptId::new(root),
+        topo,
+        depth,
+    })
+}
+
+fn enc_contexts(contexts: &[ContextSpec], tag_of: &[ContextTag]) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    w.put_u64(contexts.len() as u64);
+    w.put_u32_slice(&contexts.iter().map(|c| c.relationship.raw()).collect::<Vec<u32>>());
+    w.put_u32_slice(&contexts.iter().map(|c| c.domain.raw()).collect::<Vec<u32>>());
+    w.put_u32_slice(&contexts.iter().map(|c| c.range.raw()).collect::<Vec<u32>>());
+    w.put_strings(contexts.iter().map(|c| c.label.as_str()));
+    w.put_bytes(&tag_of.iter().map(|t| t.index() as u8).collect::<Vec<u8>>());
+    w.finish()
+}
+
+fn dec_contexts(buf: &[u8]) -> Result<(Vec<ContextSpec>, Vec<ContextTag>)> {
+    let mut r = SectionReader::new(buf, "contexts");
+    let m = r.u64()? as usize;
+    let relationships = r.u32_slice()?;
+    let domains = r.u32_slice()?;
+    let ranges = r.u32_slice()?;
+    let labels = r.strings()?;
+    let tag_bytes = r.bytes()?.to_vec();
+    if relationships.len() != m || domains.len() != m || ranges.len() != m || labels.len() != m {
+        return r.fail("context arrays disagree on length");
+    }
+    if tag_bytes.len() != m {
+        return r.fail(format!("{} tags for {m} contexts", tag_bytes.len()));
+    }
+    let mut tag_of = Vec::with_capacity(m);
+    for &b in &tag_bytes {
+        match ContextTag::ALL.get(b as usize) {
+            Some(&tag) => tag_of.push(tag),
+            None => return r.fail(format!("tag byte {b} out of range")),
+        }
+    }
+    let contexts = labels
+        .into_iter()
+        .enumerate()
+        .map(|(i, label)| ContextSpec {
+            id: ContextId::from_usize(i),
+            relationship: RelationshipId::new(relationships[i]),
+            domain: OntoConceptId::new(domains[i]),
+            range: OntoConceptId::new(ranges[i]),
+            label,
+        })
+        .collect();
+    Ok((contexts, tag_of))
+}
+
+fn enc_freqs(parts: &FreqParts) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    w.put_u64(N_TAGS as u64);
+    for table in &parts.per_tag {
+        w.put_f64_slice(table);
+    }
+    w.put_f64_slice(&parts.per_tag_total);
+    w.put_f64_slice(&parts.aggregate);
+    w.put_f64_slice(&parts.intrinsic);
+    for table in &parts.ic_per_tag {
+        w.put_f64_slice(table);
+    }
+    w.put_f64_slice(&parts.ic_aggregate);
+    w.put_f64_slice(&parts.min_ic_per_tag);
+    w.put_f64(parts.min_ic_aggregate);
+    w.put_f64(parts.min_intrinsic);
+    w.finish()
+}
+
+fn dec_freqs(buf: &[u8]) -> Result<FreqParts> {
+    let mut r = SectionReader::new(buf, "freqs");
+    let tags = r.u64()? as usize;
+    if tags != N_TAGS {
+        return r.fail(format!("file has {tags} context tags, this build has {N_TAGS}"));
+    }
+    let mut per_tag = Vec::with_capacity(N_TAGS);
+    for _ in 0..N_TAGS {
+        per_tag.push(r.f64_slice()?);
+    }
+    let per_tag_total = r.f64_slice()?;
+    let aggregate = r.f64_slice()?;
+    let intrinsic = r.f64_slice()?;
+    let mut ic_per_tag = Vec::with_capacity(N_TAGS);
+    for _ in 0..N_TAGS {
+        ic_per_tag.push(r.f64_slice()?);
+    }
+    let ic_aggregate = r.f64_slice()?;
+    let min_ic_per_tag = r.f64_slice()?;
+    let min_ic_aggregate = r.f64()?;
+    let min_intrinsic = r.f64()?;
+    if per_tag_total.len() != N_TAGS || min_ic_per_tag.len() != N_TAGS {
+        return r.fail("per-tag scalar arrays disagree with the tag count");
+    }
+    let n = aggregate.len();
+    if per_tag.iter().chain(&ic_per_tag).any(|t| t.len() != n)
+        || intrinsic.len() != n
+        || ic_aggregate.len() != n
+    {
+        return r.fail("frequency tables disagree on concept count");
+    }
+    Ok(FreqParts {
+        per_tag,
+        per_tag_total,
+        aggregate,
+        intrinsic,
+        ic_per_tag,
+        ic_aggregate,
+        min_ic_per_tag,
+        min_ic_aggregate,
+        min_intrinsic,
+    })
+}
+
+fn enc_mappings(mappings: &MappingIndex) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    let pairs = mappings.as_slice();
+    w.put_u32_slice(&pairs.iter().map(|(i, _)| i.raw()).collect::<Vec<u32>>());
+    w.put_u32_slice(&pairs.iter().map(|(_, c)| c.raw()).collect::<Vec<u32>>());
+    w.finish()
+}
+
+fn dec_mappings(buf: &[u8]) -> Result<Vec<(InstanceId, ExtConceptId)>> {
+    let mut r = SectionReader::new(buf, "mappings");
+    let insts = r.u32_slice()?;
+    let concepts = r.u32_slice()?;
+    if insts.len() != concepts.len() {
+        return r.fail("instance and concept columns disagree on length");
+    }
+    Ok(insts
+        .into_iter()
+        .zip(concepts)
+        .map(|(i, c)| (InstanceId::new(i), ExtConceptId::new(c)))
+        .collect())
+}
+
+fn enc_instances(index: &InstanceIndex) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    w.put_u32_slice(&index.concepts().iter().map(|c| c.raw()).collect::<Vec<u32>>());
+    w.put_u32_slice(index.offsets());
+    w.put_u32_slice(&index.instances().iter().map(|i| i.raw()).collect::<Vec<u32>>());
+    w.finish()
+}
+
+fn dec_instances(buf: &[u8]) -> Result<InstanceIndex> {
+    let mut r = SectionReader::new(buf, "instances");
+    let concepts: Vec<ExtConceptId> = r.u32_slice()?.into_iter().map(ExtConceptId::new).collect();
+    let offsets = r.u32_slice()?;
+    let instances: Vec<InstanceId> = r.u32_slice()?.into_iter().map(InstanceId::new).collect();
+    if offsets.len() != concepts.len() + 1
+        || offsets.last().copied().unwrap_or(1) as usize != instances.len()
+        || offsets.windows(2).any(|w| w[0] > w[1])
+    {
+        return r.fail("instance CSR offsets are inconsistent");
+    }
+    Ok(InstanceIndex::from_parts(concepts, offsets, instances))
+}
+
+fn enc_reach(parts: &ReachParts) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    w.put_u32_slice(&parts.tin);
+    w.put_u32_slice(&parts.tout);
+    w.put_u32_slice(&parts.tree_depth);
+    w.put_u32_slice(&parts.exc);
+    w.put_u32_slice(&parts.set_offsets);
+    w.put_u32_slice(&parts.set_members);
+    w.finish()
+}
+
+fn dec_reach(buf: &[u8], n: usize) -> Result<ReachParts> {
+    let mut r = SectionReader::new(buf, "reach");
+    let tin = r.u32_slice()?;
+    let tout = r.u32_slice()?;
+    let tree_depth = r.u32_slice()?;
+    let exc = r.u32_slice()?;
+    let set_offsets = r.u32_slice()?;
+    let set_members = r.u32_slice()?;
+    if tin.len() != n || tout.len() != n || tree_depth.len() != n || exc.len() != n {
+        return r.fail(format!("reachability labels disagree with {n} concepts"));
+    }
+    let pool = set_offsets.len().saturating_sub(1) as u32;
+    if set_offsets.first().copied().unwrap_or(1) != 0
+        || set_offsets.last().copied().unwrap_or(1) as usize != set_members.len()
+        || set_offsets.windows(2).any(|w| w[0] > w[1])
+        || exc.iter().any(|&p| p >= pool.max(1))
+    {
+        return r.fail("exception pool offsets are inconsistent");
+    }
+    Ok(ReachParts { tin, tout, tree_depth, exc, set_offsets, set_members })
+}
+
+fn enc_mapper(parts: &MapperParts) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    let (tag, tau, threshold) = match parts.method {
+        MappingMethod::Exact => (0u32, 0u32, 0.0),
+        MappingMethod::Edit(tau) => (1, tau, 0.0),
+        MappingMethod::Embedding { threshold } => (2, 0, threshold),
+        MappingMethod::Phonetic => (3, 0, 0.0),
+    };
+    w.put_u32(tag);
+    w.put_u32(tau);
+    w.put_f64(threshold);
+    w.put_u64(u64::from(parts.sif.is_some()));
+    if let Some(sif) = &parts.sif {
+        w.put_strings(sif.vectors.words.iter());
+        w.put_f32_slice(&sif.vectors.vecs);
+        w.put_u64_slice(&sif.vectors.counts);
+        w.put_u64(sif.vectors.total_tokens);
+        w.put_u64(sif.vectors.dim);
+        w.put_f64(sif.a);
+        w.put_f32_slice(&sif.pc);
+    }
+    w.put_u32_slice(&parts.index_payloads);
+    w.put_f32_slice(&parts.index_data);
+    w.finish()
+}
+
+fn dec_mapper(buf: &[u8]) -> Result<MapperParts> {
+    let mut r = SectionReader::new(buf, "mapper");
+    let tag = r.u32()?;
+    let tau = r.u32()?;
+    let threshold = r.f64()?;
+    let method = match tag {
+        0 => MappingMethod::Exact,
+        1 => MappingMethod::Edit(tau),
+        2 => MappingMethod::Embedding { threshold },
+        3 => MappingMethod::Phonetic,
+        other => return r.fail(format!("unknown mapping method tag {other}")),
+    };
+    let has_sif = r.u64()?;
+    let sif = if has_sif == 1 {
+        let words = r.strings()?;
+        let vecs = r.f32_slice()?;
+        let counts = r.u64_slice()?;
+        let total_tokens = r.u64()?;
+        let dim = r.u64()?;
+        let a = r.f64()?;
+        let pc = r.f32_slice()?;
+        if counts.len() != words.len() || vecs.len() as u64 != dim * words.len() as u64 {
+            return r.fail("word-vector arrays disagree with the vocabulary size");
+        }
+        Some(SifParts {
+            vectors: WordVectorParts { words, vecs, counts, total_tokens, dim },
+            a,
+            pc,
+        })
+    } else if has_sif == 0 {
+        None
+    } else {
+        return r.fail(format!("bad SIF presence flag {has_sif}"));
+    };
+    let index_payloads = r.u32_slice()?;
+    let index_data = r.f32_slice()?;
+    if let Some(sif) = &sif {
+        if index_data.len() as u64 != sif.vectors.dim * index_payloads.len() as u64 {
+            return r.fail("embedding index arrays disagree with the model dimensionality");
+        }
+    }
+    Ok(MapperParts { method, sif, index_payloads, index_data })
+}
+
+fn enc_meta(out: &IngestOutput) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    w.put_u64(out.shortcuts_added as u64);
+    w.put_u64(out.ekg.len() as u64);
+    w.put_u64(out.contexts.len() as u64);
+    w.finish()
+}
+
+fn dec_meta(buf: &[u8], n: usize, m: usize) -> Result<usize> {
+    let mut r = SectionReader::new(buf, "meta");
+    let shortcuts = r.u64()? as usize;
+    let concepts = r.u64()? as usize;
+    let contexts = r.u64()? as usize;
+    if concepts != n || contexts != m {
+        return r.fail(format!(
+            "meta counts ({concepts} concepts, {contexts} contexts) disagree with sections ({n}, {m})"
+        ));
+    }
+    Ok(shortcuts)
+}

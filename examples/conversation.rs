@@ -44,7 +44,7 @@ fn main() -> Result<()> {
         .map(|(id, _)| id)
         .find(|&id| {
             !stack.world.kb.subjects(id, rel).is_empty()
-                && stack.ingested.mappings.contains_key(&id)
+                && stack.ingested.mappings.contains_key(id)
         })
         .expect("a treated finding exists");
     let unknown_name = stack

@@ -44,7 +44,7 @@ fn main() -> Result<()> {
         [NameShape::Exact, NameShape::Synonym, NameShape::Typo, NameShape::Reworded, NameShape::Unmappable]
     {
         let of_shape = world.instances_with_shape(shape);
-        let mapped = of_shape.iter().filter(|i| out.mappings.contains_key(i)).count();
+        let mapped = of_shape.iter().filter(|i| out.mappings.contains_key(**i)).count();
         println!("  {shape:?}: {mapped}/{} mapped (exact matcher)", of_shape.len());
     }
 

@@ -34,6 +34,18 @@ fi
 # snapshot valid JSON with every stage timer recorded exactly once.
 cargo run --release -p medkb-bench --bin bench_json -- --ingest --quick >/dev/null
 
+# The committed ingest baseline must gate on recorded *shape*, not speedup:
+# thread counts are clamped to the bench box's cores, so the file has to say
+# what was actually measured (threads_effective per row, the unclamped
+# oversubscription sweep, and the core count it ran on).
+for key in '"threads_effective"' '"oversubscribed"' '"machine_cores"' \
+    '"world_concepts"'; do
+  if ! grep -qF "$key" BENCH_ingest.json; then
+    echo "tier-1 FAIL: BENCH_ingest.json missing $key" >&2
+    exit 1
+  fi
+done
+
 # Relax smoke: instrumented engine bit-identical to the plain engine, and
 # the emitted document (including the embedded metrics snapshot) parses.
 out=$(cargo run --release -p medkb-bench --bin bench_json -- --quick)
@@ -71,5 +83,29 @@ if grep -qF '"cache_hits": 0,' <<<"$out"; then
   echo "tier-1 FAIL: serve smoke saw zero cache hits" >&2
   exit 1
 fi
+
+# Store smoke: save the ingested world, reopen it, and (inside the binary)
+# assert the reopened world is bit-identical — parts-level equality plus
+# 8 relaxation queries — and that a flipped byte is rejected with a
+# ValidationReport, not a panic or a silently-wrong world.
+out=$(cargo run --release -p medkb-bench --bin bench_json -- --store --quick)
+for key in '"cold_open_p50_s"' '"re_ingest_p50_s"' '"file_bytes"' \
+    '"reach_memory_bytes"' '"reach_dense_over_hybrid"' '"queries_checked"'; do
+  if ! grep -qF "$key" <<<"$out"; then
+    echo "tier-1 FAIL: bench_json --store --quick output missing $key" >&2
+    exit 1
+  fi
+done
+
+# The committed SNOMED-scale store baseline must carry the recorded shape:
+# cold-open speedup and the hybrid reachability footprint ratio. A refactor
+# that regresses either shows up as a re-baseline in review, not silently.
+for key in '"cold_open_speedup"' '"reach_dense_over_hybrid"' '"world_concepts"' \
+    '"file_bytes"'; do
+  if ! grep -qF "$key" BENCH_store.json; then
+    echo "tier-1 FAIL: BENCH_store.json missing $key" >&2
+    exit 1
+  fi
+done
 
 echo "tier-1 OK"

@@ -52,10 +52,10 @@ fn algorithm1_fec_is_exactly_the_mapped_concepts() {
     let f = Fixture::new(202);
     let out = f.ingest();
     // Lines 5–11: FEC = { A : some instance maps to A }.
-    let mapped: HashSet<_> = out.mappings.values().copied().collect();
+    let mapped: HashSet<_> = out.mappings.iter().map(|(_, c)| c).collect();
     assert_eq!(out.flagged, mapped);
     // Reverse index is consistent.
-    for (&inst, &concept) in &out.mappings {
+    for (inst, concept) in out.mappings.iter() {
         assert!(out.instances(concept).contains(&inst));
     }
 }

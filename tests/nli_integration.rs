@@ -38,7 +38,7 @@ fn conversation_answers_known_questions() {
         .instances()
         .map(|(id, _)| id)
         .find(|&id| {
-            !s.world.kb.subjects(id, rel).is_empty() && s.ingested.mappings.contains_key(&id)
+            !s.world.kb.subjects(id, rel).is_empty() && s.ingested.mappings.contains_key(id)
         })
         .expect("treated mapped finding");
     match e.handle(&format!("what drugs treat {}", s.world.kb.name(target))) {

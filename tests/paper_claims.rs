@@ -112,7 +112,7 @@ fn scenario1_repair_and_scenario2_expansion_end_to_end() {
     assert!(!res.answers.is_empty(), "scenario 1 produces repair candidates");
 
     // Scenario 2: a known concept still yields related expansions.
-    let (&_inst, &known) = s.ingested.mappings.iter().next().unwrap();
+    let (_inst, known) = s.ingested.mappings.iter().next().unwrap();
     let res = relaxer.relax_concept(known, Some(s.world.treatment_context()), 7).unwrap();
     assert!(res.answers.iter().all(|a| a.concept != known));
     assert!(!res.answers.is_empty());
