@@ -33,6 +33,16 @@
 //! cargo run --release -p medkb-bench --bin bench_json -- --store
 //! ```
 //!
+//! `--delta` times incremental delta ingestion (ROADMAP item 3) against
+//! the full re-ingest it replaces: document deltas of size 1/10/100/1000
+//! applied through `DeltaEngine::apply`, the delta-vs-full bit-identity
+//! re-checked in-run, plus the zipf-stream cache-invalidation cost of a
+//! delta publish, and writes `BENCH_delta.json`:
+//!
+//! ```text
+//! cargo run --release -p medkb-bench --bin bench_json -- --delta
+//! ```
+//!
 //! `--world-scale N` sets the generated world's concept count in every mode
 //! (default 4000 — the tier-1 fast path). Full-scale runs use
 //! `--world-scale 350000`, SNOMED CT's concept count (ROADMAP item 1).
@@ -606,6 +616,273 @@ fn run_store_bench(quick: bool, scale: usize) {
     println!("{json}");
 }
 
+/// Incremental-ingestion benchmark (`--delta`): document deltas of size
+/// 1/10/100/1000 through [`medkb_core::DeltaEngine::apply`] against the
+/// full re-ingest each one replaces, plus the cache-invalidation cost a
+/// delta publish imposes on a zipf-distributed query stream.
+///
+/// The baseline is a full re-ingest of the **mutated** inputs with the
+/// same frozen SIF model the engine holds — so the measured pair is the
+/// honest either/or a server faces on a corpus update, and the baseline
+/// output doubles as the bit-identity oracle (`outputs_identical`). The
+/// with-training number (what a restart without a persisted model would
+/// pay) is recorded separately. Delta documents are clones of existing
+/// corpus documents, so their tokens are vocab-stable and the bench
+/// exercises the incremental recount path, not the full-recount fallback
+/// — pinned in-run by `delta.fallback_full_rebuilds == 0`.
+fn run_delta_bench(quick: bool, scale: usize) {
+    use medkb_core::delta::obs_names as dn;
+    use medkb_core::{outputs_identical, Delta, DeltaEngine, DeltaOp};
+    use medkb_serve::{RelaxServer, ServeConfig, ServedFrom};
+
+    let reps = if quick {
+        2
+    } else if scale > 100_000 {
+        3
+    } else {
+        5
+    };
+    let k = 10usize;
+    eprintln!("[bench_json] building {scale}-concept delta-bench inputs…");
+    let t_build = Instant::now();
+    let (world, corpus) = scaled_world_and_corpus(scale);
+    eprintln!("[bench_json] world + corpus built in {:.1}s", t_build.elapsed().as_secs_f64());
+    let base = if quick {
+        RelaxConfig { mapping: medkb_core::MappingMethod::Exact, ..RelaxConfig::default() }
+    } else {
+        RelaxConfig::default() // embedding matcher: the production pipeline
+    };
+
+    // Train the embedding model once and freeze it: deltas never retrain
+    // (DESIGN.md §15), so both sides of the comparison share one model.
+    let t_train = Instant::now();
+    let sif = if quick {
+        None
+    } else {
+        let sgns =
+            medkb_embed::SgnsConfig { seed: 55, epochs: 4, ..medkb_embed::SgnsConfig::default() };
+        let wv = medkb_embed::WordVectors::train(&corpus, &sgns);
+        Some(Arc::new(medkb_embed::SifModel::fit(wv, &corpus, 1e-3)))
+    };
+    let train_s = t_train.elapsed().as_secs_f64();
+
+    let registry = Registry::shared();
+    let cfg_obs = RelaxConfig { obs: ObsConfig::with_registry(Arc::clone(&registry)), ..base.clone() };
+    let t_engine = Instant::now();
+    let mut engine = DeltaEngine::new(
+        world.kb.clone(),
+        corpus,
+        world.terminology.ekg.clone(),
+        sif.clone(),
+        cfg_obs,
+    )
+    .expect("delta engine build");
+    let engine_build_s = t_engine.elapsed().as_secs_f64();
+    eprintln!("[bench_json] trained in {train_s:.1}s, engine built in {engine_build_s:.1}s");
+
+    // A size-`docs` delta whose documents are clones of existing corpus
+    // documents (vocab-stable by construction).
+    let doc_delta = |engine: &DeltaEngine, docs: usize, seed: usize| -> Delta {
+        let corpus = engine.corpus();
+        let n = corpus.docs.len();
+        let ops = (0..docs)
+            .map(|i| {
+                let doc = &corpus.docs[(seed + i * 7919) % n];
+                let sentences = doc
+                    .sentences
+                    .iter()
+                    .map(|s| {
+                        let words = s
+                            .tokens
+                            .iter()
+                            .map(|&tok| corpus.vocab.resolve(tok).to_string())
+                            .collect();
+                        (s.tag, words)
+                    })
+                    .collect();
+                DeltaOp::AddDocument { sentences }
+            })
+            .collect();
+        Delta::new(ops)
+    };
+
+    // Baseline: full re-ingest of the single-doc-mutated inputs, which is
+    // also the bit-identity oracle for the applied delta.
+    let delta = doc_delta(&engine, 1, 17);
+    let inverse = engine.apply(&delta).expect("single-doc delta applies");
+    let mut full_s = Vec::with_capacity(reps);
+    let mut twin = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let counts = MentionCounts::count(engine.corpus(), engine.native_ekg());
+        let out =
+            medkb_core::ingest(engine.kb(), engine.native_ekg().clone(), &counts, sif.clone(), &base)
+                .expect("full re-ingest of mutated inputs");
+        full_s.push(t.elapsed().as_secs_f64());
+        twin = Some(out);
+    }
+    let full_p50 = median(&mut full_s);
+    assert!(
+        outputs_identical(engine.output(), &twin.expect("at least one rep")),
+        "delta-applied output diverged from a full re-ingest of the same inputs"
+    );
+    engine.apply(&inverse).expect("inverse restores the corpus");
+    eprintln!(
+        "[bench_json] full re-ingest of mutated inputs: {full_p50:.3}s \
+         (bit-identity vs the applied delta OK)"
+    );
+
+    // Delta sizes: apply timed, revert via the engine-returned inverse so
+    // every size starts from the same world.
+    let mut rows = String::new();
+    let mut single_doc_speedup = 0.0;
+    for &docs in &[1usize, 10, 100, 1000] {
+        let mut apply_s = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let delta = doc_delta(&engine, docs, 1 + docs * 31 + rep * 7);
+            let t = Instant::now();
+            let inverse = engine.apply(&delta).expect("doc delta applies");
+            apply_s.push(t.elapsed().as_secs_f64());
+            engine.apply(&inverse).expect("inverse applies");
+        }
+        let p50 = median(&mut apply_s);
+        let speedup = full_p50 / p50;
+        if docs == 1 {
+            single_doc_speedup = speedup;
+        }
+        eprintln!(
+            "[bench_json] delta of {docs} doc(s): apply p50 {p50:.4}s \
+             ({speedup:.0}x vs full re-ingest)"
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"docs\": {docs}, \"apply_p50_s\": {p50:.6}, \
+             \"speedup_vs_full_reingest\": {speedup:.1}}}"
+        ));
+    }
+
+    // Vocab-stable document deltas must never trip the repair fallbacks:
+    // reachability is untouched and the trie stays valid throughout.
+    let snap = registry.snapshot();
+    let fallbacks = snap.counter(dn::FALLBACK_FULL_REBUILDS);
+    let full_recounts = snap.counter(dn::FULL_RECOUNTS);
+    assert_eq!(fallbacks, 0, "document deltas must not fall back to reach rebuilds");
+    assert_eq!(full_recounts, 0, "vocab-stable documents must recount incrementally");
+    if !quick && scale >= 350_000 {
+        // Acceptance criterion (ISSUE 8): a single-document delta lands
+        // ≥50x faster than the full re-ingest it replaces, at SNOMED scale.
+        assert!(
+            single_doc_speedup >= 50.0,
+            "single-doc delta speedup {single_doc_speedup:.1}x below the 50x floor"
+        );
+    }
+
+    // Cache invalidation under a zipf stream (the serving-layer cost of a
+    // publish): warm hits before, recompute-per-distinct-query after.
+    let queries: Vec<ExtConceptId> = world
+        .terminology
+        .of_hierarchy_below(medkb_snomed::Hierarchy::ClinicalFinding, 3)
+        .into_iter()
+        .filter(|c| engine.output().flagged.contains(c))
+        .take(32)
+        .collect();
+    assert!(!queries.is_empty(), "delta bench world has no flagged queries");
+    let context = engine
+        .output()
+        .contexts
+        .iter()
+        .find(|s| s.label == "Indication-hasFinding-Finding")
+        .expect("treatment context")
+        .id;
+    let stream = medkb_bench::zipf_query_stream(&queries, 256, 1.07, 0xD417);
+    let distinct: std::collections::HashSet<ExtConceptId> = stream.iter().copied().collect();
+    let server = RelaxServer::new(engine.output().clone(), base.clone(), ServeConfig::default());
+    for &q in &stream {
+        server.serve_concept(q, Some(context), k).expect("cache fill");
+    }
+    let mut warm_us = Vec::with_capacity(stream.len());
+    for &q in &stream {
+        let t = Instant::now();
+        let served = server.serve_concept(q, Some(context), k).expect("warm serve");
+        warm_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(served.served_from, ServedFrom::Cache, "warm stream must hit");
+    }
+    engine.apply(&doc_delta(&engine, 1, 53)).expect("publish delta applies");
+    let t = Instant::now();
+    let epoch = server.publish(engine.output().clone());
+    let publish_us = t.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(epoch, 1);
+    let mut post_us = Vec::with_capacity(stream.len());
+    let mut recomputed = 0usize;
+    for &q in &stream {
+        let t = Instant::now();
+        let served = server.serve_concept(q, Some(context), k).expect("post-publish serve");
+        post_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(served.epoch, 1, "post-publish requests must see the new epoch");
+        if served.served_from == ServedFrom::Computed {
+            recomputed += 1;
+        }
+    }
+    assert_eq!(
+        recomputed,
+        distinct.len(),
+        "a publish must invalidate exactly once per distinct query"
+    );
+    let warm_p50 = median(&mut warm_us);
+    let post_p50 = median(&mut post_us);
+    eprintln!(
+        "[bench_json] zipf stream: warm p50 {warm_p50:.2}µs, post-publish p50 {post_p50:.2}µs \
+         ({recomputed}/{} distinct queries recomputed, publish {publish_us:.0}µs)",
+        distinct.len()
+    );
+
+    let snap = registry.snapshot();
+    let fallbacks = snap.counter(dn::FALLBACK_FULL_REBUILDS);
+    let full_recounts = snap.counter(dn::FULL_RECOUNTS);
+    assert_eq!(fallbacks, 0, "the publish delta must not regress the fallback counters");
+    let applies = snap.counter(dn::APPLIES);
+    let ops_applied = snap.counter(dn::OPS_APPLIED);
+    let docs_recounted = snap.counter(dn::DOCS_RECOUNTED);
+    let metrics_json = snap.to_json();
+    assert!(validate_json(&metrics_json), "metrics snapshot must be valid JSON");
+    let mapping_label = if quick { "exact" } else { "embedding" };
+    let full_with_training = full_p50 + train_s;
+    let json = format!(
+        "{{\n  \"full_reingest_p50_s\": {full_p50:.4},\n  \
+         \"full_reingest_with_training_s\": {full_with_training:.4},\n  \
+         \"train_s\": {train_s:.4},\n  \
+         \"engine_build_s\": {engine_build_s:.4},\n  \
+         \"mapping\": \"{mapping_label}\",\n  \
+         \"deltas\": [\n{rows}\n  ],\n  \
+         \"single_doc_speedup\": {single_doc_speedup:.1},\n  \
+         \"fallback_full_rebuilds\": {fallbacks},\n  \
+         \"full_recounts\": {full_recounts},\n  \
+         \"applies\": {applies},\n  \"ops_applied\": {ops_applied},\n  \
+         \"docs_recounted\": {docs_recounted},\n  \
+         \"zipf_invalidation\": {{\"stream_len\": {}, \"distinct_queries\": {}, \
+         \"exponent\": 1.07, \"warm_p50_us\": {warm_p50:.2}, \
+         \"post_publish_p50_us\": {post_p50:.2}, \"publish_us\": {publish_us:.1}, \
+         \"recomputed\": {recomputed}}},\n  \
+         \"queries\": {},\n  \"reps\": {reps},\n  \"k\": {k},\n  \
+         \"world_concepts\": {scale},\n  \"docs\": {},\n  \
+         \"metrics\": {metrics_json}\n}}\n",
+        stream.len(),
+        distinct.len(),
+        queries.len(),
+        engine.corpus().len(),
+    );
+    if quick {
+        eprintln!("[bench_json] --quick: skipping BENCH_delta.json write");
+    } else {
+        let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_delta.json");
+        std::fs::write(out, &json).expect("write BENCH_delta.json");
+        eprintln!("[bench_json] wrote {out}");
+    }
+    println!("{json}");
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let scale = world_scale_from_args();
@@ -619,6 +896,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--store") {
         run_store_bench(quick, scale);
+        return;
+    }
+    if std::env::args().any(|a| a == "--delta") {
+        run_delta_bench(quick, scale);
         return;
     }
     let radius = 4u32;

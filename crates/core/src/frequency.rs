@@ -93,51 +93,20 @@ impl Frequencies {
         reach: Option<&ReachabilityIndex>,
         threads: usize,
     ) -> Self {
+        let raw = RawFrequencies::compute(ekg, counts, mode, use_tfidf, threads);
+        Self::finish(ekg, &raw, reach)
+    }
+
+    /// Normalize, aggregate, and derive the IC tables from a raw rollup
+    /// state. `compute_with` is exactly `RawFrequencies::compute` +
+    /// `finish`; delta ingestion patches the raw state in place and re-runs
+    /// only this (cheap, allocation-bounded) tail.
+    pub fn finish(ekg: &Ekg, raw_state: &RawFrequencies, reach: Option<&ReachabilityIndex>) -> Self {
         let n = ekg.len();
-        // Dense direct-weight table: one hash probe and one idf `ln` per
-        // mentioned concept instead of one per (concept, tag) rollup read.
-        // `tf * idf` multiplies the same operands as `MentionCounts::tfidf`,
-        // so the values are bit-identical to probing per read.
-        let mut dense: Vec<[f64; N_TAGS]> = vec![[0.0; N_TAGS]; n];
-        for c in counts.mentioned_concepts() {
-            let idf = counts.idf(c);
-            let row = &mut dense[medkb_types::Id::as_usize(c)];
-            for (tag, slot) in row.iter_mut().enumerate() {
-                let tf = counts.direct(c, tag) as f64;
-                *slot = if !use_tfidf {
-                    tf
-                } else if tf == 0.0 {
-                    0.0
-                } else {
-                    tf * idf
-                };
-            }
-        }
-        let direct =
-            |c: ExtConceptId, tag: usize| -> f64 { dense[medkb_types::Id::as_usize(c)][tag] };
-        let rollup = |tag: usize| match mode {
-            FrequencyMode::PaperRecursive => rollup_recursive(ekg, |c| direct(c, tag)),
-            FrequencyMode::DescendantSet => rollup_descendant_set(ekg, |c| direct(c, tag)),
-        };
-
-        // Raw rollups per tag, computed independently (in parallel when
-        // allowed) and then merged in fixed tag order.
-        let raws: Vec<IdVec<ExtConceptId, f64>> = if threads <= 1 {
-            (0..N_TAGS).map(rollup).collect()
-        } else {
-            crossbeam::thread::scope(|s| {
-                let rollup = &rollup;
-                let handles: Vec<_> =
-                    (0..N_TAGS).map(|tag| s.spawn(move |_| rollup(tag))).collect();
-                handles.into_iter().map(|h| h.join().expect("rollup worker")).collect()
-            })
-            .expect("rollup scope")
-        };
-
         let mut per_tag: Vec<IdVec<ExtConceptId, f64>> = Vec::with_capacity(N_TAGS);
         let mut per_tag_total = [0.0; N_TAGS];
         let mut aggregate_raw: IdVec<ExtConceptId, f64> = IdVec::filled(0.0, n);
-        for (tag, raw) in raws.into_iter().enumerate() {
+        for (tag, raw) in raw_state.raws.iter().enumerate() {
             let total = raw[ekg.root()];
             per_tag_total[tag] = total;
             for (c, &v) in raw.iter() {
@@ -299,6 +268,163 @@ impl Frequencies {
             min_ic_per_tag,
             min_ic_aggregate: parts.min_ic_aggregate,
             min_intrinsic: parts.min_intrinsic,
+        }
+    }
+}
+
+/// The un-normalized core of [`Frequencies`]: the dense direct-weight
+/// table and the per-tag raw rollups. This is the state delta ingestion
+/// keeps alive between publishes — direct rows and the dirty ancestor cone
+/// of the rollups are patched in place, then [`Frequencies::finish`]
+/// re-derives the normalized/IC tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawFrequencies {
+    /// Direct (tf or tf-idf) weight per concept per tag.
+    dense: Vec<[f64; N_TAGS]>,
+    /// Raw rolled-up weight per tag (tag-major, each of length `n`).
+    raws: Vec<IdVec<ExtConceptId, f64>>,
+}
+
+impl RawFrequencies {
+    /// Compute the raw state from scratch (the head of
+    /// [`Frequencies::compute_with`]).
+    pub fn compute(
+        ekg: &Ekg,
+        counts: &MentionCounts,
+        mode: FrequencyMode,
+        use_tfidf: bool,
+        threads: usize,
+    ) -> Self {
+        let n = ekg.len();
+        // Dense direct-weight table: one hash probe and one idf `ln` per
+        // mentioned concept instead of one per (concept, tag) rollup read.
+        // `tf * idf` multiplies the same operands as `MentionCounts::tfidf`,
+        // so the values are bit-identical to probing per read.
+        let mut dense: Vec<[f64; N_TAGS]> = vec![[0.0; N_TAGS]; n];
+        for c in counts.mentioned_concepts() {
+            dense[medkb_types::Id::as_usize(c)] = Self::direct_row(counts, use_tfidf, c);
+        }
+        let direct =
+            |c: ExtConceptId, tag: usize| -> f64 { dense[medkb_types::Id::as_usize(c)][tag] };
+        let rollup = |tag: usize| match mode {
+            FrequencyMode::PaperRecursive => rollup_recursive(ekg, |c| direct(c, tag)),
+            FrequencyMode::DescendantSet => rollup_descendant_set(ekg, |c| direct(c, tag)),
+        };
+
+        // Raw rollups per tag, computed independently (in parallel when
+        // allowed) and then merged in fixed tag order.
+        let raws: Vec<IdVec<ExtConceptId, f64>> = if threads <= 1 {
+            (0..N_TAGS).map(rollup).collect()
+        } else {
+            crossbeam::thread::scope(|s| {
+                let rollup = &rollup;
+                let handles: Vec<_> =
+                    (0..N_TAGS).map(|tag| s.spawn(move |_| rollup(tag))).collect();
+                handles.into_iter().map(|h| h.join().expect("rollup worker")).collect()
+            })
+            .expect("rollup scope")
+        };
+        Self { dense, raws }
+    }
+
+    /// One concept's direct row — the exact expression `compute` evaluates,
+    /// so a patched row is bit-identical to a fresh build's.
+    fn direct_row(counts: &MentionCounts, use_tfidf: bool, c: ExtConceptId) -> [f64; N_TAGS] {
+        let idf = counts.idf(c);
+        let mut row = [0.0; N_TAGS];
+        for (tag, slot) in row.iter_mut().enumerate() {
+            let tf = counts.direct(c, tag) as f64;
+            *slot = if !use_tfidf {
+                tf
+            } else if tf == 0.0 {
+                0.0
+            } else {
+                tf * idf
+            };
+        }
+        row
+    }
+
+    /// Extend the tables with zero rows up to `n` concepts (concept adds).
+    /// The new rows must then be brought current via the patch methods.
+    pub fn grow(&mut self, n: usize) {
+        while self.dense.len() < n {
+            self.dense.push([0.0; N_TAGS]);
+        }
+        for raw in &mut self.raws {
+            while raw.len() < n {
+                raw.push(0.0);
+            }
+        }
+    }
+
+    /// Recompute the direct rows of `dirty` concepts from `counts`.
+    /// Recomputing a clean row reproduces its bits exactly, so conservative
+    /// supersets are safe.
+    pub fn patch_direct(
+        &mut self,
+        counts: &MentionCounts,
+        use_tfidf: bool,
+        dirty: impl IntoIterator<Item = ExtConceptId>,
+    ) {
+        for c in dirty {
+            self.dense[medkb_types::Id::as_usize(c)] = Self::direct_row(counts, use_tfidf, c);
+        }
+    }
+
+    /// Recompute the rolled-up rows of the dirty cone, reproducing exactly
+    /// what a fresh rollup would put there (clean rows keep their bits, and
+    /// each dirty row is rebuilt with the same operand order as the full
+    /// pass).
+    ///
+    /// `dirty` must be closed under "row reads a changed input":
+    /// * `PaperRecursive` — every concept whose direct row or native-child
+    ///   multiset changed, plus all their ancestors (the recurrence reads
+    ///   child rows, so the cone is upward-closed and is recomputed in
+    ///   children-first topo order).
+    /// * `DescendantSet` — every concept whose direct row changed and its
+    ///   ancestors in both the old and new graph (rows are independent
+    ///   gathers, recomputed against the **new** reachability index).
+    pub fn patch_rollup(
+        &mut self,
+        ekg: &Ekg,
+        mode: FrequencyMode,
+        reach: &ReachabilityIndex,
+        dirty: &std::collections::HashSet<ExtConceptId>,
+    ) {
+        match mode {
+            FrequencyMode::PaperRecursive => {
+                for (tag, raw) in self.raws.iter_mut().enumerate() {
+                    for &c in ekg.topo_children_first() {
+                        if !dirty.contains(&c) {
+                            continue;
+                        }
+                        let mut f = self.dense[medkb_types::Id::as_usize(c)][tag];
+                        for child in ekg.native_children(c) {
+                            f += raw[child];
+                        }
+                        raw[c] = f;
+                    }
+                }
+            }
+            FrequencyMode::DescendantSet => {
+                for (tag, raw) in self.raws.iter_mut().enumerate() {
+                    for &a in dirty {
+                        // Replay the scatter pass's per-slot addition order:
+                        // contributors arrive in ascending concept id, the
+                        // self-contribution unconditionally, descendants
+                        // only when their direct weight is nonzero.
+                        let mut f = 0.0;
+                        for c in ekg.concepts() {
+                            let d = self.dense[medkb_types::Id::as_usize(c)][tag];
+                            if c == a || (d != 0.0 && reach.is_ancestor(a, c)) {
+                                f += d;
+                            }
+                        }
+                        raw[a] = f;
+                    }
+                }
+            }
         }
     }
 }
@@ -583,6 +709,50 @@ mod tests {
                     );
                     assert_eq!(fast, plain, "mode={mode:?} tfidf={tfidf} threads={threads}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn patched_raw_matches_fresh_compute() {
+        // Bump one concept's Treatment count (doc freqs and n_docs fixed,
+        // so only that concept's direct row changes), patch its ancestor
+        // cone, and demand bit-identity with a from-scratch compute.
+        let f = paper_fragment();
+        let ekg = f.ekg.clone();
+        let reach = ReachabilityIndex::build(&ekg);
+        let mk = |bump: u64| {
+            let mut direct: HashMap<ExtConceptId, [u64; N_TAGS]> = HashMap::new();
+            let mut doc_freq: HashMap<ExtConceptId, u32> = HashMap::new();
+            for &(name, treat, risk) in &f.fig4_direct_counts {
+                let c = f.concept(name);
+                let mut row = [0u64; N_TAGS];
+                row[ContextTag::Treatment.index()] =
+                    treat + if name == "headache" { bump } else { 0 };
+                row[ContextTag::Risk.index()] = risk;
+                direct.insert(c, row);
+                doc_freq.insert(c, 1 + (treat / 500) as u32);
+            }
+            MentionCounts::from_direct(direct, doc_freq, 100)
+        };
+        let old = mk(0);
+        let new = mk(7);
+        let changed = ekg.lookup_name("headache")[0];
+        for mode in [FrequencyMode::PaperRecursive, FrequencyMode::DescendantSet] {
+            for tfidf in [false, true] {
+                let mut raw = RawFrequencies::compute(&ekg, &old, mode, tfidf, 1);
+                let mut dirty: std::collections::HashSet<ExtConceptId> =
+                    ekg.ancestors(changed).into_iter().collect();
+                dirty.insert(changed);
+                raw.patch_direct(&new, tfidf, dirty.iter().copied());
+                raw.patch_rollup(&ekg, mode, &reach, &dirty);
+                let fresh = RawFrequencies::compute(&ekg, &new, mode, tfidf, 1);
+                assert_eq!(raw, fresh, "raw state mode={mode:?} tfidf={tfidf}");
+                assert_eq!(
+                    Frequencies::finish(&ekg, &raw, Some(&reach)),
+                    Frequencies::compute_with(&ekg, &new, mode, tfidf, Some(&reach), 1),
+                    "finished state mode={mode:?} tfidf={tfidf}"
+                );
             }
         }
     }

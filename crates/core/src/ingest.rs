@@ -450,7 +450,7 @@ fn map_shard(
 /// ascending distance, descending id on ties — which is fully determined
 /// by the final distances and therefore matches the dense reference
 /// traversal.
-fn discover_shortcuts(
+pub(crate) fn discover_shortcuts(
     ekg: &Ekg,
     flagged: &[bool],
     sources: &[ExtConceptId],

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod delta;
 pub mod feedback;
 pub mod config;
 pub mod frequency;
@@ -35,8 +36,9 @@ pub mod similarity;
 pub mod weights;
 
 pub use config::{FrequencyMode, MappingMethod, ObsConfig, ParallelConfig, RelaxConfig};
+pub use delta::{outputs_identical, Delta, DeltaEngine, DeltaOp};
 pub use feedback::{Feedback, FeedbackStore};
-pub use frequency::{FreqParts, Frequencies};
+pub use frequency::{FreqParts, Frequencies, RawFrequencies};
 pub use ingest::{
     ingest, ingest_reference, ingest_with_stats, IngestOutput, IngestStats, InstanceIndex,
     MappingIndex,

@@ -40,6 +40,26 @@ pub struct MapperParts {
     pub index_data: Vec<f32>,
 }
 
+impl MapperParts {
+    /// Bit-level equality. The derived `PartialEq` compares floats with
+    /// `==`, which reports two bit-identical mappers as *different* the
+    /// moment the trained vectors contain a NaN (large SGNS runs can
+    /// diverge into NaN rows without losing determinism). The
+    /// differential oracles compare with this instead: element-wise
+    /// `f32::to_bits` over the SIF model and the index data.
+    pub fn bits_eq(&self, other: &Self) -> bool {
+        let sif_eq = match (&self.sif, &other.sif) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.bits_eq(b),
+            _ => false,
+        };
+        self.method == other.method
+            && sif_eq
+            && self.index_payloads == other.index_payloads
+            && medkb_embed::f32_bits_eq(&self.index_data, &other.index_data)
+    }
+}
+
 #[derive(Debug, Clone)]
 struct EditTables {
     index: NgramIndex,
@@ -483,6 +503,29 @@ mod tests {
         let ekg = b.build().unwrap();
         let m = ConceptMapper::build(&ekg, MappingMethod::Phonetic, None).unwrap();
         assert_eq!(m.map(&ekg, "smithe syndrome"), None);
+    }
+
+    #[test]
+    fn parts_bits_eq_is_nan_sound_and_signed_zero_strict() {
+        let parts = |data: Vec<f32>| MapperParts {
+            method: MappingMethod::embedding_default(),
+            sif: None,
+            index_payloads: vec![7],
+            index_data: data,
+        };
+        // Identical NaN bits: derived `==` says unequal, bits_eq says equal
+        // (this exact false-negative broke the delta-vs-full oracle on
+        // SNOMED-scale worlds whose SGNS run diverged into NaN rows).
+        let (a, b) = (parts(vec![1.0, f32::NAN]), parts(vec![1.0, f32::NAN]));
+        assert_ne!(a, b);
+        assert!(a.bits_eq(&b));
+        // Signed zeros: `==` conflates them, bits_eq distinguishes.
+        let (a, b) = (parts(vec![0.0]), parts(vec![-0.0]));
+        assert_eq!(a, b);
+        assert!(!a.bits_eq(&b));
+        // Genuinely different data still differs.
+        assert!(!parts(vec![1.0]).bits_eq(&parts(vec![2.0])));
+        assert!(!parts(vec![1.0]).bits_eq(&parts(vec![1.0, 1.0])));
     }
 
     #[test]

@@ -180,6 +180,72 @@ impl MentionCounts {
         Self { direct, doc_freq, n_docs }
     }
 
+    /// Incrementally count `docs` (about to be added to the corpus) into
+    /// this table using a cached [`CountTrie`]. `self.n_docs` grows by
+    /// `docs.len()`.
+    ///
+    /// The caller must ensure the trie is still valid for the corpus
+    /// vocabulary ([`CountTrie::validate`]); under that contract the result
+    /// is bit-identical to a fresh [`MentionCounts::count`] over the
+    /// extended corpus.
+    ///
+    /// Returns the concepts whose rows were touched (delta ingestion's
+    /// dirty-direct set for the frequency patch).
+    pub fn add_docs(
+        &mut self,
+        trie: &mut CountTrie,
+        docs: &[crate::model::Document],
+    ) -> Vec<ExtConceptId> {
+        let (direct, doc_freq) = trie.count_partial(docs);
+        let mut touched: Vec<ExtConceptId> = direct.keys().copied().collect();
+        for (c, tags) in direct {
+            let slot = self.direct.entry(c).or_insert([0; N_TAGS]);
+            for (acc, add) in slot.iter_mut().zip(tags) {
+                *acc += add;
+            }
+        }
+        for (c, df) in doc_freq {
+            touched.push(c);
+            *self.doc_freq.entry(c).or_insert(0) += df;
+        }
+        self.n_docs += docs.len();
+        touched
+    }
+
+    /// Incrementally un-count `docs` (just removed from the corpus) from
+    /// this table. Entries whose counts reach zero are deleted, so the
+    /// result stays bit-identical to a fresh count (which never creates
+    /// zero rows). Same trie-validity contract as
+    /// [`MentionCounts::add_docs`]; `docs` must previously have been
+    /// counted into `self`. Returns the touched concepts.
+    pub fn remove_docs(
+        &mut self,
+        trie: &mut CountTrie,
+        docs: &[crate::model::Document],
+    ) -> Vec<ExtConceptId> {
+        let (direct, doc_freq) = trie.count_partial(docs);
+        let mut touched: Vec<ExtConceptId> = direct.keys().copied().collect();
+        for (c, tags) in direct {
+            let slot = self.direct.get_mut(&c).expect("removing uncounted doc mentions");
+            for (acc, sub) in slot.iter_mut().zip(tags) {
+                *acc -= sub;
+            }
+            if slot.iter().all(|&v| v == 0) {
+                self.direct.remove(&c);
+            }
+        }
+        for (c, df) in doc_freq {
+            touched.push(c);
+            let slot = self.doc_freq.get_mut(&c).expect("removing uncounted doc freq");
+            *slot -= df;
+            if *slot == 0 {
+                self.doc_freq.remove(&c);
+            }
+        }
+        self.n_docs -= docs.len();
+        touched
+    }
+
     /// The pre-optimization counting path, preserved verbatim for the
     /// ingestion benchmark baseline (and the equality pin below): a
     /// hash-map trie scanned with a per-sentence allocation. Produces
@@ -202,6 +268,83 @@ impl MentionCounts {
             }
         }
         Self { direct, doc_freq, n_docs: corpus.len() }
+    }
+}
+
+/// A reusable mention-counting trie for incremental (delta) recounts.
+///
+/// Wraps the scanning [`TokenTrie`] together with the two facts needed to
+/// decide whether a cached trie is still *equivalent to a fresh build*
+/// after the corpus vocabulary grew:
+///
+/// * the vocabulary length at build time, and
+/// * the set of name tokens that were **out-of-vocabulary** at build time
+///   (the trie's insert abandons a phrase at its first OOV token, so a
+///   phrase's walk can only change if exactly that token gets interned
+///   later).
+///
+/// New vocabulary tokens that are not in the OOV set cannot appear in any
+/// name phrase's reachable prefix, so extending the root array with
+/// "no transition" slots reproduces the fresh build exactly.
+#[derive(Debug)]
+pub struct CountTrie {
+    trie: TokenTrie,
+    /// Lowercased name tokens that were absent from the vocabulary when
+    /// the trie was built (first-OOV per phrase; later tokens of an
+    /// abandoned phrase cannot affect the walk while the first stays OOV).
+    oov: std::collections::HashSet<Box<str>>,
+    /// Vocabulary length already checked against `oov`.
+    vocab_len: usize,
+}
+
+impl CountTrie {
+    /// Build the trie over every name and synonym of `ekg` against the
+    /// current corpus vocabulary.
+    pub fn build(ekg: &Ekg, vocab: &StringInterner<TokenId>) -> Self {
+        let mut oov = std::collections::HashSet::new();
+        let trie = TokenTrie::build_recording(ekg, vocab, Some(&mut oov));
+        Self { trie, oov, vocab_len: vocab.len() }
+    }
+
+    /// Check that this trie still scans exactly like a fresh build over
+    /// `vocab`: no token interned since the last check matches a name
+    /// token that was OOV at build time. On success the check position is
+    /// advanced; on failure the caller must rebuild the trie and recount
+    /// from scratch.
+    pub fn validate(&mut self, vocab: &StringInterner<TokenId>) -> bool {
+        if !self.oov.is_empty() {
+            for (_, s) in vocab.iter().skip(self.vocab_len) {
+                if self.oov.contains(s) {
+                    return false;
+                }
+            }
+        }
+        self.vocab_len = vocab.len();
+        true
+    }
+
+    /// Count `docs` into fresh partial tables (used by the ± merges of
+    /// [`MentionCounts::add_docs`] / [`MentionCounts::remove_docs`]).
+    fn count_partial(
+        &mut self,
+        docs: &[crate::model::Document],
+    ) -> (HashMap<ExtConceptId, [u64; N_TAGS]>, HashMap<ExtConceptId, u32>) {
+        // Tokens interned after the build index past the root array; they
+        // have no transitions, so grow it with explicit "none" slots.
+        let max_tok = docs
+            .iter()
+            .flat_map(|d| &d.sentences)
+            .flat_map(|s| &s.tokens)
+            .map(|t| t.raw() as usize + 1)
+            .max()
+            .unwrap_or(0);
+        if max_tok > self.trie.root.len() {
+            self.trie.root.resize(max_tok, NO_NODE);
+        }
+        let mut direct = HashMap::new();
+        let mut doc_freq = HashMap::new();
+        count_docs(&self.trie, docs, &mut direct, &mut doc_freq);
+        (direct, doc_freq)
     }
 }
 
@@ -236,13 +379,14 @@ const NO_NODE: u32 = u32::MAX;
 /// over the corpus vocabulary, deeper levels are token-sorted slices
 /// searched by binary search. Matching semantics are identical to
 /// [`ReferenceTrie`] — same longest match, same first-writer-wins terminal.
+#[derive(Debug)]
 struct TokenTrie {
     /// Vocab token id → first-level node, or [`NO_NODE`].
     root: Vec<u32>,
     nodes: Vec<TrieNode>,
 }
 
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct TrieNode {
     /// Sorted by token id.
     children: Vec<(TokenId, u32)>,
@@ -273,13 +417,24 @@ type FnvMap<'a> = HashMap<&'a str, TokenId, std::hash::BuildHasherDefault<Fnv>>;
 
 impl TokenTrie {
     fn build(ekg: &Ekg, vocab: &StringInterner<TokenId>) -> Self {
+        Self::build_recording(ekg, vocab, None)
+    }
+
+    /// [`TokenTrie::build`], optionally recording the first
+    /// out-of-vocabulary token of every abandoned phrase into `oov` (the
+    /// [`CountTrie`] staleness set).
+    fn build_recording(
+        ekg: &Ekg,
+        vocab: &StringInterner<TokenId>,
+        mut oov: Option<&mut std::collections::HashSet<Box<str>>>,
+    ) -> Self {
         let mut trie = Self { root: vec![NO_NODE; vocab.len()], nodes: Vec::new() };
         let lookup: FnvMap<'_> = vocab.iter().map(|(id, s)| (s, id)).collect();
         let mut buf = String::new();
         for c in ekg.concepts() {
-            trie.insert(&lookup, ekg.name(c), c, &mut buf);
+            trie.insert(&lookup, ekg.name(c), c, &mut buf, oov.as_deref_mut());
             for syn in ekg.synonyms(c) {
-                trie.insert(&lookup, syn, c, &mut buf);
+                trie.insert(&lookup, syn, c, &mut buf, oov.as_deref_mut());
             }
         }
         trie
@@ -295,6 +450,7 @@ impl TokenTrie {
         phrase: &str,
         concept: ExtConceptId,
         buf: &mut String,
+        mut oov: Option<&mut std::collections::HashSet<Box<str>>>,
     ) {
         let mut node: Option<usize> = None;
         for (lo, hi) in medkb_text::token_spans(phrase) {
@@ -317,8 +473,14 @@ impl TokenTrie {
                 }
             }
             // A phrase containing a token absent from the corpus vocabulary
-            // can never match; skip it entirely.
-            let Some(&tok) = vocab.get(buf.as_str()) else { return };
+            // can never match; skip it entirely. The abandoning token is
+            // what makes a cached trie stale if interned later.
+            let Some(&tok) = vocab.get(buf.as_str()) else {
+                if let Some(set) = oov.as_deref_mut() {
+                    set.insert(buf.as_str().into());
+                }
+                return;
+            };
             let next = match node {
                 None => {
                     let slot = &mut self.root[tok.raw() as usize];
@@ -647,6 +809,56 @@ mod tests {
             corpus.docs.push(Document { sentences: vec![s] });
         }
         assert_eq!(MentionCounts::count(&corpus, &ekg), MentionCounts::count_reference(&corpus, &ekg));
+    }
+
+    #[test]
+    fn delta_add_remove_docs_match_fresh_count() {
+        let (mut corpus, ekg, _, _) = fixture();
+        let mut trie = CountTrie::build(&ekg, &corpus.vocab);
+        let mut counts = MentionCounts::count(&corpus, &ekg);
+
+        // Add a doc mentioning existing names plus a brand-new word.
+        let s = Sentence {
+            tag: ContextTag::Risk,
+            tokens: tokenize("nephropathy worsened unexpectedly")
+                .into_iter()
+                .map(|t| corpus.vocab.intern(&t))
+                .collect(),
+        };
+        let doc = Document { sentences: vec![s] };
+        corpus.docs.push(doc.clone());
+        assert!(trie.validate(&corpus.vocab), "benign new token must keep trie valid");
+        counts.add_docs(&mut trie, std::slice::from_ref(&doc));
+        assert_eq!(counts, MentionCounts::count(&corpus, &ekg));
+
+        // Remove the first original document; zeroed rows must disappear.
+        let removed = corpus.docs.remove(0);
+        counts.remove_docs(&mut trie, std::slice::from_ref(&removed));
+        assert_eq!(counts, MentionCounts::count(&corpus, &ekg));
+    }
+
+    #[test]
+    fn interned_oov_name_token_invalidates_trie() {
+        // "zygomatic arch pain" is registered but its tokens are OOV, so
+        // the build abandons the phrase at "zygomatic". Interning that
+        // token later must flag the trie stale (a fresh build would now
+        // walk further).
+        let mut b = EkgBuilder::new();
+        let root = b.concept("root");
+        let x = b.concept("zygomatic arch pain");
+        b.is_a(x, root);
+        let ekg = b.build().unwrap();
+        let mut corpus = Corpus::new();
+        let s = Sentence {
+            tag: ContextTag::General,
+            tokens: tokenize("nothing here").into_iter().map(|t| corpus.vocab.intern(&t)).collect(),
+        };
+        corpus.docs.push(Document { sentences: vec![s] });
+        let mut trie = CountTrie::build(&ekg, &corpus.vocab);
+        assert!(trie.validate(&corpus.vocab));
+
+        corpus.vocab.intern("zygomatic");
+        assert!(!trie.validate(&corpus.vocab));
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod gen;
 pub mod model;
 pub mod stats;
 
-pub use counts::MentionCounts;
+pub use counts::{CountTrie, MentionCounts};
 pub use gen::{CorpusConfig, CorpusGenerator};
 pub use model::{Corpus, Document, Sentence};
 pub use stats::CorpusStats;

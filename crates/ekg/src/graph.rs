@@ -609,6 +609,347 @@ impl Ekg {
             depth: parts.depth.into_iter().collect(),
         }
     }
+
+    // —— Delta mutation API (incremental ingestion, DESIGN.md §15) ——
+    //
+    // These methods mutate the *native* graph (no shortcut edges present;
+    // the delta engine keeps the customized graph as derived output). Edge
+    // and synonym mutations are positional so every removal is exactly
+    // invertible; lookup-table maintenance preserves the canonical entry
+    // form the builder produces: `[primary-name ids ascending] ++
+    // [synonym-only ids ascending]`. `topo`/`depth` go stale after edge or
+    // concept mutations — callers batch mutations and then run
+    // [`Ekg::rebuild_derived`] once.
+
+    /// Number of native (non-shortcut) parents of `concept`.
+    pub fn native_parent_count(&self, concept: ExtConceptId) -> usize {
+        self.up[concept].iter().filter(|e| !e.shortcut).count()
+    }
+
+    /// Add a native `child is-a parent` edge at the end of both edge lists.
+    ///
+    /// # Errors
+    /// [`MedKbError::InvalidArgument`] on a self edge, an out-of-range
+    /// endpoint, a duplicate native edge, an edge out of the root, or an
+    /// edge that would create a cycle.
+    pub fn add_is_a(&mut self, child: ExtConceptId, parent: ExtConceptId) -> Result<()> {
+        let up_pos = self.up[child].len();
+        let down_pos = self.down[parent].len();
+        self.add_is_a_at(child, parent, up_pos, down_pos)
+    }
+
+    /// [`Ekg::add_is_a`] inserting at explicit edge-list positions — the
+    /// inverse of [`Ekg::remove_is_a`], restoring the exact list order the
+    /// removal disturbed (traversal and serialization order depend on it).
+    pub fn add_is_a_at(
+        &mut self,
+        child: ExtConceptId,
+        parent: ExtConceptId,
+        up_pos: usize,
+        down_pos: usize,
+    ) -> Result<()> {
+        let n = self.len();
+        if child.as_usize() >= n || parent.as_usize() >= n {
+            return Err(MedKbError::invalid(format!(
+                "is_a endpoint out of range ({} concepts)",
+                n
+            )));
+        }
+        if child == parent {
+            return Err(MedKbError::invalid(format!(
+                "self subsumption on {:?}",
+                self.name(child)
+            )));
+        }
+        if child == self.root {
+            return Err(MedKbError::invalid(
+                "the root cannot be given a parent".to_string(),
+            ));
+        }
+        if self.up[child].iter().any(|e| !e.shortcut && e.to == parent) {
+            return Err(MedKbError::invalid(format!(
+                "duplicate edge {:?} -> {:?}",
+                self.name(child),
+                self.name(parent)
+            )));
+        }
+        // Cycle: the new edge closes a loop iff `child` already subsumes
+        // `parent` (checked on the current graph, which is acyclic by
+        // induction).
+        if self.is_ancestor(child, parent) {
+            return Err(MedKbError::CycleDetected {
+                detail: format!(
+                    "edge {:?} -> {:?} would close a cycle",
+                    self.name(child),
+                    self.name(parent)
+                ),
+            });
+        }
+        if up_pos > self.up[child].len() || down_pos > self.down[parent].len() {
+            return Err(MedKbError::invalid("edge insert position out of range".to_string()));
+        }
+        self.up[child].insert(up_pos, Edge { to: parent, weight: 1, shortcut: false });
+        self.down[parent].insert(down_pos, Edge { to: child, weight: 1, shortcut: false });
+        Ok(())
+    }
+
+    /// Remove the native `child is-a parent` edge, returning the positions
+    /// it occupied in `(up[child], down[parent])` so [`Ekg::add_is_a_at`]
+    /// can restore it exactly.
+    ///
+    /// # Errors
+    /// [`MedKbError::InvalidArgument`] if the edge does not exist or it is
+    /// `child`'s last native parent edge (removing it would disconnect
+    /// `child` from the root).
+    pub fn remove_is_a(
+        &mut self,
+        child: ExtConceptId,
+        parent: ExtConceptId,
+    ) -> Result<(usize, usize)> {
+        let n = self.len();
+        if child.as_usize() >= n || parent.as_usize() >= n {
+            return Err(MedKbError::invalid(format!(
+                "is_a endpoint out of range ({} concepts)",
+                n
+            )));
+        }
+        let Some(up_pos) =
+            self.up[child].iter().position(|e| !e.shortcut && e.to == parent)
+        else {
+            return Err(MedKbError::invalid(format!(
+                "no native edge {:?} -> {:?}",
+                self.name(child),
+                self.name(parent)
+            )));
+        };
+        if self.native_parent_count(child) < 2 {
+            return Err(MedKbError::invalid(format!(
+                "removing the last parent of {:?} would disconnect it",
+                self.name(child)
+            )));
+        }
+        let down_pos = self.down[parent]
+            .iter()
+            .position(|e| !e.shortcut && e.to == child)
+            .expect("edge stored in both directions");
+        self.up[child].remove(up_pos);
+        self.down[parent].remove(down_pos);
+        Ok((up_pos, down_pos))
+    }
+
+    /// Register a new concept with a unique primary name, optional
+    /// synonyms, and at least one parent. The new id is always
+    /// `self.len()` before the call (ids are append-only).
+    ///
+    /// # Errors
+    /// [`MedKbError::InvalidArgument`] on a duplicate primary name, an
+    /// empty parent list, a repeated or out-of-range parent.
+    pub fn add_concept(
+        &mut self,
+        name: &str,
+        synonyms: &[String],
+        parents: &[ExtConceptId],
+    ) -> Result<ExtConceptId> {
+        if self.names.get(name).is_some() {
+            return Err(MedKbError::invalid(format!(
+                "concept name {name:?} already registered"
+            )));
+        }
+        if parents.is_empty() {
+            return Err(MedKbError::invalid(format!(
+                "new concept {name:?} must have at least one parent"
+            )));
+        }
+        let n = self.len();
+        for (i, &p) in parents.iter().enumerate() {
+            if p.as_usize() >= n {
+                return Err(MedKbError::invalid(format!(
+                    "parent of {name:?} out of range ({n} concepts)"
+                )));
+            }
+            if parents[..i].contains(&p) {
+                return Err(MedKbError::invalid(format!(
+                    "repeated parent {:?} for {name:?}",
+                    self.name(p)
+                )));
+            }
+        }
+        let id = self.names.intern(name);
+        self.synonyms.push(Vec::new());
+        self.up.push(Vec::new());
+        self.down.push(Vec::new());
+        // Fresh leaf: depth = 1 + min parent depth (its true BFS depth,
+        // since all paths to it end in one of its parents); topo gets the
+        // leaf prepended — children-first order admits any position before
+        // its parents, and the engine rebuilds canonically afterwards.
+        let d = parents.iter().map(|&p| self.depth[p]).min().unwrap_or(0) + 1;
+        self.depth.push(d);
+        self.topo.insert(0, id);
+        for &p in parents {
+            self.up[id].push(Edge { to: p, weight: 1, shortcut: false });
+            self.down[p].push(Edge { to: id, weight: 1, shortcut: false });
+        }
+        self.lookup_insert(&normalize(name), id, true);
+        for syn in synonyms {
+            self.synonyms[id].push(syn.as_str().into());
+            self.lookup_insert(&normalize(syn), id, false);
+        }
+        Ok(id)
+    }
+
+    /// Attach `synonym` at the end of `concept`'s synonym list, returning
+    /// its index (the handle [`Ekg::remove_synonym`] takes).
+    pub fn add_synonym(&mut self, concept: ExtConceptId, synonym: &str) -> Result<usize> {
+        self.insert_synonym_at(concept, self.synonyms.get(concept).map_or(0, Vec::len), synonym)
+    }
+
+    /// Insert `synonym` at `index` in `concept`'s synonym list — the
+    /// inverse of [`Ekg::remove_synonym`]. Returns the index.
+    pub fn insert_synonym_at(
+        &mut self,
+        concept: ExtConceptId,
+        index: usize,
+        synonym: &str,
+    ) -> Result<usize> {
+        if concept.as_usize() >= self.len() {
+            return Err(MedKbError::invalid(format!(
+                "synonym target out of range ({} concepts)",
+                self.len()
+            )));
+        }
+        if index > self.synonyms[concept].len() {
+            return Err(MedKbError::invalid(format!(
+                "synonym index {index} out of range for {:?}",
+                self.name(concept)
+            )));
+        }
+        self.synonyms[concept].insert(index, synonym.into());
+        self.lookup_insert(&normalize(synonym), concept, false);
+        Ok(index)
+    }
+
+    /// Remove the synonym at `index` of `concept`, returning the raw
+    /// string (so the inverse [`Ekg::insert_synonym_at`] can restore it).
+    pub fn remove_synonym(&mut self, concept: ExtConceptId, index: usize) -> Result<String> {
+        if concept.as_usize() >= self.len() {
+            return Err(MedKbError::invalid(format!(
+                "synonym target out of range ({} concepts)",
+                self.len()
+            )));
+        }
+        if index >= self.synonyms[concept].len() {
+            return Err(MedKbError::invalid(format!(
+                "synonym index {index} out of range for {:?}",
+                self.name(concept)
+            )));
+        }
+        let raw: String = self.synonyms[concept].remove(index).into();
+        self.lookup_remove_if_unjustified(&normalize(&raw), concept);
+        Ok(raw)
+    }
+
+    /// Insert `id` into the lookup entry for normalized `key`, preserving
+    /// the builder's canonical entry order: primary-name carriers in
+    /// ascending id order, then synonym-only carriers in ascending id
+    /// order (first-carrier dedup means each id appears at most once).
+    fn lookup_insert(&mut self, key: &str, id: ExtConceptId, primary: bool) {
+        let names = &self.names;
+        let entry = self.lookup.entry(key.into()).or_default();
+        if entry.contains(&id) {
+            return;
+        }
+        let is_primary_member = |m: ExtConceptId| normalize(names.resolve(m)) == key;
+        let pos = if primary {
+            entry.iter().position(|&m| !is_primary_member(m) || m > id)
+        } else {
+            entry.iter().position(|&m| !is_primary_member(m) && m > id)
+        };
+        entry.insert(pos.unwrap_or(entry.len()), id);
+    }
+
+    /// Drop `id` from the lookup entry for normalized `key` unless its
+    /// primary name or a remaining synonym still justifies the membership.
+    /// Entries left empty are removed entirely (a fresh build would not
+    /// have the key).
+    fn lookup_remove_if_unjustified(&mut self, key: &str, id: ExtConceptId) {
+        let justified = normalize(self.names.resolve(id)) == key
+            || self.synonyms[id].iter().any(|s| normalize(s) == key);
+        if justified {
+            return;
+        }
+        if let Some(entry) = self.lookup.get_mut(key) {
+            entry.retain(|&m| m != id);
+            if entry.is_empty() {
+                self.lookup.remove(key);
+            }
+        }
+    }
+
+    /// Recompute the derived `topo` and `depth` tables after a batch of
+    /// edge/concept mutations, with the exact algorithms
+    /// [`EkgBuilder::build`] uses (Kahn children-first topological order
+    /// seeded in id order; BFS hop depth from the root) — so a mutated
+    /// graph carries the same derived state a freshly built twin would.
+    ///
+    /// # Errors
+    /// [`MedKbError::CycleDetected`] / [`MedKbError::InvalidArgument`] if
+    /// the mutated graph is cyclic or disconnected — cannot happen through
+    /// the validated mutation methods, but kept as a hard backstop.
+    pub fn rebuild_derived(&mut self) -> Result<()> {
+        debug_assert_eq!(self.shortcut_count(), 0, "rebuild_derived expects a native graph");
+        let n = self.len();
+        let mut indegree: IdVec<ExtConceptId, u32> = IdVec::filled(0, n);
+        for (_, es) in self.up.iter() {
+            for e in es {
+                indegree[e.to] += 1;
+            }
+        }
+        let mut queue: VecDeque<ExtConceptId> =
+            indegree.iter().filter(|(_, &d)| d == 0).map(|(id, _)| id).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(c) = queue.pop_front() {
+            topo.push(c);
+            for e in &self.up[c] {
+                indegree[e.to] -= 1;
+                if indegree[e.to] == 0 {
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        if topo.len() != n {
+            let stuck: Vec<&str> = indegree
+                .iter()
+                .filter(|(_, &d)| d > 0)
+                .map(|(id, _)| self.names.resolve(id))
+                .take(4)
+                .collect();
+            return Err(MedKbError::CycleDetected { detail: format!("involving {stuck:?}") });
+        }
+
+        let mut depth: IdVec<ExtConceptId, u32> = IdVec::filled(u32::MAX, n);
+        depth[self.root] = 0;
+        let mut bfs = VecDeque::from([self.root]);
+        let mut reached = 1usize;
+        while let Some(c) = bfs.pop_front() {
+            for e in &self.down[c] {
+                if depth[e.to] == u32::MAX {
+                    depth[e.to] = depth[c] + 1;
+                    reached += 1;
+                    bfs.push_back(e.to);
+                }
+            }
+        }
+        if reached != n {
+            return Err(MedKbError::invalid(format!(
+                "{} concept(s) unreachable from root {:?}",
+                n - reached,
+                self.names.resolve(self.root)
+            )));
+        }
+        self.topo = topo;
+        self.depth = depth;
+        Ok(())
+    }
 }
 
 /// Flat serialization parts of an [`Ekg`] ([`Ekg::to_parts`]).
@@ -1019,6 +1360,107 @@ mod tests {
         assert_eq!(g.lookup_name("HIGH  FEVER"), &[f]);
         assert!(g.lookup_name("absent").is_empty());
         assert_eq!(g.synonyms(f).collect::<Vec<_>>(), vec!["high fever"]);
+    }
+
+    /// The delta-mutation contract: mutating a graph and rebuilding its
+    /// derived tables must land on exactly the parts a fresh builder run
+    /// over the same final inputs would produce.
+    #[test]
+    fn mutations_match_fresh_build() {
+        let mut g = diamond();
+        let b_id = id_of(&g, "b");
+        let d = id_of(&g, "d");
+        // Grow: new concept "e" (synonym "ee") under b, new edge d -> b.
+        let e = g.add_concept("e", &["ee".to_string()], &[b_id]).unwrap();
+        assert_eq!(e.as_usize(), 5);
+        g.add_is_a(d, b_id).unwrap();
+        g.add_synonym(id_of(&g, "a"), "alpha").unwrap();
+        g.rebuild_derived().unwrap();
+
+        // The twin built from scratch with the same declaration order.
+        let mut tb = EkgBuilder::new();
+        let root = tb.concept("root");
+        let a = tb.concept("a");
+        let bb = tb.concept("b");
+        let c = tb.concept("c");
+        let dd = tb.concept("d");
+        let ee = tb.concept("e");
+        tb.synonym(a, "alpha");
+        tb.synonym(ee, "ee");
+        tb.is_a(a, root);
+        tb.is_a(bb, root);
+        tb.is_a(c, a);
+        tb.is_a(c, bb);
+        tb.is_a(dd, c);
+        tb.is_a(ee, bb);
+        tb.is_a(dd, bb);
+        let twin = tb.build().unwrap();
+        assert_eq!(g.to_parts(), twin.to_parts());
+    }
+
+    #[test]
+    fn edge_remove_then_positional_add_restores_parts() {
+        let mut g = diamond();
+        let c = id_of(&g, "c");
+        let a = id_of(&g, "a");
+        let before = g.to_parts();
+        let (up_pos, down_pos) = g.remove_is_a(c, a).unwrap();
+        assert_eq!((up_pos, down_pos), (0, 0));
+        g.rebuild_derived().unwrap();
+        assert_ne!(g.to_parts(), before);
+        g.add_is_a_at(c, a, up_pos, down_pos).unwrap();
+        g.rebuild_derived().unwrap();
+        assert_eq!(g.to_parts(), before);
+    }
+
+    #[test]
+    fn mutation_validation_errors() {
+        let mut g = diamond();
+        let a = id_of(&g, "a");
+        let c = id_of(&g, "c");
+        let d = id_of(&g, "d");
+        // Cycle: a -> c while c -> a exists transitively.
+        assert!(g.add_is_a(a, c).is_err());
+        // Duplicate edge.
+        assert!(g.add_is_a(c, a).is_err());
+        // Root cannot gain a parent.
+        assert!(g.add_is_a(g.root(), a).is_err());
+        // Self edge.
+        assert!(g.add_is_a(a, a).is_err());
+        // d's only parent edge cannot go.
+        assert!(g.remove_is_a(d, c).is_err());
+        // Nonexistent edge.
+        assert!(g.remove_is_a(d, a).is_err());
+        // Duplicate primary name / empty parents.
+        assert!(g.add_concept("a", &[], &[g.root()]).is_err());
+        assert!(g.add_concept("fresh", &[], &[]).is_err());
+        // Synonym index bounds.
+        assert!(g.remove_synonym(a, 0).is_err());
+    }
+
+    #[test]
+    fn synonym_removal_keeps_justified_lookup_entries() {
+        let mut b = EkgBuilder::new();
+        let root = b.concept("root");
+        let f = b.concept("fever");
+        b.is_a(f, root);
+        let mut g = b.build().unwrap();
+        // Two synonyms normalizing to the same key, plus one matching the
+        // primary name.
+        g.add_synonym(f, "high fever").unwrap();
+        g.add_synonym(f, "HIGH  FEVER").unwrap();
+        g.add_synonym(f, "Fever").unwrap();
+        assert_eq!(g.lookup_name("high fever"), &[f]);
+        // Removing one carrier keeps the entry (the other justifies it).
+        let raw = g.remove_synonym(f, 0).unwrap();
+        assert_eq!(raw, "high fever");
+        assert_eq!(g.lookup_name("high fever"), &[f]);
+        // Removing the last carrier drops the entry.
+        g.remove_synonym(f, 0).unwrap();
+        assert!(g.lookup_name("high fever").is_empty());
+        // The primary name keeps its entry even when the twin synonym goes.
+        g.remove_synonym(f, 0).unwrap();
+        assert_eq!(g.lookup_name("fever"), &[f]);
     }
 
     #[test]

@@ -114,6 +114,39 @@ impl ReachabilityIndex {
     ///   `q`: `{q} ∪ tree_ancestors(q) ∪ exc(q)`, keeping the elements
     ///   that are not tree ancestors of `c` (interval test).
     pub fn build(ekg: &Ekg) -> Self {
+        Self::build_inner(ekg, None)
+    }
+
+    /// Rebuild the index for a delta-mutated `ekg`, reusing this (pre-delta)
+    /// index's exception member lists for every concept outside the `dirty`
+    /// cone (DESIGN.md §15).
+    ///
+    /// `dirty` must contain every concept whose ancestor set, native parent
+    /// set, or depth may have changed — for an edge delta on child `u` that
+    /// is `{u} ∪ descendants(u)`, for a freshly added concept the concept
+    /// itself. The cone is downward-closed by construction, so every
+    /// concept outside it provably keeps its exact exception member list
+    /// (its ancestors and its whole tree-parent chain are untouched); the
+    /// repair replays the builder's pool assembly over the new topological
+    /// order, recomputing the expensive ancestor-walk only for cone
+    /// members. The result is bit-identical to [`ReachabilityIndex::build`]
+    /// on the mutated graph — pinned by the delta differential sweep.
+    ///
+    /// Callers should fall back to a full [`ReachabilityIndex::build`] when
+    /// the cone covers most of the graph (the delta engine applies a
+    /// dirtiness threshold and counts fallbacks in obs).
+    pub fn repair(
+        &self,
+        ekg: &Ekg,
+        dirty: &std::collections::HashSet<ExtConceptId>,
+    ) -> Self {
+        Self::build_inner(ekg, Some((self, dirty)))
+    }
+
+    fn build_inner(
+        ekg: &Ekg,
+        cache: Option<(&Self, &std::collections::HashSet<ExtConceptId>)>,
+    ) -> Self {
         let n = ekg.len();
         let root = ekg.root().as_usize();
 
@@ -189,6 +222,16 @@ impl ReachabilityIndex {
             }
             let tp = tree_parent[ci] as usize;
             let mut extra = false;
+            // A cached member list is valid whenever the concept existed
+            // before the delta and sits outside the dirty cone: its
+            // ancestor set and tree-parent chain are untouched, so its
+            // exception *set* is unchanged even though the interval labels
+            // shifted. The pool assembly below only compares member lists,
+            // so reusing the old list reproduces the fresh build exactly.
+            let cached: Option<&[u32]> = cache.and_then(|(old, dirty)| {
+                (ci < old.n && !dirty.contains(&c))
+                    .then(|| old.pool[old.exc[ci] as usize].members.as_slice())
+            });
             scratch.clear();
             for q in ekg.native_parents(c) {
                 let qi = q.as_usize();
@@ -196,6 +239,9 @@ impl ReachabilityIndex {
                     continue;
                 }
                 extra = true;
+                if cached.is_some() {
+                    continue;
+                }
                 // {q} ∪ tree_ancestors(q) ∪ exc(q), minus tree ancestors
                 // of c (exactly the ids whose interval contains c).
                 let mut walk = qi;
@@ -220,9 +266,13 @@ impl ReachabilityIndex {
                 exc[ci] = exc[tp];
                 continue;
             }
-            scratch.extend_from_slice(&pool[exc[tp] as usize].members);
-            scratch.sort_unstable();
-            scratch.dedup();
+            if let Some(members) = cached {
+                scratch.extend_from_slice(members);
+            } else {
+                scratch.extend_from_slice(&pool[exc[tp] as usize].members);
+                scratch.sort_unstable();
+                scratch.dedup();
+            }
             if scratch == pool[exc[tp] as usize].members {
                 // Every extra-parent contribution was already a tree
                 // ancestor (or inherited) — reuse the parent's entry.
@@ -641,6 +691,49 @@ mod tests {
         let mut b = EkgBuilder::new();
         b.concept("only");
         b.build().unwrap()
+    }
+
+    /// Delta repair: for every edge/concept mutation, repairing the
+    /// pre-mutation index over the dirty cone must be bit-identical to a
+    /// fresh build on the mutated graph.
+    #[test]
+    fn repair_matches_fresh_build() {
+        use std::collections::HashSet;
+        let cone = |g: &Ekg, u: ExtConceptId| -> HashSet<ExtConceptId> {
+            let mut cone = g.descendants(u);
+            cone.insert(u);
+            cone
+        };
+
+        // Edge addition on a multi-parent lattice.
+        let mut g = wide_random();
+        let before = ReachabilityIndex::build(&g);
+        let child = g.lookup_name("c149")[0];
+        let parent = g.lookup_name("c50")[0];
+        g.add_is_a(child, parent).unwrap();
+        g.rebuild_derived().unwrap();
+        let repaired = before.repair(&g, &cone(&g, child));
+        assert_eq!(repaired, ReachabilityIndex::build(&g), "edge add");
+
+        // Edge removal (c is multi-parent in the diamond).
+        let mut g = diamond();
+        let before = ReachabilityIndex::build(&g);
+        let c = g.lookup_name("c")[0];
+        let a = g.lookup_name("a")[0];
+        g.remove_is_a(c, a).unwrap();
+        g.rebuild_derived().unwrap();
+        let repaired = before.repair(&g, &cone(&g, c));
+        assert_eq!(repaired, ReachabilityIndex::build(&g), "edge remove");
+
+        // Concept addition (index must grow).
+        let mut g = wide_random();
+        let before = ReachabilityIndex::build(&g);
+        let p1 = g.lookup_name("c7")[0];
+        let p2 = g.lookup_name("c11")[0];
+        let fresh = g.add_concept("fresh", &[], &[p1, p2]).unwrap();
+        g.rebuild_derived().unwrap();
+        let repaired = before.repair(&g, &HashSet::from([fresh]));
+        assert_eq!(repaired, ReachabilityIndex::build(&g), "concept add");
     }
 
     #[test]

@@ -22,3 +22,11 @@ pub mod sif;
 pub use knn::EmbeddingIndex;
 pub use sgns::{SgnsConfig, WordVectorParts, WordVectors};
 pub use sif::{SifModel, SifParts};
+
+/// Bit-level equality of two `f32` slices: same length, same bit pattern
+/// per element. Stricter than `==` on signed zeros (`0.0` vs `-0.0`
+/// differ) and sound on NaN (a NaN equals the same NaN bits, where `==`
+/// would say unequal) — the comparison the bit-identity oracles need.
+pub fn f32_bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}

@@ -96,6 +96,21 @@ pub struct WordVectorParts {
     pub dim: u64,
 }
 
+impl WordVectorParts {
+    /// Bit-level equality. Unlike the derived `PartialEq`, this treats a
+    /// NaN as equal to the same NaN bit pattern (and `0.0` as distinct
+    /// from `-0.0`) — large SGNS runs can diverge into NaN rows, and a
+    /// bit-identity oracle must not report two identical such models as
+    /// different.
+    pub fn bits_eq(&self, other: &Self) -> bool {
+        self.words == other.words
+            && crate::f32_bits_eq(&self.vecs, &other.vecs)
+            && self.counts == other.counts
+            && self.total_tokens == other.total_tokens
+            && self.dim == other.dim
+    }
+}
+
 impl WordVectors {
     /// Train on `corpus` (single worker; see
     /// [`WordVectors::train_with_threads`] for the sharded form — both are

@@ -32,6 +32,16 @@ pub struct SifParts {
     pub pc: Vec<f32>,
 }
 
+impl SifParts {
+    /// Bit-level equality (see [`WordVectorParts::bits_eq`]): NaN-sound
+    /// and signed-zero-strict, unlike the derived `PartialEq`.
+    pub fn bits_eq(&self, other: &Self) -> bool {
+        self.vectors.bits_eq(&other.vectors)
+            && self.a.to_bits() == other.a.to_bits()
+            && crate::f32_bits_eq(&self.pc, &other.pc)
+    }
+}
+
 impl SifModel {
     /// Fit over `corpus` with smoothing parameter `a` (the paper's
     /// recommended 1e-3 is the usual choice).
@@ -301,6 +311,19 @@ mod tests {
         assert!(SifModel::read_tsv("not-a-number\t0.1\n1\t10\n").is_err());
         // PC dimensionality mismatch against the embedded vectors.
         assert!(SifModel::read_tsv("1e-3\t0.5 0.5\n1\t10\nw\t1\t0.5\n").is_err());
+    }
+
+    #[test]
+    fn parts_bits_eq_accepts_identical_nan_vectors() {
+        let m = model();
+        let mut parts = m.to_parts();
+        parts.vectors.vecs[0] = f32::NAN;
+        let twin = parts.clone();
+        assert_ne!(parts, twin); // NaN defeats the derived PartialEq…
+        assert!(parts.bits_eq(&twin)); // …but not the bit-level oracle.
+        let mut other = parts.clone();
+        other.pc[0] += 1.0;
+        assert!(!parts.bits_eq(&other));
     }
 
     #[test]

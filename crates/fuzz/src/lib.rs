@@ -22,8 +22,13 @@
 
 #![warn(missing_docs)]
 
+pub mod deltas;
 pub mod oracles;
 pub mod worlds;
 
-pub use oracles::{check_bounds, check_reach_hybrid, check_store_round_trip, check_world, THREAD_SWEEP};
+pub use deltas::{generate_delta, DeltaKind};
+pub use oracles::{
+    check_bounds, check_delta, check_reach_hybrid, check_store_round_trip, check_world,
+    THREAD_SWEEP,
+};
 pub use worlds::{AdversarialWorld, CorpusShape, DagShape, NameStyle};

@@ -23,8 +23,8 @@ use medkb_ekg::{
     lcs_with_upward, lcs_with_upward_scratch, DenseReachability, ReachabilityIndex, UpwardScratch,
 };
 use medkb_core::{
-    ingest_reference, ingest_with_stats, IngestOutput, MappingMethod, ParallelConfig, QrScorer,
-    QueryRelaxer, RelaxConfig,
+    ingest, ingest_reference, ingest_with_stats, outputs_identical, DeltaEngine, IngestOutput,
+    MappingMethod, ParallelConfig, QrScorer, QueryRelaxer, RelaxConfig,
 };
 use medkb_snomed::ContextTag;
 use medkb_text::{tokenize, Gazetteer, PhraseMatch};
@@ -404,6 +404,87 @@ fn utterances(w: &AdversarialWorld) -> Vec<String> {
         }
     }
     out
+}
+
+/// Pin incremental delta ingestion against an honest full re-ingest: for
+/// every delta kind, at every thread count, applying the delta must leave
+/// the engine's [`IngestOutput`] **bit-identical** to `ingest` run from
+/// scratch on the same mutated inputs — and the relaxation answers over
+/// the world's query battery must match element-wise. Deltas compound on
+/// one engine per thread count, so later kinds run on already-churned
+/// state.
+pub fn check_delta(w: &AdversarialWorld) {
+    use crate::deltas::{generate_delta, DeltaKind};
+    for threads in THREAD_SWEEP {
+        let cfg = RelaxConfig {
+            mapping: MappingMethod::Exact,
+            parallel: ParallelConfig {
+                clamp_to_cores: false,
+                ..ParallelConfig::with_threads(threads)
+            },
+            ..RelaxConfig::default()
+        };
+        let mut engine = DeltaEngine::new(
+            w.kb.clone(),
+            w.corpus.clone(),
+            w.ekg.clone(),
+            None,
+            cfg.clone(),
+        )
+        .unwrap_or_else(|e| panic!("[{}] delta engine build failed: {e}", w.label));
+        for (i, &kind) in DeltaKind::ALL.iter().enumerate() {
+            let delta = generate_delta(
+                w.seed.wrapping_mul(31).wrapping_add(i as u64),
+                kind,
+                &engine,
+            );
+            engine.apply(&delta).unwrap_or_else(|e| {
+                panic!(
+                    "[{}] {kind:?} delta rejected @{threads} threads: {e}\nops: {:?}",
+                    w.label, delta.ops
+                )
+            });
+            let counts = MentionCounts::count_with_threads(
+                engine.corpus(),
+                engine.native_ekg(),
+                threads,
+            );
+            let full = ingest(
+                engine.kb(),
+                engine.native_ekg().clone(),
+                &counts,
+                None,
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("[{}] full re-ingest failed after {kind:?}: {e}", w.label));
+            assert!(
+                outputs_identical(engine.output(), &full),
+                "[{}] {kind:?} delta @{threads} threads diverged from full re-ingest",
+                w.label
+            );
+            let queries: Vec<ExtConceptId> =
+                engine.native_ekg().concepts().take(6).collect();
+            let incremental = QueryRelaxer::new(engine.output().clone(), cfg.clone());
+            let honest = QueryRelaxer::new(full, cfg.clone());
+            for q in queries {
+                let got = incremental.relax_concept(q, None, 5);
+                let want = honest.relax_concept(q, None, 5);
+                match (&got, &want) {
+                    (Ok(g), Ok(s)) => assert_eq!(
+                        g, s,
+                        "[{}] {kind:?} delta @{threads}: answers for {q:?} diverged",
+                        w.label
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (g, s) => panic!(
+                        "[{}] {kind:?} delta @{threads}: outcome kind for {q:?} diverged: \
+                         incremental={g:?} honest={s:?}",
+                        w.label
+                    ),
+                }
+            }
+        }
+    }
 }
 
 /// Run the full differential battery on one world.

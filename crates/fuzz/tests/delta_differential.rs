@@ -1,0 +1,114 @@
+//! The delta-vs-full differential suite: on 240 adversarial worlds, every
+//! delta kind applied at 1/2/4/8 threads must leave the incremental
+//! engine's output **bit-identical** to an honest full re-ingest of the
+//! same mutated inputs (see `check_delta`).
+//!
+//! The `smoke_*` test is the fast pass `scripts/tier1.sh` runs; the shards
+//! split the full sweep so the harness can run them on parallel threads.
+//! The store tests pin the persistence satellite: delta application
+//! commutes with a save/open round trip, and a version-bumped image is a
+//! typed validation error, never a misread.
+
+use medkb_core::{outputs_identical, DeltaEngine, MappingMethod, RelaxConfig};
+use medkb_fuzz::{check_delta, generate_delta, AdversarialWorld, DeltaKind};
+use medkb_store::WorldStore;
+use medkb_types::MedKbError;
+
+fn run_seeds(range: std::ops::Range<u64>) {
+    for seed in range {
+        check_delta(&AdversarialWorld::generate(seed));
+    }
+}
+
+/// One world per graph shape (the tier-1 smoke battery).
+#[test]
+fn smoke_delta_one_world_per_shape() {
+    for seed in [0u64, 1, 2, 3, 4] {
+        check_delta(&AdversarialWorld::generate(seed));
+    }
+}
+
+#[test]
+fn delta_differential_shard_0() {
+    run_seeds(0..60);
+}
+
+#[test]
+fn delta_differential_shard_1() {
+    run_seeds(60..120);
+}
+
+#[test]
+fn delta_differential_shard_2() {
+    run_seeds(120..180);
+}
+
+#[test]
+fn delta_differential_shard_3() {
+    run_seeds(180..240);
+}
+
+fn exact_config() -> RelaxConfig {
+    RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() }
+}
+
+/// `save → open → from_opened → apply` must equal `apply → save → open`:
+/// an engine adopting a persisted world continues exactly where a
+/// never-persisted engine would be.
+#[test]
+fn store_round_trip_commutes_with_delta_apply() {
+    let w = AdversarialWorld::generate(3);
+    let cfg = exact_config();
+    let mut direct =
+        DeltaEngine::new(w.kb.clone(), w.corpus.clone(), w.ekg.clone(), None, cfg.clone())
+            .expect("engine build");
+    let opened = WorldStore::open_bytes(&WorldStore::save_bytes(direct.output()))
+        .expect("round trip of the pre-delta output");
+    let mut adopted = DeltaEngine::from_opened(
+        w.kb.clone(),
+        w.corpus.clone(),
+        w.ekg.clone(),
+        None,
+        cfg,
+        opened,
+    );
+    for (i, &kind) in DeltaKind::ALL.iter().enumerate() {
+        let delta = generate_delta(7_000 + i as u64, kind, &direct);
+        direct.apply(&delta).expect("delta applies to the direct engine");
+        adopted.apply(&delta).expect("delta applies to the adopted engine");
+        let persisted = WorldStore::open_bytes(&WorldStore::save_bytes(direct.output()))
+            .expect("round trip of the post-delta output");
+        assert!(
+            outputs_identical(&persisted, adopted.output()),
+            "{kind:?}: apply→save→open diverged from save→open→apply"
+        );
+        assert!(
+            outputs_identical(direct.output(), adopted.output()),
+            "{kind:?}: adopted engine diverged from the direct engine"
+        );
+    }
+}
+
+/// A store image from a different format version must surface as a typed
+/// [`MedKbError::Validation`] naming the version — the delta engine can
+/// never silently adopt a world it would misread.
+#[test]
+fn mismatched_store_version_is_a_validation_error() {
+    let w = AdversarialWorld::generate(2);
+    let engine =
+        DeltaEngine::new(w.kb.clone(), w.corpus.clone(), w.ekg.clone(), None, exact_config())
+            .expect("engine build");
+    let mut bytes = WorldStore::save_bytes(engine.output());
+    // FORMAT_VERSION lives at bytes 8..12 (little endian, after the magic).
+    bytes[8] = bytes[8].wrapping_add(1);
+    match WorldStore::open_bytes(&bytes) {
+        Err(MedKbError::Validation(report)) => {
+            let text = report.to_string();
+            assert!(
+                text.contains("unsupported format version"),
+                "report must name the version defect: {text}"
+            );
+        }
+        other => panic!("expected a validation error, got {other:?}"),
+    }
+}

@@ -115,6 +115,8 @@ impl KbBuilder {
         Ok(Kb {
             ontology: self.ontology,
             instances: self.instances.into_iter().collect(),
+            retired: IdVec::filled(false, n),
+            retired_count: 0,
             by_name,
             by_concept,
             outgoing,
@@ -125,10 +127,18 @@ impl KbBuilder {
 }
 
 /// The frozen knowledge base: ontology + instances + triples + indexes.
+///
+/// "Frozen" at build time, but supports a narrow delta-mutation surface:
+/// instances can be appended, tombstoned ([`Kb::remove_instance`]), and
+/// restored; ids are never reused and never shift.
 #[derive(Debug, Clone)]
 pub struct Kb {
     ontology: Ontology,
     instances: IdVec<InstanceId, Instance>,
+    /// Tombstone flags, one per instance slot; retired instances keep
+    /// their id but are skipped by iteration and the name/concept indexes.
+    retired: IdVec<InstanceId, bool>,
+    retired_count: usize,
     by_name: HashMap<Box<str>, Vec<InstanceId>>,
     by_concept: IdVec<OntoConceptId, Vec<InstanceId>>,
     outgoing: IdVec<InstanceId, Vec<(RelationshipId, InstanceId)>>,
@@ -142,9 +152,20 @@ impl Kb {
         &self.ontology
     }
 
-    /// Number of instances.
+    /// Number of live (non-retired) instances.
     pub fn instance_count(&self) -> usize {
+        self.instances.len() - self.retired_count
+    }
+
+    /// Number of instance slots ever allocated, including tombstones.
+    /// The next id handed out by [`Kb::add_instance`] is exactly this.
+    pub fn instance_slots(&self) -> usize {
         self.instances.len()
+    }
+
+    /// Whether `id` is currently tombstoned.
+    pub fn is_retired(&self, id: InstanceId) -> bool {
+        self.retired[id]
     }
 
     /// Number of stored triples.
@@ -167,9 +188,9 @@ impl Kb {
         self.instances[id].concept
     }
 
-    /// All instances, in id order.
+    /// All live instances, in id order. Tombstoned slots are skipped.
     pub fn instances(&self) -> impl Iterator<Item = (InstanceId, &Instance)> {
-        self.instances.iter()
+        self.instances.iter().filter(|&(id, _)| !self.retired[id])
     }
 
     /// Instances whose normalized name equals `name` (normalized).
@@ -217,6 +238,126 @@ impl Kb {
     /// All incoming `(relationship, subject)` pairs of `object`.
     pub fn incoming(&self, object: InstanceId) -> &[(RelationshipId, InstanceId)] {
         &self.incoming[object]
+    }
+
+    /// Append a new instance of `concept`, returning its id. The new id is
+    /// the current [`Kb::instance_slots`], so id order is preserved in every
+    /// index without re-sorting.
+    ///
+    /// # Errors
+    /// [`MedKbError::InvalidArgument`] if `concept` is out of range.
+    pub fn add_instance(&mut self, name: &str, concept: OntoConceptId) -> Result<InstanceId> {
+        if concept.as_usize() >= self.ontology.concept_count() {
+            return Err(MedKbError::invalid(format!(
+                "add_instance: concept id {} out of range (ontology has {})",
+                concept.as_usize(),
+                self.ontology.concept_count(),
+            )));
+        }
+        let id = InstanceId::from_usize(self.instances.len());
+        self.instances.push(Instance { name: name.into(), concept });
+        self.retired.push(false);
+        self.by_name.entry(normalize(name).into()).or_default().push(id);
+        self.by_concept[concept].push(id);
+        self.outgoing.push(Vec::new());
+        self.incoming.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Tombstone `id`: it drops out of iteration and the name/concept
+    /// indexes, and every triple touching it is removed. The slot stays
+    /// allocated so later ids do not shift; [`Kb::restore_instance`] brings
+    /// the instance (but not its triples) back.
+    ///
+    /// # Errors
+    /// [`MedKbError::InvalidArgument`] if `id` is out of range or already
+    /// retired.
+    pub fn remove_instance(&mut self, id: InstanceId) -> Result<()> {
+        if id.as_usize() >= self.instances.len() {
+            return Err(MedKbError::invalid(format!(
+                "remove_instance: id {} out of range",
+                id.as_usize()
+            )));
+        }
+        if self.retired[id] {
+            return Err(MedKbError::invalid(format!(
+                "remove_instance: instance {} is already retired",
+                id.as_usize()
+            )));
+        }
+        self.retired[id] = true;
+        self.retired_count += 1;
+
+        let key = normalize(&self.instances[id].name);
+        if let Some(v) = self.by_name.get_mut(key.as_str()) {
+            v.retain(|&i| i != id);
+            if v.is_empty() {
+                self.by_name.remove(key.as_str());
+            }
+        }
+        self.by_concept[self.instances[id].concept].retain(|&i| i != id);
+
+        // Cascade: drop every triple whose subject or object is `id`.
+        // Each removal deletes exactly one occurrence so duplicate triples
+        // between the same pair stay balanced; self-loops appear in both
+        // taken lists but are one triple.
+        let out = std::mem::take(&mut self.outgoing[id]);
+        let inc = std::mem::take(&mut self.incoming[id]);
+        let mut removed = out.len() + inc.len();
+        for &(r, o) in &out {
+            if o == id {
+                removed -= 1;
+                continue;
+            }
+            let list = &mut self.incoming[o];
+            if let Some(pos) = list.iter().position(|&p| p == (r, id)) {
+                list.remove(pos);
+            }
+        }
+        for &(r, s) in &inc {
+            if s == id {
+                continue;
+            }
+            let list = &mut self.outgoing[s];
+            if let Some(pos) = list.iter().position(|&p| p == (r, id)) {
+                list.remove(pos);
+            }
+        }
+        self.triple_count -= removed;
+        Ok(())
+    }
+
+    /// Un-tombstone `id`, re-inserting it into the name/concept indexes at
+    /// its id-sorted position. Triples cascaded away by
+    /// [`Kb::remove_instance`] are **not** restored.
+    ///
+    /// # Errors
+    /// [`MedKbError::InvalidArgument`] if `id` is out of range or not
+    /// retired.
+    pub fn restore_instance(&mut self, id: InstanceId) -> Result<()> {
+        if id.as_usize() >= self.instances.len() {
+            return Err(MedKbError::invalid(format!(
+                "restore_instance: id {} out of range",
+                id.as_usize()
+            )));
+        }
+        if !self.retired[id] {
+            return Err(MedKbError::invalid(format!(
+                "restore_instance: instance {} is not retired",
+                id.as_usize()
+            )));
+        }
+        self.retired[id] = false;
+        self.retired_count -= 1;
+
+        let key = normalize(&self.instances[id].name);
+        let v = self.by_name.entry(key.into()).or_default();
+        let pos = v.partition_point(|&i| i < id);
+        v.insert(pos, id);
+        let v = &mut self.by_concept[self.instances[id].concept];
+        let pos = v.partition_point(|&i| i < id);
+        v.insert(pos, id);
+        Ok(())
     }
 }
 
@@ -309,6 +450,64 @@ mod tests {
         // chills (Symptom ⊑ Finding) accepted as object of hasFinding.
         let kb = tiny();
         assert_eq!(kb.triple_count(), 3);
+    }
+
+    #[test]
+    fn remove_instance_tombstones_and_cascades_triples() {
+        let mut kb = tiny();
+        let ind = kb.lookup_name("fever management")[0];
+        let treat = kb.ontology().lookup_relationship("Drug-treat-Indication").unwrap();
+        let aspirin = kb.lookup_name("aspirin")[0];
+        assert_eq!(kb.instance_count(), 4);
+        assert_eq!(kb.triple_count(), 3);
+
+        kb.remove_instance(ind).unwrap();
+        assert!(kb.is_retired(ind));
+        assert_eq!(kb.instance_count(), 3);
+        assert_eq!(kb.instance_slots(), 4);
+        // All three triples touched `ind` (1 outgoing of aspirin, 2 outgoing
+        // of ind itself).
+        assert_eq!(kb.triple_count(), 0);
+        assert!(kb.objects(aspirin, treat).is_empty());
+        assert!(kb.lookup_name("fever management").is_empty());
+        assert!(kb.instances().all(|(id, _)| id != ind));
+        // Double-retire is an error.
+        assert!(kb.remove_instance(ind).is_err());
+    }
+
+    #[test]
+    fn restore_instance_reinserts_sorted_without_triples() {
+        let mut kb = tiny();
+        let ind = kb.lookup_name("fever management")[0];
+        let indication = kb.ontology().lookup_concept("Indication").unwrap();
+        kb.remove_instance(ind).unwrap();
+        let late = kb.add_instance("late indication", indication).unwrap();
+        kb.restore_instance(ind).unwrap();
+        assert!(!kb.is_retired(ind));
+        assert_eq!(kb.instance_count(), 5);
+        // Restored id sits before the later-added id in the concept index.
+        assert_eq!(kb.instances_of(indication), &[ind, late]);
+        assert_eq!(kb.lookup_name("fever management"), &[ind]);
+        // Triples stay gone.
+        assert_eq!(kb.triple_count(), 0);
+        // Restoring a live instance is an error.
+        assert!(kb.restore_instance(ind).is_err());
+    }
+
+    #[test]
+    fn add_instance_appends_with_max_id() {
+        let mut kb = tiny();
+        let finding = kb.ontology().lookup_concept("Finding").unwrap();
+        let fever = kb.lookup_name("fever")[0];
+        let id = kb.add_instance("FEVER", finding).unwrap();
+        assert_eq!(id.as_usize(), 4);
+        assert_eq!(kb.instance_count(), 5);
+        // Shares the normalized-name bucket with the existing "fever".
+        assert_eq!(kb.lookup_name("fever"), &[fever, id]);
+        assert_eq!(kb.instances_of(finding), &[fever, id]);
+        // Out-of-range concept rejected.
+        let bogus = OntoConceptId::from_usize(kb.ontology().concept_count());
+        assert!(kb.add_instance("x", bogus).is_err());
     }
 
     #[test]

@@ -25,6 +25,22 @@
 //! static strings (`relax.latency_us`, `ingest.stage.mapping_us`). Names
 //! are `&'static str` by design — the registry is a fixed, low-cardinality
 //! set of series; per-entity labels (per-concept, per-query) are banned.
+//!
+//! Registered families and their owning name modules: `relax.*`
+//! (`medkb_core::relax::obs_names`), `ingest.*`
+//! (`medkb_core::ingest::obs_names`), `corpus.*`
+//! (`medkb_corpus::counts::obs_names`), `serve.*`
+//! (`medkb_serve::obs_names`), and `delta.*`
+//! (`medkb_core::delta::obs_names`) — the incremental-ingestion family
+//! (DESIGN.md §15): per-apply latency and op throughput plus the
+//! fallback counters (`delta.fallback_full_rebuilds`,
+//! `delta.full_recounts`, `delta.full_remaps`,
+//! `delta.full_freq_recomputes`, `delta.shortcut_reruns`) that say when
+//! an apply degenerated to a stage's full recompute. The fallbacks are
+//! the family's point: `BENCH_delta.json` gates
+//! `delta.fallback_full_rebuilds == 0` on document-only deltas, and an
+//! operator alerting on them catches deltas that silently stopped being
+//! incremental.
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,147 @@
+//! Continuous-publish soak (ISSUE 8 satellite): a delta engine applies a
+//! churn stream and publishes each result through the snapshot swap while
+//! reader threads hammer the server.
+//!
+//! The invariant extends `serve_stress.rs` from two alternating payloads
+//! to a 20-epoch evolving world: every answer a reader gets must be
+//! **bit-identical to an uncached relax against the exact epoch stamped on
+//! it** — no torn reads between the delta engine's publishes, no stale
+//! epochs, and the epoch sequence must stay dense and ordered.
+//!
+//! Expectation tables are built in a first pass (the delta stream is
+//! deterministic, so a replay engine reproduces every epoch bit-for-bit —
+//! itself a re-assertion of the engine's determinism), then the live pass
+//! applies the same deltas under sustained reads.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use medkb_core::{
+    Delta, DeltaEngine, MappingMethod, QueryRelaxer, RelaxationResult, RelaxConfig,
+};
+use medkb_fuzz::{generate_delta, AdversarialWorld, DeltaKind};
+use medkb_serve::{RelaxServer, ServeConfig};
+use medkb_types::{ContextId, ExtConceptId, Id};
+
+const PUBLISHES: u64 = 20;
+
+/// The churn kinds the soak cycles through — the answer-moving families
+/// (documents shift frequencies, instances shift mappings, edges shift
+/// paths), plus one no-op epoch to pin "publish of an unchanged world".
+const SOAK_KINDS: [DeltaKind; 4] =
+    [DeltaKind::DocChurn, DeltaKind::InstanceChurn, DeltaKind::EdgeChurn, DeltaKind::NoOp];
+
+fn fresh_engine(w: &AdversarialWorld) -> DeltaEngine {
+    let config = RelaxConfig { mapping: MappingMethod::Exact, ..RelaxConfig::default() };
+    DeltaEngine::new(w.kb.clone(), w.corpus.clone(), w.ekg.clone(), None, config)
+        .expect("engine build")
+}
+
+/// Queries fixed at epoch 0 (concept ids are append-only, so they stay
+/// valid on every later epoch).
+fn query_plan(
+    w: &AdversarialWorld,
+    relaxer: &QueryRelaxer,
+) -> Vec<(ExtConceptId, Option<ContextId>, usize)> {
+    let contexts: Vec<Option<ContextId>> = std::iter::once(None)
+        .chain(relaxer.ingested().contexts.first().map(|c| Some(c.id)))
+        .collect();
+    let mut plan = Vec::new();
+    for q in w.query_concepts() {
+        for &ctx in &contexts {
+            for k in [1, 5] {
+                plan.push((q, ctx, k));
+            }
+        }
+    }
+    plan
+}
+
+fn soak(seed: u64, reader_threads: usize) {
+    let w = AdversarialWorld::generate(seed);
+
+    // Pass 1: materialize the delta stream and the per-epoch expectation
+    // tables from an offline engine.
+    let mut offline = fresh_engine(&w);
+    let config = offline.config().clone();
+    let plan = query_plan(&w, &QueryRelaxer::new(offline.output().clone(), config.clone()));
+    assert!(!plan.is_empty(), "{}: no queries", w.label);
+    let expect = |engine: &DeltaEngine| -> Vec<RelaxationResult> {
+        let plain = QueryRelaxer::new(engine.output().clone(), config.clone());
+        plan.iter().map(|&(q, ctx, k)| plain.relax_concept(q, ctx, k).unwrap()).collect()
+    };
+    let mut deltas: Vec<Delta> = Vec::new();
+    let mut expected: Vec<Vec<RelaxationResult>> = vec![expect(&offline)];
+    for i in 0..PUBLISHES {
+        let kind = SOAK_KINDS[(i as usize) % SOAK_KINDS.len()];
+        let delta = generate_delta(seed.wrapping_mul(977).wrapping_add(i), kind, &offline);
+        offline.apply(&delta).expect("soak delta applies");
+        deltas.push(delta);
+        expected.push(expect(&offline));
+    }
+    // The soak must actually move the answers, or staleness would be
+    // invisible to the per-epoch equality (seeds are pinned to satisfy
+    // this).
+    assert_ne!(
+        expected[0],
+        expected[PUBLISHES as usize],
+        "{}: churn stream left the answers unchanged",
+        w.label
+    );
+
+    // Pass 2: a fresh engine replays the same deltas live, publishing each
+    // epoch under sustained reads.
+    let mut live = fresh_engine(&w);
+    let server = RelaxServer::new(
+        live.output().clone(),
+        config,
+        ServeConfig { max_in_flight: 1 << 16, ..ServeConfig::default() },
+    );
+    let stop = AtomicBool::new(false);
+    let checks = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..reader_threads {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    for (slot, &(q, ctx, k)) in plan.iter().enumerate() {
+                        let served = server.serve_concept(q, ctx, k).unwrap();
+                        let want = &expected[served.epoch as usize][slot];
+                        assert_eq!(
+                            *served.result, *want,
+                            "{}: stale or torn answer for query {:?} at epoch {}",
+                            w.label,
+                            q.as_usize(),
+                            served.epoch
+                        );
+                        checks.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        for (i, delta) in deltas.iter().enumerate() {
+            live.apply(delta).expect("live delta applies");
+            let epoch = server.publish(live.output().clone());
+            assert_eq!(epoch, i as u64 + 1, "{}: epochs must be dense and ordered", w.label);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(server.epoch(), PUBLISHES);
+    assert!(
+        checks.load(Ordering::Relaxed) >= plan.len(),
+        "{}: readers made no progress — blocked by publishes?",
+        w.label
+    );
+}
+
+#[test]
+fn delta_publishes_under_four_readers() {
+    soak(3, 4);
+}
+
+#[test]
+fn delta_publishes_under_eight_readers() {
+    soak(6, 8);
+}

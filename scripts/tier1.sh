@@ -108,4 +108,43 @@ for key in '"cold_open_speedup"' '"reach_dense_over_hybrid"' '"world_concepts"' 
   fi
 done
 
+# Delta smoke: incremental ingestion over document deltas. The binary
+# itself asserts the delta-applied output is bit-identical to a full
+# re-ingest of the same mutated inputs and that a publish invalidates the
+# result cache exactly once per distinct query of the zipf stream. The
+# differential sweep's fast pass already ran above (the fuzz smoke filter
+# matches smoke_delta_one_world_per_shape).
+out=$(cargo run --release -p medkb-bench --bin bench_json -- --delta --quick)
+for key in '"full_reingest_p50_s"' '"deltas"' '"apply_p50_s"' \
+    '"speedup_vs_full_reingest"' '"single_doc_speedup"' '"zipf_invalidation"' \
+    'delta.apply_us' 'delta.docs.recounted'; do
+  if ! grep -qF "$key" <<<"$out"; then
+    echo "tier-1 FAIL: bench_json --delta --quick output missing $key" >&2
+    exit 1
+  fi
+done
+# Document-only deltas must stay on the incremental path: the smoke run
+# gates zero reach-repair fallbacks and zero full recounts. A refactor
+# that quietly turns every delta into a rebuild keeps bit-identity green
+# while losing the entire point of ROADMAP item 3.
+if ! grep -qF '"fallback_full_rebuilds": 0' <<<"$out"; then
+  echo "tier-1 FAIL: delta smoke fell back to a full reach rebuild" >&2
+  exit 1
+fi
+if ! grep -qF '"full_recounts": 0' <<<"$out"; then
+  echo "tier-1 FAIL: delta smoke fell back to a full mention recount" >&2
+  exit 1
+fi
+
+# The committed SNOMED-scale delta baseline must carry the recorded shape:
+# per-size latencies, the asserted single-doc speedup, and the fallback
+# counter (which must have recorded zero on the committed run too).
+for key in '"single_doc_speedup"' '"speedup_vs_full_reingest"' \
+    '"zipf_invalidation"' '"world_concepts"' '"fallback_full_rebuilds": 0'; do
+  if ! grep -qF "$key" BENCH_delta.json; then
+    echo "tier-1 FAIL: BENCH_delta.json missing $key" >&2
+    exit 1
+  fi
+done
+
 echo "tier-1 OK"

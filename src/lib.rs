@@ -86,8 +86,9 @@ pub use medkb_types as types;
 /// The most frequently used items, re-exported flat.
 pub mod prelude {
     pub use medkb_core::{
-        ingest, ConceptMapper, FrequencyMode, Frequencies, IngestOutput, MappingMethod,
-        ObsConfig, QueryRelaxer, RelaxConfig, RelaxationResult, RelaxedAnswer, ScoreExplain,
+        ingest, outputs_identical, ConceptMapper, Delta, DeltaEngine, DeltaOp, FrequencyMode,
+        Frequencies, IngestOutput, MappingMethod, ObsConfig, QueryRelaxer, RelaxConfig,
+        RelaxationResult, RelaxedAnswer, ScoreExplain,
     };
     pub use medkb_obs::{MetricsSnapshot, Registry};
     pub use medkb_corpus::{Corpus, CorpusConfig, CorpusGenerator, MentionCounts};
