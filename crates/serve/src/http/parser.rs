@@ -1,0 +1,376 @@
+//! Incremental HTTP/1.1 request parser (DESIGN.md §16).
+//!
+//! The parser owns a growable byte buffer the connection loop feeds raw
+//! reads into; [`RequestParser::next_request`] carves complete requests
+//! off the front. That shape makes the three hard cases fall out
+//! naturally:
+//!
+//! * **split reads** — a request arriving one byte at a time just returns
+//!   `Ok(None)` until the final byte lands;
+//! * **pipelining** — several requests in one read are drained by calling
+//!   `next_request` in a loop; leftover bytes stay buffered for the next
+//!   read;
+//! * **resource limits** — the header section and the declared body are
+//!   bounded *before* being buffered further, so a hostile peer cannot
+//!   balloon memory by never finishing a request.
+//!
+//! Errors are typed with the HTTP status they must produce
+//! ([`ParseError::status`]); the no-panic contract over arbitrary byte
+//! streams is pinned by `tests/http_parser_prop.rs`, the same contract
+//! the PR 4 loaders follow.
+
+use std::fmt;
+
+/// Buffer bounds enforced while parsing, chosen at the edge (the HTTP
+/// config) rather than here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum bytes of request line + headers (431 beyond this).
+    pub max_header_bytes: usize,
+    /// Maximum declared `Content-Length` (413 beyond this).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        Self { max_header_bytes: 16 * 1024, max_body_bytes: 1024 * 1024 }
+    }
+}
+
+/// One parsed request. Header names are lowercased at parse time; values
+/// keep their bytes (trimmed of surrounding whitespace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercase as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target as sent (path plus optional query string).
+    pub target: String,
+    /// False for `HTTP/1.0` (which defaults to `Connection: close`).
+    pub http11: bool,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path component (query string stripped).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the connection must close after this request.
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => v.eq_ignore_ascii_case("close"),
+            None => !self.http11,
+        }
+    }
+}
+
+/// A malformed or over-limit request, typed with the status to send back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Syntactically malformed request (400).
+    BadRequest(String),
+    /// Request line + headers exceeded [`ParseLimits::max_header_bytes`]
+    /// (431 Request Header Fields Too Large).
+    HeadersTooLarge,
+    /// Declared `Content-Length` exceeded [`ParseLimits::max_body_bytes`]
+    /// (413 Content Too Large).
+    BodyTooLarge,
+    /// A protocol feature this server does not implement, e.g.
+    /// `Transfer-Encoding: chunked` (501).
+    Unsupported(String),
+}
+
+impl ParseError {
+    /// The HTTP status code this error must produce.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::BadRequest(_) => 400,
+            ParseError::HeadersTooLarge => 431,
+            ParseError::BodyTooLarge => 413,
+            ParseError::Unsupported(_) => 501,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadRequest(d) => write!(f, "malformed request: {d}"),
+            ParseError::HeadersTooLarge => write!(f, "request header section too large"),
+            ParseError::BodyTooLarge => write!(f, "request body too large"),
+            ParseError::Unsupported(d) => write!(f, "unsupported protocol feature: {d}"),
+        }
+    }
+}
+
+/// The incremental parser: feed bytes with [`RequestParser::push`], carve
+/// requests with [`RequestParser::next_request`]. After any `Err` the
+/// connection is unrecoverable (framing is lost) — respond and close.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    limits: ParseLimits,
+}
+
+impl RequestParser {
+    /// A parser enforcing `limits`.
+    pub fn new(limits: ParseLimits) -> Self {
+        Self { buf: Vec::new(), limits }
+    }
+
+    /// Append raw bytes from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (tests and idle-connection accounting).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to carve one complete request off the front of the buffer.
+    ///
+    /// `Ok(None)` means "need more bytes" — never an error, however the
+    /// bytes were split. `Err` means the stream is poisoned at the
+    /// current position: send [`ParseError::status`] and close.
+    pub fn next_request(&mut self) -> Result<Option<Request>, ParseError> {
+        // Robustness (RFC 9112 §2.2): ignore CRLFs between pipelined
+        // requests so `...body\r\nGET /` and `...body\r\n\r\nGET /` both
+        // frame correctly.
+        let mut start = 0usize;
+        while self.buf[start..].starts_with(b"\r\n") {
+            start += 2;
+        }
+        let Some(header_len) = find_subslice(&self.buf[start..], b"\r\n\r\n") else {
+            // No complete header section yet. A peer that has already
+            // sent more than the limit without finishing one is hostile.
+            if self.buf.len() - start > self.limits.max_header_bytes {
+                return Err(ParseError::HeadersTooLarge);
+            }
+            return Ok(None);
+        };
+        if header_len > self.limits.max_header_bytes {
+            return Err(ParseError::HeadersTooLarge);
+        }
+        let header_end = start + header_len + 4;
+        let head = std::str::from_utf8(&self.buf[start..start + header_len])
+            .map_err(|_| ParseError::BadRequest("header section is not UTF-8".into()))?;
+
+        let mut lines = head.split("\r\n");
+        let request_line =
+            lines.next().ok_or_else(|| ParseError::BadRequest("empty request line".into()))?;
+        let mut parts = request_line.split(' ');
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => {
+                (m.to_string(), t.to_string(), v)
+            }
+            _ => {
+                return Err(ParseError::BadRequest(format!(
+                    "bad request line {request_line:?}"
+                )))
+            }
+        };
+        if !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+            return Err(ParseError::BadRequest(format!("bad method {method:?}")));
+        }
+        let http11 = match version {
+            "HTTP/1.1" => true,
+            "HTTP/1.0" => false,
+            other => {
+                return Err(ParseError::BadRequest(format!("unsupported version {other:?}")))
+            }
+        };
+
+        let mut headers: Vec<(String, String)> = Vec::new();
+        for line in lines {
+            // Obsolete line folding (leading whitespace) is rejected, not
+            // spliced — it is a classic request-smuggling vector.
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(ParseError::BadRequest(format!("bad header line {line:?}")));
+            };
+            if name.is_empty()
+                || name.starts_with(' ')
+                || name.starts_with('\t')
+                || !name.bytes().all(is_token_byte)
+            {
+                return Err(ParseError::BadRequest(format!("bad header name {name:?}")));
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+            // Framing we don't implement; accepting the request anyway
+            // would desynchronize the connection.
+            return Err(ParseError::Unsupported("transfer-encoding".into()));
+        }
+        let content_length = match headers.iter().filter(|(n, _)| n == "content-length").count() {
+            0 => 0usize,
+            1 => {
+                let v = headers
+                    .iter()
+                    .find(|(n, _)| n == "content-length")
+                    .map(|(_, v)| v.as_str())
+                    .expect("counted above");
+                v.parse::<usize>().map_err(|_| {
+                    ParseError::BadRequest(format!("bad content-length {v:?}"))
+                })?
+            }
+            _ => {
+                return Err(ParseError::BadRequest(
+                    "multiple content-length headers".into(),
+                ))
+            }
+        };
+        if content_length > self.limits.max_body_bytes {
+            return Err(ParseError::BodyTooLarge);
+        }
+        if self.buf.len() < header_end + content_length {
+            // Headers complete, body still arriving. The declared length
+            // is already bounds-checked, so buffering it is safe.
+            return Ok(None);
+        }
+
+        let body = self.buf[header_end..header_end + content_length].to_vec();
+        self.buf.drain(..header_end + content_length);
+        Ok(Some(Request { method, target, http11, headers, body }))
+    }
+}
+
+/// RFC 9110 token characters (header names).
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric()
+        || matches!(
+            b,
+            b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.' | b'^' | b'_'
+                | b'`' | b'|' | b'~'
+        )
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parser() -> RequestParser {
+        RequestParser::new(ParseLimits::default())
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let mut p = parser();
+        p.push(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+        let req = p.next_request().unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/health");
+        assert!(req.http11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_split_reads_assemble_one_request() {
+        let raw = b"POST /relax HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        let mut p = parser();
+        for (i, &b) in raw.iter().enumerate() {
+            p.push(&[b]);
+            let done = p.next_request().unwrap();
+            if i + 1 < raw.len() {
+                assert!(done.is_none(), "byte {i} must not complete the request");
+            } else {
+                let req = done.unwrap();
+                assert_eq!(req.body, b"{\"a\"");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_drain_in_order() {
+        let mut p = parser();
+        p.push(
+            b"POST /relax HTTP/1.1\r\nContent-Length: 2\r\n\r\nab\
+              GET /health HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n",
+        );
+        let first = p.next_request().unwrap().unwrap();
+        assert_eq!(first.body, b"ab");
+        assert_eq!(p.next_request().unwrap().unwrap().path(), "/health");
+        assert_eq!(p.next_request().unwrap().unwrap().path(), "/metrics");
+        assert!(p.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_header_section_errors_431() {
+        let mut p = RequestParser::new(ParseLimits { max_header_bytes: 64, max_body_bytes: 64 });
+        p.push(b"GET / HTTP/1.1\r\n");
+        p.push(&[b'x'; 80]); // no terminator, already past the limit
+        assert_eq!(p.next_request().unwrap_err(), ParseError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn oversized_declared_body_errors_413_before_buffering_it() {
+        let mut p = RequestParser::new(ParseLimits { max_header_bytes: 1024, max_body_bytes: 8 });
+        p.push(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n");
+        assert_eq!(p.next_request().unwrap_err(), ParseError::BodyTooLarge);
+    }
+
+    #[test]
+    fn malformed_inputs_error_400_never_panic() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b" / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-line\r\n\r\n",
+            b"GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+            b"GET / HTTP/1.1\r\nBad Name: x\r\n\r\n",
+            b"GET / HTTP/1.1\r\n \tfolded: x\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+            b"GET /\xff\xfe HTTP/1.1\r\n\r\n",
+        ] {
+            let mut p = parser();
+            p.push(bad);
+            let err = p.next_request().expect_err(&format!("{bad:?} must error"));
+            assert_eq!(err.status(), 400, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected_as_unsupported() {
+        let mut p = parser();
+        p.push(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        let err = p.next_request().unwrap_err();
+        assert_eq!(err.status(), 501);
+    }
+
+    #[test]
+    fn interleaved_crlf_between_pipelined_requests_is_skipped() {
+        let mut p = parser();
+        p.push(b"\r\n\r\nGET /health HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next_request().unwrap().unwrap().path(), "/health");
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let mut p = parser();
+        p.push(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(p.next_request().unwrap().unwrap().wants_close());
+        p.push(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(p.next_request().unwrap().unwrap().wants_close());
+    }
+}

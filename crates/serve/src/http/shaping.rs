@@ -1,0 +1,145 @@
+//! Per-client token-bucket rate limiting (DESIGN.md §16).
+//!
+//! Each client key (the `x-medkb-client` header when present, else the
+//! peer IP) owns a bucket holding up to `burst` tokens refilled at
+//! `rate_per_sec`. A request costs one token; an empty bucket means 429.
+//! Buckets are lazy: they are created full on first sight and evicted
+//! once idle long enough to have refilled completely, so the map stays
+//! proportional to the *active* client set, not to every key ever seen.
+//!
+//! Time is injected (`try_admit` takes `now`) so tests and the bench can
+//! drive the refill deterministically instead of sleeping.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Token-bucket parameters. `rate_per_sec <= 0` disables limiting
+/// entirely (every request admitted, no bookkeeping).
+#[derive(Debug, Clone, Copy)]
+pub struct RateLimitConfig {
+    /// Steady-state tokens added per second.
+    pub rate_per_sec: f64,
+    /// Bucket capacity — the size of an allowed burst.
+    pub burst: f64,
+}
+
+impl Default for RateLimitConfig {
+    fn default() -> Self {
+        // Generous defaults: shaping is opt-in pressure relief, not a
+        // default throttle on a single-box deployment.
+        Self { rate_per_sec: 0.0, burst: 64.0 }
+    }
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// Shared limiter; one per [`super::HttpServer`], hit from every
+/// connection thread. A single mutex suffices — admission is a few ns of
+/// float math, orders of magnitude below the relaxation work it gates.
+#[derive(Debug)]
+pub struct RateLimiter {
+    config: RateLimitConfig,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl RateLimiter {
+    /// A limiter with the given parameters.
+    pub fn new(config: RateLimitConfig) -> Self {
+        Self { config, buckets: Mutex::new(HashMap::new()) }
+    }
+
+    /// Whether limiting is active at all.
+    pub fn enabled(&self) -> bool {
+        self.config.rate_per_sec > 0.0
+    }
+
+    /// Spend one token for `client` at time `now`. Returns false when the
+    /// bucket is empty — the caller answers 429.
+    pub fn try_admit(&self, client: &str, now: Instant) -> bool {
+        if !self.enabled() {
+            return true;
+        }
+        let mut buckets = self.buckets.lock().expect("rate limiter poisoned");
+        // Evict buckets idle long enough to be full again: remembering
+        // them is indistinguishable from recreating them.
+        let idle_to_full = self.config.burst / self.config.rate_per_sec;
+        buckets.retain(|_, b| {
+            now.saturating_duration_since(b.last_refill).as_secs_f64() < idle_to_full
+        });
+        let bucket = buckets
+            .entry(client.to_string())
+            .or_insert_with(|| Bucket { tokens: self.config.burst, last_refill: now });
+        let elapsed = now.saturating_duration_since(bucket.last_refill).as_secs_f64();
+        bucket.tokens =
+            (bucket.tokens + elapsed * self.config.rate_per_sec).min(self.config.burst);
+        bucket.last_refill = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_limiter_admits_everything() {
+        let rl = RateLimiter::new(RateLimitConfig { rate_per_sec: 0.0, burst: 1.0 });
+        let now = Instant::now();
+        for _ in 0..1000 {
+            assert!(rl.try_admit("anyone", now));
+        }
+    }
+
+    #[test]
+    fn burst_then_reject_then_refill() {
+        let rl = RateLimiter::new(RateLimitConfig { rate_per_sec: 10.0, burst: 3.0 });
+        let t0 = Instant::now();
+        assert!(rl.try_admit("c", t0));
+        assert!(rl.try_admit("c", t0));
+        assert!(rl.try_admit("c", t0));
+        assert!(!rl.try_admit("c", t0), "burst exhausted");
+        // 100ms at 10 tokens/sec refills exactly one token.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(rl.try_admit("c", t1));
+        assert!(!rl.try_admit("c", t1));
+    }
+
+    #[test]
+    fn clients_have_independent_buckets() {
+        let rl = RateLimiter::new(RateLimitConfig { rate_per_sec: 1.0, burst: 1.0 });
+        let now = Instant::now();
+        assert!(rl.try_admit("greedy", now));
+        assert!(!rl.try_admit("greedy", now));
+        assert!(rl.try_admit("polite", now), "other clients unaffected");
+    }
+
+    #[test]
+    fn idle_buckets_are_evicted_and_recreated_full() {
+        let rl = RateLimiter::new(RateLimitConfig { rate_per_sec: 10.0, burst: 2.0 });
+        let t0 = Instant::now();
+        assert!(rl.try_admit("c", t0));
+        assert!(rl.try_admit("c", t0));
+        assert!(!rl.try_admit("c", t0));
+        // Long idle: bucket would be full anyway; map must not grow
+        // without bound across distinct one-shot clients.
+        let t1 = t0 + Duration::from_secs(60);
+        for i in 0..100 {
+            assert!(rl.try_admit(&format!("client-{i}"), t1));
+        }
+        let t2 = t1 + Duration::from_secs(60);
+        assert!(rl.try_admit("c", t2), "evicted bucket comes back full");
+        assert!(rl.try_admit("c", t2));
+        assert!(!rl.try_admit("c", t2));
+    }
+}

@@ -25,10 +25,12 @@
 //! suite pins this under repeated swaps at 1/2/4/8 reader threads).
 
 mod cache;
+pub mod http;
 mod server;
 mod snapshot;
 
 pub use cache::{CacheKey, Lookup, QueryKey, ResultCache};
+pub use http::{HttpConfig, HttpServer};
 pub use server::{RelaxServer, ServeConfig, ServeResult, ServedFrom};
 pub use snapshot::{Snapshot, SnapshotStore};
 
@@ -206,8 +208,8 @@ mod tests {
         let out = fragment_world(&config);
         // max_in_flight = 0 is clamped to 1, and the serving request itself
         // occupies the slot — so a second concurrent one would shed. Here,
-        // single-threaded, force it with a zero deadline instead: admission
-        // passes, the pre-compute deadline check sheds.
+        // single-threaded, force it with a zero deadline instead: the
+        // already-expired deadline sheds at admission.
         let server = RelaxServer::new(
             out,
             config,
@@ -218,6 +220,138 @@ mod tests {
             other => panic!("expected Overloaded, got {other:?}"),
         }
         assert_eq!(server.cache_len(), 0, "shed requests must not occupy cache slots");
+    }
+
+    /// Regression (ISSUE 9): the deadline used to be consulted only before
+    /// each query's *own* computation, with a fresh per-query deadline —
+    /// so a batch whose deadline had already expired would still happily
+    /// complete every slot (warm hits especially: the cache probe ran
+    /// before any deadline check). The batch entry points now share one
+    /// absolute deadline across all shards and re-check it before every
+    /// query: expired mid-batch work is shed with `Overloaded`, never
+    /// silently completed.
+    #[test]
+    fn expired_mid_batch_deadline_sheds_instead_of_completing() {
+        let config = exact_config();
+        let out = fragment_world(&config);
+        let plain = QueryRelaxer::new(out.clone(), config.clone());
+        let server = RelaxServer::new(out, config, ServeConfig::default());
+        let queries: Vec<(ExtConceptId, Option<ContextId>)> =
+            ["fever", "headache", "pertussis"]
+                .iter()
+                .map(|t| (plain.resolve_term(t).unwrap(), None))
+                .collect();
+
+        // Warm every key so the old behaviour would have been an instant
+        // cache hit — the distinguishing case: completing from cache is
+        // exactly what an expired deadline must *not* do.
+        for res in server.serve_concepts_batch_with_threads(&queries, 5, 2) {
+            res.expect("warming batch serves");
+        }
+        assert_eq!(server.cache_len(), queries.len());
+
+        let expired = std::time::Instant::now();
+        for threads in [1, 2] {
+            for res in
+                server.serve_concepts_batch_with_deadline(&queries, 5, threads, Some(expired))
+            {
+                match res {
+                    Err(MedKbError::Overloaded { .. }) => {}
+                    other => panic!(
+                        "expired mid-batch deadline must shed with Overloaded, got {other:?}"
+                    ),
+                }
+            }
+        }
+        // And with no deadline the same batch still completes (the shed
+        // above was the deadline's doing, not a broken batch path).
+        for res in server.serve_concepts_batch_with_deadline(&queries, 5, 2, None) {
+            res.expect("deadline-free batch serves");
+        }
+    }
+
+    /// A single-flight leader that panics mid-compute must release its
+    /// followers with an error — not leave them parked on the `Flight`
+    /// condvar forever — and must clear the in-flight slot so a retry can
+    /// become a fresh leader and succeed.
+    #[test]
+    fn single_flight_leader_panic_releases_followers() {
+        use std::sync::Barrier;
+
+        let cache = Arc::new(ResultCache::new(1, 16));
+        let key = CacheKey {
+            query: QueryKey::Term("poisoned".into()),
+            context: None,
+            fingerprint: 1,
+            k: 5,
+            epoch: 0,
+        };
+        let followers = 4;
+        // +1 for the leader: nobody computes until every follower thread is
+        // at least spawned and racing toward the wait.
+        let ready = Arc::new(Barrier::new(followers + 1));
+
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let key = key.clone();
+            let ready = Arc::clone(&ready);
+            std::thread::spawn(move || {
+                let _ = cache.get_or_compute(key, None, || {
+                    ready.wait();
+                    // Give followers a beat to join the flight before the
+                    // leader dies (followers that miss the window still
+                    // pass: they become fresh leaders of a clean slot).
+                    std::thread::sleep(Duration::from_millis(30));
+                    panic!("injected: poisoned query");
+                });
+            })
+        };
+        let handles: Vec<_> = (0..followers)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let key = key.clone();
+                let ready = Arc::clone(&ready);
+                std::thread::spawn(move || {
+                    ready.wait();
+                    cache.get_or_compute(key, None, || {
+                        Ok(medkb_core::RelaxationResult {
+                            query_concept: ExtConceptId::new(9),
+                            radius_used: 1,
+                            answers: Vec::new(),
+                        })
+                    })
+                })
+            })
+            .collect();
+
+        assert!(leader.join().is_err(), "leader thread must have panicked");
+        for h in handles {
+            // Followers either joined the doomed flight (released with an
+            // error by LeaderGuard) or raced past it and computed cleanly.
+            // Both are fine; parking forever (this join hanging) is not.
+            match h.join().expect("follower must not panic") {
+                Ok((v, _)) => assert_eq!(v.query_concept, ExtConceptId::new(9)),
+                Err(MedKbError::Overloaded { .. }) => {}
+                Err(other) => panic!("unexpected follower error: {other:?}"),
+            }
+        }
+        // The flight slot is gone: a retry either leads a fresh flight or
+        // hits a value a follower-turned-leader cached — never a Joined
+        // wait on the dead leader's flight.
+        let (v, how) = cache
+            .get_or_compute(key, None, || {
+                Ok(medkb_core::RelaxationResult {
+                    query_concept: ExtConceptId::new(11),
+                    radius_used: 1,
+                    answers: Vec::new(),
+                })
+            })
+            .expect("retry after a panicked leader must succeed");
+        match how {
+            Lookup::Miss => assert_eq!(v.query_concept, ExtConceptId::new(11)),
+            Lookup::Hit => assert_eq!(v.query_concept, ExtConceptId::new(9)),
+            Lookup::Joined => panic!("no flight may survive a panicked leader"),
+        }
     }
 
     #[test]
@@ -421,6 +555,247 @@ mod tests {
         );
         let again = server.serve("severe fever", None, 5).unwrap();
         assert!(again.cached());
+    }
+
+    /// The routed endpoint surface, no sockets involved: the router is
+    /// transport-free by design, so the endpoint contract (statuses,
+    /// envelope shape, error taxonomy) pins here and the socket tests
+    /// only have to cover transport concerns.
+    #[test]
+    fn router_endpoints_round_trip_against_in_process_answers() {
+        use crate::http::router::post;
+        use crate::http::{Json, RateLimitConfig, RateLimiter, Request, Router};
+
+        let registry = Registry::shared();
+        let config = RelaxConfig {
+            obs: ObsConfig::with_registry(Arc::clone(&registry)),
+            ..exact_config()
+        };
+        let out = fragment_world(&config);
+        let ctx = treatment_ctx(&out);
+        let plain = QueryRelaxer::new(out.clone(), config.clone());
+        let server = Arc::new(RelaxServer::new(out, config, ServeConfig::default()));
+        let router = Router::new(
+            Arc::clone(&server),
+            Some(Arc::clone(&registry)),
+            RateLimiter::new(RateLimitConfig::default()),
+            None,
+            10,
+        );
+        let now = std::time::Instant::now();
+        let get = |target: &str| Request {
+            method: "GET".into(),
+            target: target.into(),
+            http11: true,
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+
+        // /health and /metrics are alive and well-formed.
+        let health = router.handle(&get("/health"), "127.0.0.1", now);
+        assert_eq!(health.status, 200);
+        assert_eq!(
+            Json::parse(&health.body).unwrap().get("status").and_then(Json::as_str),
+            Some("ok")
+        );
+        let metrics = router.handle(&get("/metrics"), "127.0.0.1", now);
+        assert_eq!(metrics.status, 200);
+        assert!(medkb_obs::validate_json(&metrics.body), "metrics JSON well-formed");
+
+        // /relax by term matches the in-process answer through the shared
+        // renderer (the wire bit-identity contract).
+        let relax =
+            router.handle(&post("/relax", r#"{"term":"fever","k":5}"#), "127.0.0.1", now);
+        assert_eq!(relax.status, 200, "{}", relax.body);
+        let expected = plain.relax("fever", None, 5).unwrap();
+        assert!(
+            relax.body.ends_with(&format!(
+                "\"result\":{}}}",
+                crate::http::render_relaxation(&expected)
+            )),
+            "wire answer must be the in-process answer: {}",
+            relax.body
+        );
+
+        // /relax by concept with a context, against the concept path.
+        let q = plain.resolve_term("fever").unwrap();
+        let body = format!("{{\"concept\":{},\"context\":{},\"k\":5}}", q.raw(), ctx.raw());
+        let relax_c = router.handle(&post("/relax", &body), "127.0.0.1", now);
+        assert_eq!(relax_c.status, 200, "{}", relax_c.body);
+        let expected_c = plain.relax_concept(q, Some(ctx), 5).unwrap();
+        assert!(relax_c
+            .body
+            .ends_with(&format!("\"result\":{}}}", crate::http::render_relaxation(&expected_c))));
+
+        // /batch returns per-slot results in input order.
+        let q2 = plain.resolve_term("headache").unwrap();
+        let batch_body = format!(
+            "{{\"queries\":[{{\"concept\":{}}},{{\"concept\":{}}}],\"k\":5}}",
+            q.raw(),
+            q2.raw()
+        );
+        let batch = router.handle(&post("/batch", &batch_body), "127.0.0.1", now);
+        assert_eq!(batch.status, 200, "{}", batch.body);
+        let parsed = Json::parse(&batch.body).unwrap();
+        let rows = parsed.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        for (row, q) in rows.iter().zip([q, q2]) {
+            assert_eq!(row.get("status").and_then(Json::as_u64), Some(200));
+            let result = row.get("value").unwrap().get("result").unwrap();
+            assert_eq!(
+                result.get("query_concept").and_then(Json::as_u64),
+                Some(u64::from(q.raw()))
+            );
+        }
+
+        // /explain renders the Eq. 1–5 derivation text.
+        let explain_body =
+            format!("{{\"query\":{},\"candidate\":{}}}", q.raw(), q2.raw());
+        let explain = router.handle(&post("/explain", &explain_body), "127.0.0.1", now);
+        assert_eq!(explain.status, 200, "{}", explain.body);
+        let text = Json::parse(&explain.body).unwrap();
+        assert!(
+            text.get("explanation").and_then(Json::as_str).unwrap().contains("sim("),
+            "{}",
+            explain.body
+        );
+
+        // Error taxonomy over the wire.
+        for (req, want) in [
+            (post("/relax", r#"{"term":"no such term"}"#), 404),
+            (post("/relax", r#"{"k":5}"#), 400),
+            (post("/relax", r#"{"term":"fever","concept":1}"#), 400),
+            (post("/relax", r#"{"term":"fever","k":0}"#), 400),
+            (post("/relax", "not json"), 400),
+            (post("/nope", "{}"), 404),
+            (get("/relax"), 405),
+        ] {
+            let resp = router.handle(&req, "127.0.0.1", now);
+            assert_eq!(resp.status, want, "{} {} → {}", req.method, req.target, resp.body);
+            assert!(Json::parse(&resp.body).unwrap().get("error").is_some());
+        }
+    }
+
+    /// One greedy client exhausting its token bucket sees 429s while a
+    /// polite client on the same router is untouched — and the rate-limit
+    /// decision happens before any body parsing or relaxation work.
+    #[test]
+    fn rate_limited_client_gets_429_others_unaffected() {
+        use crate::http::router::post;
+        use crate::http::{Json, RateLimitConfig, RateLimiter, Router, CLIENT_HEADER};
+
+        let config = exact_config();
+        let out = fragment_world(&config);
+        let server = Arc::new(RelaxServer::new(out, config, ServeConfig::default()));
+        let router = Router::new(
+            Arc::clone(&server),
+            None,
+            RateLimiter::new(RateLimitConfig { rate_per_sec: 1.0, burst: 2.0 }),
+            None,
+            10,
+        );
+        let now = std::time::Instant::now();
+        let tagged = |client: &str| {
+            let mut req = post("/relax", r#"{"term":"fever","k":5}"#);
+            req.headers.push((CLIENT_HEADER.into(), client.into()));
+            req
+        };
+        // Burst of 2, then the greedy client is cut off (same `now`, so
+        // no refill happens between calls — fully deterministic).
+        assert_eq!(router.handle(&tagged("greedy"), "10.0.0.1", now).status, 200);
+        assert_eq!(router.handle(&tagged("greedy"), "10.0.0.1", now).status, 200);
+        let limited = router.handle(&tagged("greedy"), "10.0.0.1", now);
+        assert_eq!(limited.status, 429, "{}", limited.body);
+        assert!(Json::parse(&limited.body).unwrap().get("error").is_some());
+        // Another client — same peer IP, distinct header — is unaffected.
+        assert_eq!(router.handle(&tagged("polite"), "10.0.0.1", now).status, 200);
+        // Falling back to peer IP when no header: a third identity.
+        let bare = post("/relax", r#"{"term":"fever","k":5}"#);
+        assert_eq!(router.handle(&bare, "10.0.0.2", now).status, 200);
+    }
+
+    /// Concurrent distinct submissions from different "connections" merge
+    /// into one `relax_concepts_batch` dispatch, and every member gets
+    /// the same answer the in-process path computes.
+    #[test]
+    fn coalescer_merges_concurrent_submissions_into_one_batch() {
+        use crate::http::{obs_names as http_names, CoalesceConfig, Coalescer};
+        use std::sync::Barrier;
+
+        let registry = Registry::shared();
+        let config = RelaxConfig {
+            obs: ObsConfig::with_registry(Arc::clone(&registry)),
+            ..exact_config()
+        };
+        let out = fragment_world(&config);
+        let plain = QueryRelaxer::new(out.clone(), config.clone());
+        let server = Arc::new(RelaxServer::new(out, config, ServeConfig::default()));
+        let members = 4;
+        let coalescer = Coalescer::start(
+            Arc::clone(&server),
+            // A wide window so all four submitters make it into one
+            // dispatch regardless of scheduling; max_batch closes the
+            // window early once everyone is queued.
+            CoalesceConfig { window: Duration::from_millis(250), max_batch: members },
+            Some(&registry),
+        );
+        let terms = ["fever", "headache", "pertussis", "psychogenic fever"];
+        let queries: Vec<ExtConceptId> =
+            terms.iter().map(|t| plain.resolve_term(t).unwrap()).collect();
+        let start = Arc::new(Barrier::new(members));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|&q| {
+                    let start = Arc::clone(&start);
+                    let coalescer = &coalescer;
+                    scope.spawn(move || {
+                        start.wait();
+                        coalescer.submit(q, None, 5, None)
+                    })
+                })
+                .collect();
+            for (h, &q) in handles.into_iter().zip(&queries) {
+                let served = h.join().expect("submitter").expect("coalesced serve");
+                let direct = plain.relax_concept(q, None, 5).unwrap();
+                assert_eq!(*served.result, direct, "coalesced answer must be bit-identical");
+            }
+        });
+        drop(coalescer);
+        let snap = registry.snapshot();
+        assert!(
+            snap.counter(http_names::COALESCE_BATCHES) >= 1,
+            "4 simultaneous submissions must form at least one multi-member batch"
+        );
+        assert!(snap.counter(http_names::COALESCE_JOINED) >= 2);
+    }
+
+    /// A member whose deadline expired while queued is shed at dispatch
+    /// with `Overloaded`, without poisoning the rest of its batch.
+    #[test]
+    fn coalescer_sheds_expired_members_at_dispatch() {
+        use crate::http::{CoalesceConfig, Coalescer};
+
+        let config = exact_config();
+        let out = fragment_world(&config);
+        let plain = QueryRelaxer::new(out.clone(), config.clone());
+        let server = Arc::new(RelaxServer::new(out, config, ServeConfig::default()));
+        let coalescer = Coalescer::start(
+            Arc::clone(&server),
+            CoalesceConfig { window: Duration::from_millis(20), max_batch: 64 },
+            None,
+        );
+        let q = plain.resolve_term("fever").unwrap();
+        // Already expired on submission: the window guarantees it is
+        // still expired at dispatch.
+        let expired = std::time::Instant::now();
+        match coalescer.submit(q, None, 5, Some(expired)) {
+            Err(MedKbError::Overloaded { .. }) => {}
+            other => panic!("expired member must shed, got {other:?}"),
+        }
+        // A live member afterwards is served normally.
+        let served = coalescer.submit(q, None, 5, None).expect("live member serves");
+        assert_eq!(*served.result, plain.relax_concept(q, None, 5).unwrap());
     }
 
     #[test]

@@ -25,9 +25,11 @@ pub struct ServeConfig {
     /// Admission bound: requests beyond this many concurrently in flight
     /// are shed with [`MedKbError::Overloaded`] instead of queuing.
     pub max_in_flight: usize,
-    /// Per-query deadline. Checked at admission and before computing; also
-    /// bounds how long a request waits on a shared in-flight computation.
-    /// `None` disables deadline enforcement.
+    /// Request deadline, started when a request (or a whole batch — the
+    /// batch entry points share one deadline across all their queries)
+    /// enters the server. Checked at admission, re-checked before every
+    /// computation, and bounds how long a request waits on a shared
+    /// in-flight computation. `None` disables deadline enforcement.
     pub deadline: Option<Duration>,
 }
 
@@ -161,7 +163,22 @@ impl RelaxServer {
     /// retryable; [`MedKbError::NotFound`] when the term resolves to no
     /// concept — not retryable, and never cached.
     pub fn serve(&self, term: &str, context: Option<ContextId>, k: usize) -> Result<ServeResult> {
-        self.serve_key(QueryKey::Term(medkb_text::normalize(term)), context, k)
+        self.serve_with_deadline(term, context, k, self.config_deadline())
+    }
+
+    /// [`RelaxServer::serve`] against an explicit absolute deadline
+    /// (e.g. propagated from a network request header). `None` disables
+    /// deadline enforcement for this request regardless of
+    /// [`ServeConfig::deadline`]; callers that want the config default
+    /// should go through [`RelaxServer::serve`].
+    pub fn serve_with_deadline(
+        &self,
+        term: &str,
+        context: Option<ContextId>,
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<ServeResult> {
+        self.serve_key(QueryKey::Term(medkb_text::normalize(term)), context, k, deadline)
     }
 
     /// [`RelaxServer::serve`] from an already-resolved query concept.
@@ -171,10 +188,41 @@ impl RelaxServer {
         context: Option<ContextId>,
         k: usize,
     ) -> Result<ServeResult> {
-        self.serve_key(QueryKey::Concept(query), context, k)
+        self.serve_concept_with_deadline(query, context, k, self.config_deadline())
     }
 
-    fn serve_key(&self, query: QueryKey, context: Option<ContextId>, k: usize) -> Result<ServeResult> {
+    /// [`RelaxServer::serve_concept`] against an explicit absolute deadline
+    /// (see [`RelaxServer::serve_with_deadline`]).
+    pub fn serve_concept_with_deadline(
+        &self,
+        query: ExtConceptId,
+        context: Option<ContextId>,
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<ServeResult> {
+        self.serve_key(QueryKey::Concept(query), context, k, deadline)
+    }
+
+    /// The per-request absolute deadline the config implies, started now.
+    fn config_deadline(&self) -> Option<Instant> {
+        self.config.deadline.map(|d| Instant::now() + d)
+    }
+
+    /// Record a shed in the metrics and build the error.
+    fn shed(&self, detail: impl Into<String>) -> MedKbError {
+        if let Some(m) = &self.metrics {
+            m.shed.inc();
+        }
+        MedKbError::overloaded(detail)
+    }
+
+    fn serve_key(
+        &self,
+        query: QueryKey,
+        context: Option<ContextId>,
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<ServeResult> {
         let _span = self.metrics.as_ref().map(|m| m.latency.time());
 
         // Admission: bounded in-flight gauge, load-shed distinct from
@@ -186,15 +234,21 @@ impl RelaxServer {
             m.in_flight.set(in_flight as u64);
         }
         if in_flight > self.config.max_in_flight.max(1) {
-            if let Some(m) = &self.metrics {
-                m.shed.inc();
-            }
-            return Err(MedKbError::overloaded(format!(
+            return Err(self.shed(format!(
                 "{in_flight} requests in flight (limit {})",
                 self.config.max_in_flight.max(1)
             )));
         }
-        let deadline = self.config.deadline.map(|d| Instant::now() + d);
+        // A request that arrives already past its deadline is dead on
+        // arrival: the client gave up, so even a cache probe is wasted
+        // work. This is also what makes the batch path's between-query
+        // re-check shed instead of completing (the regression the
+        // `expired_mid_batch_deadline_sheds` test pins).
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return Err(self.shed("deadline exceeded before admission"));
+            }
+        }
 
         // Pin the epoch for the whole request: key and computation both use
         // this snapshot, so a concurrent publish can't mix epochs.
@@ -221,10 +275,7 @@ impl RelaxServer {
         }
         if let Some(d) = deadline {
             if Instant::now() >= d {
-                if let Some(m) = &self.metrics {
-                    m.shed.inc();
-                }
-                return Err(MedKbError::overloaded("deadline exceeded before computation"));
+                return Err(self.shed("deadline exceeded before computation"));
             }
         }
 
@@ -258,6 +309,13 @@ impl RelaxServer {
     /// [`medkb_core::QueryRelaxer::relax_concepts_batch`] but reads through
     /// the cache, so repeated queries within and across batches compute
     /// once per epoch.
+    ///
+    /// [`ServeConfig::deadline`] bounds the **whole batch**, not each
+    /// query: the deadline starts once at batch entry and is re-checked
+    /// between queries inside every shard, so work the batch can no longer
+    /// finish in time is shed with [`MedKbError::Overloaded`] instead of
+    /// running arbitrarily past the deadline (one slow prefix used to buy
+    /// every later query a fresh full deadline).
     pub fn serve_concepts_batch(
         &self,
         queries: &[(ExtConceptId, Option<ContextId>)],
@@ -277,12 +335,31 @@ impl RelaxServer {
         k: usize,
         threads: usize,
     ) -> Vec<Result<ServeResult>> {
+        self.serve_concepts_batch_with_deadline(queries, k, threads, self.config_deadline())
+    }
+
+    /// [`RelaxServer::serve_concepts_batch_with_threads`] against an
+    /// explicit absolute deadline shared by the whole batch (the network
+    /// front end propagates a request header here). Every shard re-checks
+    /// the deadline before each query it serves; once it has passed, the
+    /// remaining slots come back as [`MedKbError::Overloaded`] — late work
+    /// is shed, never silently completed.
+    pub fn serve_concepts_batch_with_deadline(
+        &self,
+        queries: &[(ExtConceptId, Option<ContextId>)],
+        k: usize,
+        threads: usize,
+        deadline: Option<Instant>,
+    ) -> Vec<Result<ServeResult>> {
         if queries.is_empty() {
             return Vec::new();
         }
         let threads = threads.max(1).min(queries.len());
         if threads == 1 {
-            return queries.iter().map(|&(q, ctx)| self.serve_concept(q, ctx, k)).collect();
+            return queries
+                .iter()
+                .map(|&(q, ctx)| self.serve_concept_with_deadline(q, ctx, k, deadline))
+                .collect();
         }
         let chunk = queries.len().div_ceil(threads);
         std::thread::scope(|scope| {
@@ -292,7 +369,9 @@ impl RelaxServer {
                     scope.spawn(move || {
                         shard
                             .iter()
-                            .map(|&(q, ctx)| self.serve_concept(q, ctx, k))
+                            .map(|&(q, ctx)| {
+                                self.serve_concept_with_deadline(q, ctx, k, deadline)
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -312,6 +391,23 @@ impl RelaxServer {
             m.epoch.set(epoch);
         }
         epoch
+    }
+
+    /// Publish the world persisted at `path` (a `WorldStore` directory) as
+    /// the next epoch — the hot-reload entry point the HTTP front end's
+    /// `/reload` endpoint drives. Same epoch-swap semantics as
+    /// [`RelaxServer::publish`].
+    ///
+    /// # Errors
+    /// Propagates `WorldStore::open` failures (missing/corrupt store);
+    /// the currently published epoch is untouched on error.
+    pub fn publish_from_store(&self, path: &std::path::Path) -> Result<u64> {
+        let epoch = self.store.publish_from_store(path)?;
+        if let Some(m) = &self.metrics {
+            m.swaps.inc();
+            m.epoch.set(epoch);
+        }
+        Ok(epoch)
     }
 
     /// The currently published snapshot (readers may hold it across swaps).

@@ -1,0 +1,157 @@
+//! Property tests for the HTTP request parser: the no-panic contract.
+//!
+//! Same contract as the PR 4 loaders — arbitrary bytes, arbitrarily
+//! split, may produce requests or typed errors but never a panic, never
+//! an unbounded buffer, and the split points must be invisible (a valid
+//! byte stream parses to the same requests however it is chunked).
+
+use std::fmt::Debug;
+
+use medkb_serve::http::{ParseLimits, Request, RequestParser};
+use proptest::prelude::*;
+use proptest::sample::Index;
+
+const LIMITS: ParseLimits = ParseLimits { max_header_bytes: 512, max_body_bytes: 256 };
+
+/// Pick one element of a fixed list (the vendored proptest has no
+/// `sample::select`).
+fn pick<T: Clone + Debug + 'static>(items: Vec<T>) -> impl Strategy<Value = T> {
+    (0usize..items.len()).prop_map(move |i| items[i].clone())
+}
+
+/// Drive a parser over `bytes` split at `cuts`, collecting requests until
+/// the first error (after which the connection would close).
+fn drive(bytes: &[u8], cuts: &[Index]) -> Result<Vec<Request>, u16> {
+    let mut splits: Vec<usize> = cuts.iter().map(|c| c.index(bytes.len() + 1)).collect();
+    splits.push(0);
+    splits.push(bytes.len());
+    splits.sort_unstable();
+    splits.dedup();
+    let mut parser = RequestParser::new(LIMITS);
+    let mut out = Vec::new();
+    for w in splits.windows(2) {
+        parser.push(&bytes[w[0]..w[1]]);
+        loop {
+            match parser.next_request() {
+                Ok(Some(req)) => out.push(req),
+                Ok(None) => break,
+                Err(e) => return Err(e.status()),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Strategy: mostly-structured request bytes (so the happy path gets real
+/// coverage), with raw garbage mixed in.
+fn stream_strategy() -> impl Strategy<Value = Vec<u8>> {
+    let request_line = (
+        pick(vec!["GET", "POST", "PUT", "G\u{0}T", ""]),
+        pick(vec!["/relax", "/health", "/", "/x?y=1", "bad target here"]),
+        pick(vec!["HTTP/1.1", "HTTP/1.0", "HTTP/2.0", "HTP"]),
+    );
+    let headers = proptest::collection::vec(
+        (
+            pick(vec![
+                "content-length",
+                "x-medkb-client",
+                "Content-Length",
+                "bad name",
+                "transfer-encoding",
+            ]),
+            pick(vec!["0", "3", "abc", "-1", "chunked", "999999"]),
+        ),
+        0..4,
+    );
+    let body = proptest::collection::vec(any::<u8>(), 0..12);
+    let structured = (request_line, headers, body).prop_map(|((m, t, v), headers, body)| {
+        let mut s = format!("{m} {t} {v}\r\n");
+        for (n, val) in headers {
+            s.push_str(&format!("{n}: {val}\r\n"));
+        }
+        s.push_str("\r\n");
+        let mut bytes = s.into_bytes();
+        bytes.extend_from_slice(&body);
+        bytes
+    });
+    let garbage = proptest::collection::vec(any::<u8>(), 0..64);
+    let chunk = (0usize..3, structured, garbage)
+        .prop_map(|(which, s, g)| if which == 2 { g } else { s });
+    proptest::collection::vec(chunk, 1..4).prop_map(|chunks| chunks.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes, arbitrary split points: requests or a typed
+    /// 4xx/501 status, never a panic, and the buffer stays bounded by the
+    /// limits plus what one stream could legitimately carry.
+    #[test]
+    fn prop_parser_never_panics_and_buffer_stays_bounded(
+        bytes in stream_strategy(),
+        cuts in proptest::collection::vec(any::<Index>(), 0..8),
+    ) {
+        let mut parser = RequestParser::new(LIMITS);
+        let mut splits: Vec<usize> = cuts.iter().map(|c| c.index(bytes.len() + 1)).collect();
+        splits.push(0);
+        splits.push(bytes.len());
+        splits.sort_unstable();
+        splits.dedup();
+        'outer: for w in splits.windows(2) {
+            parser.push(&bytes[w[0]..w[1]]);
+            loop {
+                match parser.next_request() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(e) => {
+                        prop_assert!(matches!(e.status(), 400 | 413 | 431 | 501), "{e}");
+                        break 'outer;
+                    }
+                }
+            }
+            // `Ok(None)` means the parser checked its bounds: an
+            // unfinished header section can sit at most one push past the
+            // header limit, plus a bounded declared body.
+            prop_assert!(
+                parser.buffered()
+                    <= LIMITS.max_header_bytes + LIMITS.max_body_bytes + bytes.len(),
+                "buffer ballooned to {}",
+                parser.buffered()
+            );
+        }
+    }
+
+    /// Pure garbage (no structure at all) follows the same contract —
+    /// this is the connection-drop-mid-anything case.
+    #[test]
+    fn prop_raw_garbage_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        cuts in proptest::collection::vec(any::<Index>(), 0..6),
+    ) {
+        let _ = drive(&bytes, &cuts);
+    }
+
+    /// Split points are invisible: a valid pipelined stream parses to the
+    /// same request sequence whether it arrives whole or chunked.
+    #[test]
+    fn prop_split_reads_equal_whole_read(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 1..4),
+        cuts in proptest::collection::vec(any::<Index>(), 0..10),
+    ) {
+        let mut stream = Vec::new();
+        for body in &bodies {
+            stream.extend_from_slice(
+                format!("POST /relax HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len())
+                    .as_bytes(),
+            );
+            stream.extend_from_slice(body);
+        }
+        let whole = drive(&stream, &[]).expect("valid stream parses");
+        let split = drive(&stream, &cuts).expect("valid stream parses split");
+        prop_assert_eq!(whole.len(), bodies.len());
+        prop_assert_eq!(&whole, &split);
+        for (req, body) in whole.iter().zip(&bodies) {
+            prop_assert_eq!(&req.body, body);
+        }
+    }
+}

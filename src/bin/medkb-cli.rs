@@ -5,14 +5,18 @@
 //! medkb-cli relax <term> [k]            # one-shot relaxation on a generated world
 //! medkb-cli chat [--no-qr]              # interactive conversation (stdin)
 //! medkb-cli gen <concepts> <out-dir>    # generate + save an RF2-style terminology
+//! medkb-cli serve [--addr A] [--addr-file F]  # HTTP/1.1 front end on a world
+//! medkb-cli http <addr> <METHOD> <path> [body]  # one-shot std TcpStream client
 //! ```
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write as _};
+use std::sync::Arc;
 
 use medkb::eval::pipeline::{EvalConfig, EvalStack};
 use medkb::nli::trainset::generate_training_queries;
 use medkb::prelude::*;
+use medkb::serve::{HttpConfig, HttpServer};
 use medkb::snomed::{rf2, GeneratedTerminology};
 
 fn main() {
@@ -22,10 +26,13 @@ fn main() {
         Some("relax") => relax(&args[1..]),
         Some("chat") => chat(&args[1..]),
         Some("gen") => gen(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("http") => http_request(&args[1..]),
         _ => {
             eprintln!(
                 "usage: medkb-cli <demo | relax <term> [k] | chat [--no-qr] | \
-                 gen <concepts> <out-dir>>"
+                 gen <concepts> <out-dir> | serve [--addr A] [--addr-file F] | \
+                 http <addr> <METHOD> <path> [body]>"
             );
             2
         }
@@ -167,6 +174,141 @@ fn chat(args: &[String]) -> i32 {
         println!("bot> {}", engine.handle(line).text());
     }
     0
+}
+
+/// `serve`: stand up the std-only HTTP/1.1 front end (DESIGN.md §16) over a
+/// generated world and run until stdin closes (interactive) or the process
+/// is killed (scripts — tier1.sh backgrounds this and kills it).
+///
+/// With `--addr-file F` the bound address is written to `F` (first line),
+/// followed by a few resolvable terminology terms — so a script using an
+/// ephemeral port (`--addr 127.0.0.1:0`) can find both the port and a
+/// valid `/relax` query without parsing human output.
+fn serve(args: &[String]) -> i32 {
+    let mut addr = "127.0.0.1:7464".to_string();
+    let mut addr_file: Option<String> = None;
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => return usage_serve(),
+            },
+            "--addr-file" => match it.next() {
+                Some(v) => addr_file = Some(v.clone()),
+                None => return usage_serve(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage_serve(),
+            },
+            _ => return usage_serve(),
+        }
+    }
+    let stack = build_stack(seed);
+    let registry = Registry::shared();
+    let relax_cfg = RelaxConfig {
+        obs: ObsConfig::with_registry(Arc::clone(&registry)),
+        ..stack.config.relax.clone()
+    };
+    let server =
+        Arc::new(RelaxServer::new(stack.ingested.clone(), relax_cfg, ServeConfig::default()));
+    let http = match HttpServer::start(
+        Arc::clone(&server),
+        Some(registry),
+        HttpConfig { addr, ..HttpConfig::default() },
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            return 1;
+        }
+    };
+    let bound = http.addr();
+    let terms = sample_terms(&stack);
+    println!("listening on http://{bound} (epoch {})", server.epoch());
+    println!("try: medkb-cli http {bound} GET /health");
+    println!(
+        "     medkb-cli http {bound} POST /relax '{{\"term\":\"{}\"}}'",
+        terms.first().cloned().unwrap_or_default()
+    );
+    if let Some(f) = addr_file {
+        let mut doc = bound.to_string();
+        for t in &terms {
+            doc.push('\n');
+            doc.push_str(t);
+        }
+        doc.push('\n');
+        if let Err(e) = std::fs::write(&f, doc) {
+            eprintln!("cannot write --addr-file {f}: {e}");
+            return 1;
+        }
+    }
+    // Interactive stdin keeps serving until EOF (Ctrl-D); non-terminal
+    // stdin (backgrounded under a script) would hit EOF instantly, so
+    // there we park until killed.
+    use std::io::IsTerminal;
+    if std::io::stdin().is_terminal() {
+        let mut line = String::new();
+        while matches!(std::io::stdin().lock().read_line(&mut line), Ok(n) if n > 0) {
+            line.clear();
+        }
+    } else {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    http.shutdown();
+    0
+}
+
+fn usage_serve() -> i32 {
+    eprintln!("usage: medkb-cli serve [--addr host:port] [--addr-file path] [--seed n]");
+    2
+}
+
+/// `http`: the curl-equivalent std `TcpStream` client. One request, one
+/// `connection: close` response, raw response printed to stdout; exit 0
+/// iff the status is 2xx.
+fn http_request(args: &[String]) -> i32 {
+    let (Some(addr), Some(method), Some(path)) = (args.first(), args.get(1), args.get(2)) else {
+        eprintln!("usage: medkb-cli http <addr> <METHOD> <path> [json-body]");
+        return 2;
+    };
+    let body = args.get(3).map(String::as_str).unwrap_or("");
+    use std::io::{Read as _, Write as _};
+    let mut stream = match std::net::TcpStream::connect(addr.as_str()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            return 1;
+        }
+    };
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    if let Err(e) = stream.write_all(request.as_bytes()) {
+        eprintln!("write: {e}");
+        return 1;
+    }
+    let mut response = Vec::new();
+    if let Err(e) = stream.read_to_end(&mut response) {
+        eprintln!("read: {e}");
+        return 1;
+    }
+    let text = String::from_utf8_lossy(&response);
+    print!("{text}");
+    if !text.ends_with('\n') {
+        println!();
+    }
+    let ok = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .is_some_and(|status| (200..300).contains(&status));
+    i32::from(!ok)
 }
 
 fn gen(args: &[String]) -> i32 {
